@@ -1,0 +1,814 @@
+(** The benchmark workload suite: NoFib-shaped programs (Table 1).
+
+    NoFib itself is tens of thousands of lines of Haskell; these are
+    analogues written in our surface language, grouped and named after
+    the NoFib programs whose workload style they imitate (see DESIGN.md,
+    "Substitutions"). Each exercises the code paths the paper credits
+    for its allocation deltas: case-of-case chains over library
+    composition, local tail-recursive loops (contification), and stream
+    pipelines (fusion). Every program's [main] computes an [Int] so
+    results can be checked across compiler configurations. *)
+
+type program = {
+  name : string;
+  group : string;  (** "spectral" | "real" | "shootout" *)
+  descr : string;
+  source : string;  (** Surface code defining [main]. *)
+  uses_streams : bool;  (** Prepend the stream-fusion library? *)
+}
+
+let p ?(streams = false) group name descr source =
+  { name; group; descr; source; uses_streams = streams }
+
+(* ================================================================== *)
+(* spectral                                                            *)
+(* ================================================================== *)
+
+(* fibheaps: priority-queue churn (skew heap): insert, meld, drain. *)
+let fibheaps =
+  p "spectral" "fibheaps" "skew-heap priority queue: insert/drain churn"
+    {|
+data Heap = Empty | Node Int Heap Heap
+
+def meld a b = case a of {
+  Empty -> b;
+  Node x la ra -> case b of {
+    Empty -> a;
+    Node y lb rb ->
+      if x <= y then Node x (meld ra b) la
+      else Node y (meld rb a) lb
+  }
+}
+
+def insert x h = meld (Node x Empty Empty) h
+
+def findMin h = case h of { Empty -> Nothing; Node x l r -> Just x }
+
+def deleteMin h = case h of { Empty -> Empty; Node x l r -> meld l r }
+
+def fill seed n h =
+  if n <= 0 then h
+  else fill ((seed * 1103515245 + 12345) % 1048573) (n - 1)
+            (insert (seed % 1000) h)
+
+def drain h acc = case findMin h of {
+  Nothing -> acc;
+  Just x -> drain (deleteMin h) (acc + x)
+}
+
+def main = drain (fill 42 400 Empty) 0
+|}
+
+(* ida: iterative-deepening search over an implicit tree. *)
+let ida =
+  p "spectral" "ida" "iterative deepening search with local loops"
+    {|
+-- implicit ternary tree; leaf value from node id
+def goal n = n % 9337 == 0
+
+def dfs node depth =
+  if goal node then Just node
+  else if depth <= 0 then Nothing
+  else case dfs (node * 3 + 1) (depth - 1) of {
+    Just r -> Just r;
+    Nothing -> case dfs (node * 3 + 2) (depth - 1) of {
+      Just r -> Just r;
+      Nothing -> dfs (node * 3 + 3) (depth - 1)
+    }
+  }
+
+def deepen d =
+  if d > 8 then 0 - 1
+  else case dfs 1 d of { Just r -> r; Nothing -> deepen (d + 1) }
+
+def main = deepen 1
+|}
+
+(* nucleic2: floating-ish geometry — fixed-point 3D vector arithmetic. *)
+let nucleic2 =
+  p "spectral" "nucleic2" "fixed-point 3-vector geometry sweeps"
+    {|
+data V3 = V3 Int Int Int
+
+def vadd a b = case a of { V3 x1 y1 z1 ->
+  case b of { V3 x2 y2 z2 -> V3 (x1 + x2) (y1 + y2) (z1 + z2) } }
+
+def vdot a b = case a of { V3 x1 y1 z1 ->
+  case b of { V3 x2 y2 z2 -> x1 * x2 + y1 * y2 + z1 * z2 } }
+
+def vscale k a = case a of { V3 x y z -> V3 (k * x) (k * y) (k * z) }
+
+def atoms n =
+  if n <= 0 then Nil
+  else Cons (V3 (n % 17) ((n * 7) % 23) ((n * 13) % 29)) (atoms (n - 1))
+
+def energy xs = case xs of {
+  Nil -> 0;
+  Cons a rest ->
+    let contrib = sum (map (\b -> vdot a b % 1000) rest)
+    in contrib + energy rest
+}
+
+def main = energy (atoms 60)
+|}
+
+(* para: paragraph filling over word widths. *)
+let para =
+  p "spectral" "para" "greedy line-breaking with local accumulation loops"
+    {|
+def widths n =
+  if n <= 0 then Nil
+  else Cons (1 + (n * 7919) % 12) (widths (n - 1))
+
+-- cost of a line of total width w against target 40
+def lineCost w = let d = 40 - w in d * d
+
+def fill ws =
+  let rec go line ws2 = case ws2 of {
+    Nil -> lineCost line;
+    Cons w rest ->
+      if line + w + 1 > 40
+      then lineCost line + go w rest
+      else go (line + w + 1) rest
+  } in
+  let rec start ws3 = case ws3 of {
+    Nil -> 0;
+    Cons w rest -> go w rest
+  } in start ws
+
+def main = fill (widths 600)
+|}
+
+(* primetest: modular exponentiation + Fermat witness loop. *)
+let primetest =
+  p "spectral" "primetest" "modular exponentiation, witness loops"
+    {|
+def mulmod a b m = (a * b) % m
+
+def powmod b e m =
+  let rec go acc base ex =
+    if ex <= 0 then acc
+    else if odd ex then go (mulmod acc base m) (mulmod base base m) (ex / 2)
+    else go acc (mulmod base base m) (ex / 2)
+  in go 1 (b % m) e
+
+def fermat n =
+  let rec try a =
+    if a > 5 then True
+    else if powmod a (n - 1) n /= 1 then False
+    else try (a + 1)
+  in if n <= 3 then True else try 2
+
+def main = sum (map (\n -> if fermat n then 1 else 0) (enumFromTo 1000 1500))
+|}
+
+(* simple: relaxation sweeps over a 1-D "mesh" list. *)
+let simple =
+  p "spectral" "simple" "stencil relaxation sweeps over a mesh"
+    {|
+def mesh n = map (\i -> (i * 37) % 100) (enumFromTo 1 n)
+
+def sweep xs = case xs of {
+  Nil -> Nil;
+  Cons a rest -> case rest of {
+    Nil -> Cons a Nil;
+    Cons b rest2 -> Cons ((a + b) / 2) (sweep rest)
+  }
+}
+
+def iterateN k xs = if k <= 0 then xs else iterateN (k - 1) (sweep xs)
+
+def main = sum (iterateN 12 (mesh 200))
+|}
+
+(* solid: interval/box intersection tests, branch-heavy arithmetic. *)
+let solid =
+  p "spectral" "solid" "box intersection census, branch-heavy"
+    {|
+data Box = Box Int Int Int Int
+
+def overlap a b = case a of { Box ax ay aw ah ->
+  case b of { Box bx by bw bh ->
+    if ax > bx + bw then False
+    else if bx > ax + aw then False
+    else if ay > by + bh then False
+    else if by > ay + ah then False
+    else True } }
+
+def boxes n =
+  if n <= 0 then Nil
+  else Cons (Box (n % 50) ((n * 3) % 50) (1 + n % 9) (1 + (n * 7) % 9))
+            (boxes (n - 1))
+
+def countPairs bs = case bs of {
+  Nil -> 0;
+  Cons b rest ->
+    length (filter (\c -> overlap b c) rest) + countPairs rest
+}
+
+def main = countPairs (boxes 80)
+|}
+
+(* sphere: ray/sphere intersection fold, min-by local loop. *)
+let sphere =
+  p "spectral" "sphere" "closest-hit folds over a sphere list"
+    {|
+data Sph = Sph Int Int Int Int
+
+def spheres n =
+  if n <= 0 then Nil
+  else Cons (Sph (n % 37) ((n * 5) % 41) ((n * 11) % 43) (1 + n % 7))
+            (spheres (n - 1))
+
+-- quadratic discriminant in fixed point; negative = miss
+def hit ox oy s = case s of { Sph cx cy cz r ->
+  let dx = cx - ox in
+  let dy = cy - oy in
+  let d2 = dx * dx + dy * dy in
+  let rr = r * r + cz in
+  if d2 <= rr then Just (d2 + cz) else Nothing }
+
+def closest ox oy ss =
+  let rec go best rest = case rest of {
+    Nil -> best;
+    Cons s more -> case hit ox oy s of {
+      Nothing -> go best more;
+      Just d -> go (min2 best d) more
+    }
+  } in go 99999 ss
+
+def main =
+  let ss = spheres 40 in
+  sum (map (\i -> closest (i % 31) ((i * 13) % 37) ss) (enumFromTo 1 60))
+|}
+
+(* transform: algebraic term rewriting to a normal form. *)
+let transform =
+  p "spectral" "transform" "expression-tree rewriting passes"
+    {|
+data Exp = Lit Int | Add Exp Exp | Mul Exp Exp | Neg Exp
+
+def build depth seed =
+  if depth <= 0 then Lit (seed % 17)
+  else if seed % 3 == 0
+  then Add (build (depth - 1) (seed * 5 + 1)) (build (depth - 1) (seed * 7 + 2))
+  else if seed % 3 == 1
+  then Mul (build (depth - 1) (seed * 5 + 3)) (build (depth - 1) (seed * 7 + 4))
+  else Neg (build (depth - 1) (seed * 5 + 5))
+
+def simplify e = case e of {
+  Lit n -> Lit n;
+  Neg a ->
+    let a2 = simplify a in
+    case a2 of {
+      Lit n -> Lit (0 - n);
+      Neg b -> b;
+      _ -> Neg a2
+    };
+  Add a b ->
+    let a2 = simplify a in
+    let b2 = simplify b in
+    case a2 of {
+      Lit x -> case b2 of { Lit y -> Lit (x + y); _ -> Add a2 b2 };
+      _ -> Add a2 b2
+    };
+  Mul a b ->
+    let a2 = simplify a in
+    let b2 = simplify b in
+    case a2 of {
+      Lit x -> case b2 of { Lit y -> Lit (x * y); _ -> Mul a2 b2 };
+      _ -> Mul a2 b2
+    }
+}
+
+def value e = case e of {
+  Lit n -> n;
+  Add a b -> value a + value b;
+  Mul a b -> value a * value b;
+  Neg a -> 0 - value a
+}
+
+def main = value (simplify (build 10 42)) % 100003
+|}
+
+(* ================================================================== *)
+(* real                                                                *)
+(* ================================================================== *)
+
+(* anna: a tiny strictness analyser (abstract interpreter). *)
+let anna =
+  p "real" "anna" "abstract interpretation over a program tree"
+    {|
+data Tm = Var Int | App2 Tm Tm | Lam2 Tm | IfZ Tm Tm Tm | Num Int
+
+-- two-point domain: 0 = bottom (divergent), 1 = defined
+def ameet a b = min2 a b
+def ajoin a b = max2 a b
+
+def aeval env t = case t of {
+  Num n -> 1;
+  Var i -> fromMaybe 0 (lookupList i env);
+  Lam2 b -> 1;
+  App2 f a -> ameet (aeval env f) (aeval env a);
+  IfZ c t2 e2 -> ameet (aeval env c) (ajoin (aeval env t2) (aeval env e2))
+}
+
+def gen d seed =
+  if d <= 0 then (if even seed then Num seed else Var (seed % 4))
+  else if seed % 4 == 0 then App2 (gen (d-1) (seed*3+1)) (gen (d-1) (seed*5+2))
+  else if seed % 4 == 1 then Lam2 (gen (d-1) (seed*7+3))
+  else if seed % 4 == 2 then IfZ (gen (d-1) (seed*3+5))
+                                 (gen (d-1) (seed*5+7))
+                                 (gen (d-1) (seed*7+11))
+  else Num (seed % 9)
+
+def main =
+  let env = [(0, 1), (1, 0), (2, 1), (3, 0)] in
+  sum (map (\s -> aeval env (gen 8 s)) (enumFromTo 1 30))
+|}
+
+(* cacheprof: text statistics over a synthetic trace string. *)
+let cacheprof =
+  p "real" "cacheprof" "character-class counting over a trace string"
+    {|
+def isDigit c = ord c >= 48 && ord c <= 57
+def isAlpha c = ord c >= 97 && ord c <= 122
+
+def classify s =
+  let n = strLen s in
+  let rec go i digits alphas others =
+    if i >= n then digits * 10000 + alphas * 100 + others
+    else
+      let c = strIdx s i in
+      if isDigit c then go (i + 1) (digits + 1) alphas others
+      else if isAlpha c then go (i + 1) digits (alphas + 1) others
+      else go (i + 1) digits alphas (others + 1)
+  in go 0 0 0 0
+
+def main = classify "ld 0x4a3f r7, st 0x2211 r3, mv r1 r2, jmp label9; ld 0x9f r0"
+|}
+
+(* fem: assemble and relax a 1-D finite-element-ish system. *)
+let fem =
+  p "real" "fem" "element assembly and Jacobi relaxation"
+    {|
+def stiffness i = 2 + (i * 31) % 5
+def load i = (i * 17) % 7
+
+def assemble n = map (\i -> (stiffness i, load i)) (enumFromTo 1 n)
+
+-- one Jacobi sweep: each unknown updated from its element pair and the
+-- previous iterate's neighbour
+def relax sys us = zipWith
+  (\su u -> case su of { (s, f) -> (u + f) / s })
+  sys us
+
+def shift us = case us of { Nil -> Nil; Cons x rest -> append rest (Cons x Nil) }
+
+def iter k sys us =
+  if k <= 0 then sum us
+  else iter (k - 1) sys (relax sys (shift us))
+
+def main = iter 8 (assemble 120) (map (\i -> i % 13) (enumFromTo 1 120))
+|}
+
+(* gamteb: Monte-Carlo-ish particle transport with an LCG. *)
+let gamteb =
+  p "real" "gamteb" "pseudo-random particle transport loop"
+    {|
+def lcg s = (s * 1103515245 + 12345) % 2147483648
+
+def walk seed energy scatters absorbed escaped =
+  if energy <= 0 then (absorbed + 1, escaped)
+  else if scatters > 30 then (absorbed, escaped + 1)
+  else
+    let s2 = lcg seed in
+    if s2 % 100 < 30 then (absorbed + 1, escaped)
+    else if s2 % 100 < 90
+    then walk s2 (energy - 1 - (s2 % 3)) (scatters + 1) absorbed escaped
+    else (absorbed, escaped + 1)
+
+def particles n seed absorbed escaped =
+  if n <= 0 then absorbed * 1000 + escaped
+  else case walk seed 12 0 absorbed escaped of {
+    (a, e) -> particles (n - 1) (lcg (seed + n)) a e
+  }
+
+def main = particles 300 7 0 0
+|}
+
+(* hpg: random tree generation and measurement. *)
+let hpg =
+  p "real" "hpg" "random program/tree generation and measuring"
+    {|
+data T = Leaf Int | Un T | Bin T T
+
+def lcg s = (s * 48271) % 2147483647
+
+def genT fuel seed =
+  if fuel <= 1 then (Leaf (seed % 100), lcg seed)
+  else if seed % 3 == 0 then
+    case genT (fuel - 1) (lcg seed) of { (t, s2) -> (Un t, s2) }
+  else
+    case genT (fuel / 2) (lcg seed) of { (l, s2) ->
+      case genT (fuel / 2) s2 of { (r, s3) -> (Bin l r, s3) } }
+
+def sizeT t = case t of {
+  Leaf n -> 1;
+  Un a -> 1 + sizeT a;
+  Bin a b -> 1 + sizeT a + sizeT b
+}
+
+def sumT t = case t of {
+  Leaf n -> n;
+  Un a -> sumT a;
+  Bin a b -> sumT a + sumT b
+}
+
+def main =
+  let rec go i seed acc =
+    if i <= 0 then acc
+    else case genT 40 seed of {
+      (t, s2) -> go (i - 1) s2 (acc + sizeT t * 7 + sumT t)
+    }
+  in go 40 123 0
+|}
+
+(* parser: tokenize + parse + evaluate arithmetic over a string. *)
+let parser =
+  p "real" "parser" "recursive-descent arithmetic parsing from a string"
+    {|
+data Tok = TNum Int | TPlus | TTimes | TOpen | TClose
+
+def isDigit c = ord c >= 48 && ord c <= 57
+
+def tokenize s =
+  let n = strLen s in
+  let rec go i =
+    if i >= n then Nil
+    else
+      let c = strIdx s i in
+      if c == '+' then Cons TPlus (go (i + 1))
+      else if c == '*' then Cons TTimes (go (i + 1))
+      else if c == '(' then Cons TOpen (go (i + 1))
+      else if c == ')' then Cons TClose (go (i + 1))
+      else if isDigit c then
+        let rec num j acc =
+          if j >= n then (acc, j)
+          else
+            let d = strIdx s j in
+            if isDigit d then num (j + 1) (acc * 10 + (ord d - 48))
+            else (acc, j)
+        in case num i 0 of { (v, j) -> Cons (TNum v) (go j) }
+      else go (i + 1)
+  in go 0
+
+-- precedence climbing: parse prec ts, prec 0 = '+', prec 1 = '*',
+-- prec 2 = atoms (self-recursive, so no mutual recursion needed)
+def parse prec ts =
+  if prec >= 2 then
+    case ts of {
+      Nil -> (0, Nil);
+      Cons t more -> case t of {
+        TNum v -> (v, more);
+        TOpen -> case parse 0 more of {
+          (v, rest) -> case rest of {
+            Cons c rest2 -> (v, rest2);
+            Nil -> (v, Nil)
+          }
+        };
+        _ -> (0, more)
+      }
+    }
+  else
+    case parse (prec + 1) ts of {
+      (v, rest) -> case rest of {
+        Cons t more -> case t of {
+          TPlus -> if prec == 0
+                   then case parse 0 more of { (w, rest2) -> (v + w, rest2) }
+                   else (v, rest);
+          TTimes -> if prec == 1
+                    then case parse 1 more of { (w, rest2) -> (v * w, rest2) }
+                    else (v, rest);
+          _ -> (v, rest)
+        };
+        Nil -> (v, Nil)
+      }
+    }
+
+def main = fst (parse 0 (tokenize "(1+2)*3+4*(5+6)+7*8*(9+10)"))
+|}
+
+(* rsa: modexp-based encrypt/decrypt round trips. *)
+let rsa =
+  p "real" "rsa" "modular-exponentiation encrypt/decrypt round trips"
+    {|
+def mulmod a b m = (a * b) % m
+
+def powmod b e m =
+  let rec go acc base ex =
+    if ex <= 0 then acc
+    else if odd ex then go (mulmod acc base m) (mulmod base base m) (ex / 2)
+    else go acc (mulmod base base m) (ex / 2)
+  in go 1 (b % m) e
+
+-- toy parameters: n = 3233 = 61*53, e = 17, d = 413
+def encrypt m = powmod m 17 3233
+def decrypt c = powmod c 413 3233
+
+def main =
+  sum (map (\m -> if decrypt (encrypt m) == m then 1 else 0)
+           (enumFromTo 100 250))
+|}
+
+(* ================================================================== *)
+(* shootout                                                            *)
+(* ================================================================== *)
+
+(* n-body: pure numeric inner loop over unboxed state — the paper's
+   -100% headline comes from exactly this shape: the local stepper is
+   contified and the Maybe/state constructors vanish. *)
+let n_body =
+  p "shootout" "n-body" "numeric leapfrog inner loop over scalar state"
+    ~streams:true
+    {|
+-- 1-D two-body problem in fixed point; advance returns the updated
+-- (position, velocity) through a Step-style result that join points
+-- erase completely.
+def advance x v =
+  let f = 0 - x / 8 in
+  Yield (x + v) (v + f)
+
+def steps n =
+  let rec go i x v acc =
+    if i >= n then acc
+    else case advance x v of {
+      Yield x2 v2 -> go (i + 1) x2 v2 (acc + abs x2);
+      Done -> acc
+    }
+  in go 0 1000 0 0
+
+def main = steps 2000 % 1000003
+|}
+
+(* k-nucleotide: count k-mers with a fused filter/count pipeline. *)
+let k_nucleotide =
+  p "shootout" "k-nucleotide" "k-mer counting via fused stream pipeline"
+    ~streams:true
+    {|
+def lcg s = (s * 48271) % 2147483647
+
+-- synthetic genome: 0..3 per position, from the LCG
+def base i = (lcg (i * 2654435761)) % 4
+
+-- count occurrences of a 3-mer code in positions [0..n)
+def countKmer n code =
+  sSum (sMap (\x -> 1)
+    (sFilter (\i -> base i * 16 + base (i+1) * 4 + base (i+2) == code)
+      (sFromTo 0 (n - 3))))
+
+def main =
+  let n = 600 in
+  countKmer n 27 * 10000 + countKmer n 9 * 100 + countKmer n 0
+|}
+
+(* spectral-norm: A-times-v products via nested fused loops. *)
+let spectral_norm =
+  p "shootout" "spectral-norm" "matrix-vector products via nested loops"
+    ~streams:true
+    {|
+def aij i j = 1000 / ((i + j) * (i + j + 1) / 2 + i + 1)
+
+def av n i = sSum (sMap (\j -> aij i j) (sFromTo 0 (n - 1)))
+
+def atv n i = sSum (sMap (\j -> aij j i) (sFromTo 0 (n - 1)))
+
+def main =
+  let n = 60 in
+  sSum (sMap (\i -> av n i * atv n i % 10007) (sFromTo 0 (n - 1))) % 1000003
+|}
+
+(* queens: spectral classic — n-queens via list search. *)
+let queens =
+  p "spectral" "queens" "n-queens backtracking over lists"
+    {|
+def safe q d placed = case placed of {
+  Nil -> True;
+  Cons pq rest ->
+    if pq == q then False
+    else if pq == q + d then False
+    else if pq == q - d then False
+    else safe q (d + 1) rest
+}
+
+def count n placed row =
+  if row > n then 1
+  else
+    let rec try q acc =
+      if q > n then acc
+      else if safe q 1 placed
+      then try (q + 1) (acc + count n (Cons q placed) (row + 1))
+      else try (q + 1) acc
+    in try 1 0
+
+def main = count 6 Nil 1
+|}
+
+(* cichelli: spectral — perfect-hash search style: try offsets. *)
+let cichelli =
+  p "spectral" "cichelli" "perfect-hash offset search"
+    {|
+def keys = [3, 17, 24, 9, 12, 5, 20]
+
+def hash off k = (k * 7 + off) % 16
+
+def collides off ks seen = case ks of {
+  Nil -> False;
+  Cons k rest ->
+    let h = hash off k in
+    if elem h seen then True else collides off rest (Cons h seen)
+}
+
+def search off =
+  if off > 40 then 0 - 1
+  else if collides off keys Nil then search (off + 1)
+  else off
+
+def main = search 0
+|}
+
+(* wheel-sieve: spectral — primes via trial division over a lazy-ish list. *)
+let wheel_sieve =
+  p "spectral" "wheel-sieve" "prime sieve by filtering multiples"
+    {|
+def sieve xs = case xs of {
+  Nil -> Nil;
+  Cons x rest -> Cons x (sieve (filter (\y -> y % x /= 0) rest))
+}
+
+def main = sum (take 25 (sieve (enumFromTo 2 200)))
+|}
+
+(* boyer: spectral — rewriting to normal form, tautology-checker style. *)
+let boyer =
+  p "spectral" "boyer" "term rewriting to a boolean normal form"
+    {|
+data Term = TTrue | TFalse | TIf Term Term Term | TVar2 Int
+
+def rewriteT t = case t of {
+  TTrue -> TTrue;
+  TFalse -> TFalse;
+  TVar2 i -> TVar2 i;
+  TIf c a b ->
+    let c2 = rewriteT c in
+    case c2 of {
+      TTrue -> rewriteT a;
+      TFalse -> rewriteT b;
+      _ -> TIf c2 (rewriteT a) (rewriteT b)
+    }
+}
+
+def genTerm d seed =
+  if d <= 0 then (if seed % 3 == 0 then TTrue
+                  else if seed % 3 == 1 then TFalse
+                  else TVar2 (seed % 5))
+  else TIf (genTerm (d - 1) (seed * 3 + 1))
+           (genTerm (d - 1) (seed * 5 + 2))
+           (genTerm (d - 1) (seed * 7 + 3))
+
+def sizeT t = case t of {
+  TTrue -> 1;
+  TFalse -> 1;
+  TVar2 i -> 1;
+  TIf a b c -> 1 + sizeT a + sizeT b + sizeT c
+}
+
+def main = sum (map (\s -> sizeT (rewriteT (genTerm 7 s))) (enumFromTo 1 8))
+|}
+
+(* compress: real — run-length encoding of a synthetic string. *)
+let compress =
+  p "real" "compress" "run-length encoding over a string"
+    {|
+def gen i = chr (97 + ((i * i) / 7) % 4)
+
+def rle n =
+  let rec go i cur count acc =
+    if i >= n then acc + count
+    else
+      let c = gen i in
+      if c == cur then go (i + 1) cur (count + 1) acc
+      else go (i + 1) c 1 (acc + count * 2 + 1)
+  in go 1 (gen 0) 1 0
+
+def main = rle 500
+|}
+
+(* infer: real — a miniature type inferencer over expression trees. *)
+let infer_bench =
+  p "real" "infer" "unification-free type checking of a term tree"
+    {|
+data Ty2 = TInt2 | TBool2 | TFun2 Ty2 Ty2 | TBad
+
+def tyEq a b = case a of {
+  TInt2 -> (case b of { TInt2 -> True; _ -> False });
+  TBool2 -> (case b of { TBool2 -> True; _ -> False });
+  TFun2 x y -> (case b of {
+    TFun2 u v -> tyEq x u && tyEq y v;
+    _ -> False });
+  TBad -> False
+}
+
+data Tm2 = Num2 Int | Bool2 | Add2 Tm2 Tm2 | If2 Tm2 Tm2 Tm2 | Lam3 Tm2 | App3 Tm2 Tm2
+
+def check t = case t of {
+  Num2 n -> TInt2;
+  Bool2 -> TBool2;
+  Add2 a b ->
+    if tyEq (check a) TInt2 && tyEq (check b) TInt2 then TInt2 else TBad;
+  If2 c a b ->
+    let ta = check a in
+    if tyEq (check c) TBool2 && tyEq ta (check b) then ta else TBad;
+  Lam3 b -> TFun2 TInt2 (check b);
+  App3 f a -> case check f of {
+    TFun2 x y -> if tyEq (check a) x then y else TBad;
+    _ -> TBad
+  }
+}
+
+def gen2 d seed =
+  if d <= 0 then (if even seed then Num2 seed else Bool2)
+  else if seed % 4 == 0 then Add2 (gen2 (d-1) (seed*3+1)) (gen2 (d-1) (seed*5+2))
+  else if seed % 4 == 1 then If2 Bool2 (gen2 (d-1) (seed*3+5)) (gen2 (d-1) (seed*7+1))
+  else if seed % 4 == 2 then Lam3 (gen2 (d-1) (seed*5+3))
+  else App3 (Lam3 (gen2 (d-1) (seed*3+7))) (Num2 seed)
+
+def score ty = case ty of { TBad -> 0; TInt2 -> 1; TBool2 -> 2; TFun2 a b -> 3 }
+
+def main = sum (map (\s -> score (check (gen2 7 s))) (enumFromTo 1 20))
+|}
+
+(* fulsom: real — solid modelling octree-style subdivision. *)
+let fulsom =
+  p "real" "fulsom" "recursive space subdivision census"
+    {|
+def inside x y r = x * x + y * y <= r
+
+def census x y size depth =
+  if depth <= 0 then (if inside x y 5000 then 1 else 0)
+  else
+    let h = size / 2 in
+    census x y h (depth - 1)
+    + census (x + h) y h (depth - 1)
+    + census x (y + h) h (depth - 1)
+    + census (x + h) (y + h) h (depth - 1)
+
+def main = census 0 0 64 6
+|}
+
+(* fannkuch: shootout — permutation flipping over small lists. *)
+let fannkuch =
+  p "shootout" "fannkuch" "pancake flipping over permutations"
+    {|
+def flip_ n xs =
+  let pre = reverse (take n xs) in
+  append pre (drop n xs)
+
+def countFlips xs acc = case xs of {
+  Nil -> acc;
+  Cons h rest -> if h == 1 then acc else countFlips (flip_ h xs) (acc + 1)
+}
+
+def rotate n xs =
+  if n <= 0 then xs
+  else case xs of {
+    Nil -> Nil;
+    Cons h rest -> rotate (n - 1) (append rest (Cons h Nil))
+  }
+
+def main =
+  let perms = map (\i -> rotate i [1,2,3,4,5,6]) (enumFromTo 0 5) in
+  sum (map (\p -> countFlips p 0) perms)
+|}
+
+(* ================================================================== *)
+(* The suite                                                           *)
+(* ================================================================== *)
+
+let spectral =
+  [
+    fibheaps; ida; nucleic2; para; primetest; simple; solid; sphere;
+    transform; queens; cichelli; wheel_sieve; boyer;
+  ]
+
+let real = [ anna; cacheprof; fem; gamteb; hpg; parser; rsa; compress;
+             infer_bench; fulsom ]
+
+let shootout = [ n_body; k_nucleotide; spectral_norm; fannkuch ]
+let all = spectral @ real @ shootout
+
+(** Compile a benchmark program to linted core. *)
+let compile (pr : program) : Fj_core.Datacon.env * Fj_core.Syntax.expr =
+  if pr.uses_streams then
+    Fj_surface.Prelude.compile (Fj_fusion.Streams.source ^ "\n" ^ pr.source)
+  else Fj_surface.Prelude.compile pr.source

@@ -1,0 +1,319 @@
+(** The benchmark harness: regenerates every table/figure-shaped result
+    in the paper's evaluation (see DESIGN.md, per-experiment index).
+
+    - {b Table 1}: allocation deltas, baseline vs join points, on the
+      NoFib-analogue suites (spectral / real / shootout), with
+      min / max / geometric mean per suite exactly as the paper
+      reports.
+    - {b Sec. 5}: the stream-fusion ablation — skipless vs skip-ful vs
+      plain lists, under both compilers.
+    - {b Sec. 3}: the codegen claim on the block machine — gotos vs
+      calls vs heap allocation for the same program under both
+      compilers.
+    - {b Sec. 2}: the commuting-conversion ablation (join points vs no
+      case-of-case at all).
+    - {b Bechamel} wall-clock benches: evaluator throughput on the
+      optimised output of each compiler, plus optimiser throughput.
+
+    Run: [dune exec bench/main.exe] (add [--quick] to skip bechamel). *)
+
+open Fj_core
+
+(* ------------------------------------------------------------------ *)
+(* Measurement                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type measurement = {
+  prog : Bench_programs.program;
+  base_words : int;
+  join_words : int;
+  base_steps : int;
+  join_steps : int;
+  delta_pct : float;  (** (join - base) / base * 100, the Table 1 metric. *)
+}
+
+let optimize mode denv core =
+  let cfg =
+    Pipeline.default_config ~mode ~datacons:denv ~inline_threshold:300 ()
+  in
+  Pipeline.run cfg core
+
+let measure (prog : Bench_programs.program) : measurement =
+  let denv, core = Bench_programs.compile prog in
+  (match Lint.lint_result denv core with
+  | Ok _ -> ()
+  | Error err ->
+      Fmt.epr "BENCH %s does not lint: %a@." prog.name Lint.pp_error err;
+      exit 1);
+  let run e =
+    let t, s = Eval.run_deep e in
+    (t, s)
+  in
+  let t0, _ = run core in
+  let base = optimize Pipeline.Baseline denv core in
+  let joins = optimize Pipeline.Join_points denv core in
+  let tb, sb = run base in
+  let tj, sj = run joins in
+  if not (Eval.equal_tree t0 tb && Eval.equal_tree t0 tj) then begin
+    Fmt.epr "BENCH %s: result mismatch across pipelines!@." prog.name;
+    exit 1
+  end;
+  let delta_pct =
+    if sb.words = 0 then 0.0
+    else
+      float_of_int (sj.words - sb.words) /. float_of_int sb.words *. 100.0
+  in
+  {
+    prog;
+    base_words = sb.words;
+    join_words = sj.words;
+    base_steps = sb.steps;
+    join_steps = sj.steps;
+    delta_pct;
+  }
+
+let geomean deltas =
+  (* Geometric mean of the ratios (as the paper's "Geo. Mean" row);
+     -100% rows make the geomean degenerate, which the paper marks
+     "n/a". *)
+  if List.exists (fun d -> d <= -100.0) deltas then None
+  else
+    let logs =
+      List.map (fun d -> Float.log ((100.0 +. d) /. 100.0)) deltas
+    in
+    let n = List.length logs in
+    if n = 0 then None
+    else
+      Some
+        ((Float.exp (List.fold_left ( +. ) 0.0 logs /. float_of_int n) -. 1.0)
+        *. 100.0)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let pp_delta ppf d =
+  if d > 0.0 then Fmt.pf ppf "+%.1f%%" d else Fmt.pf ppf "%.1f%%" d
+
+let table1_group (group : string) (progs : Bench_programs.program list) =
+  Fmt.pr "@.%s@." (String.make 64 '-');
+  Fmt.pr "Table 1 / %-10s %14s %12s %10s@." group "base words" "join words"
+    "Allocs";
+  Fmt.pr "%s@." (String.make 64 '-');
+  let ms = List.map measure progs in
+  List.iter
+    (fun m ->
+      Fmt.pr "%-22s %14d %12d %a@." m.prog.name m.base_words m.join_words
+        pp_delta m.delta_pct)
+    ms;
+  let deltas = List.map (fun m -> m.delta_pct) ms in
+  let mn = List.fold_left Float.min infinity deltas in
+  let mx = List.fold_left Float.max neg_infinity deltas in
+  Fmt.pr "%s@." (String.make 64 '-');
+  Fmt.pr "%-22s %a@." "Min" pp_delta mn;
+  Fmt.pr "%-22s %a@." "Max" pp_delta mx;
+  (match geomean deltas with
+  | Some g -> Fmt.pr "%-22s %a@." "Geo. Mean" pp_delta g
+  | None -> Fmt.pr "%-22s %38s@." "Geo. Mean" "n/a");
+  ms
+
+(* ------------------------------------------------------------------ *)
+(* Sec. 5: stream fusion ablation                                      *)
+(* ------------------------------------------------------------------ *)
+
+let fusion_row name src =
+  let denv, core = Fj_fusion.Streams.compile_pipeline src in
+  let t0, _ = Eval.run_deep core in
+  let cell mode =
+    let e = optimize mode denv core in
+    let t, s = Eval.run_deep e in
+    assert (Eval.equal_tree t0 t);
+    s.Eval.words
+  in
+  let b = cell Pipeline.Baseline in
+  let j = cell Pipeline.Join_points in
+  Fmt.pr "%-34s %12d %12d %a@." name b j pp_delta
+    (if b = 0 then 0.0 else float_of_int (j - b) /. float_of_int b *. 100.0)
+
+let fusion_table n =
+  Fmt.pr "@.%s@." (String.make 72 '-');
+  Fmt.pr
+    "Stream fusion (Sec. 5), n=%d        base words   join words     Allocs@."
+    n;
+  Fmt.pr "%s@." (String.make 72 '-');
+  let open Fj_fusion.Streams in
+  fusion_row "sum.map.filter  skipless" (sum_map_filter_skipless n);
+  fusion_row "sum.map.filter  skip-ful" (sum_map_filter_skipful n);
+  fusion_row "sum.map.filter  lists" (sum_map_filter_lists n);
+  fusion_row "dot-product     skipless" (dot_product_skipless n);
+  fusion_row "dot-product     skip-ful" (dot_product_skipful n);
+  fusion_row "double-filter   skipless" (double_filter_skipless n);
+  fusion_row "double-filter   skip-ful" (double_filter_skipful n)
+
+(* ------------------------------------------------------------------ *)
+(* Sec. 3: block machine codegen                                       *)
+(* ------------------------------------------------------------------ *)
+
+let machine_row name denv core t0 mode =
+  let e = optimize mode denv core in
+  let prog = Fj_machine.Lower.lower_program e in
+  let v, s = Fj_machine.Bmachine.run prog in
+  assert (Eval.equal_tree t0 (Fj_machine.Bmachine.tree_of_value v));
+  Fmt.pr "%-28s %-12s %8d %8d %8d %8d@." name (Pipeline.mode_name mode)
+    s.Fj_machine.Bmachine.words s.Fj_machine.Bmachine.gotos
+    s.Fj_machine.Bmachine.calls s.Fj_machine.Bmachine.instrs
+
+let machine_table () =
+  Fmt.pr "@.%s@." (String.make 80 '-');
+  Fmt.pr
+    "Block machine (Sec. 3)                            words    gotos    \
+     calls   instrs@.";
+  Fmt.pr "%s@." (String.make 80 '-');
+  let check name src =
+    let denv, core = Fj_fusion.Streams.compile_pipeline src in
+    let t0, _ = Eval.run_deep core in
+    machine_row name denv core t0 Pipeline.Baseline;
+    machine_row name denv core t0 Pipeline.Join_points
+  in
+  check "skipless pipeline n=200"
+    (Fj_fusion.Streams.sum_map_filter_skipless 200);
+  check "double-filter n=200" (Fj_fusion.Streams.double_filter_skipless 200)
+
+(* ------------------------------------------------------------------ *)
+(* Sec. 2: commuting conversions ablation                               *)
+(* ------------------------------------------------------------------ *)
+
+let cc_ablation () =
+  Fmt.pr "@.%s@." (String.make 72 '-');
+  Fmt.pr
+    "Commuting conversions ablation (Sec. 2)   join-points   no-case-of-case@.";
+  Fmt.pr "%s@." (String.make 72 '-');
+  List.iter
+    (fun (prog : Bench_programs.program) ->
+      let denv, core = Bench_programs.compile prog in
+      let t0, _ = Eval.run_deep core in
+      let words mode =
+        let e = optimize mode denv core in
+        let t, s = Eval.run_deep e in
+        assert (Eval.equal_tree t0 t);
+        s.Eval.words
+      in
+      Fmt.pr "%-36s %13d %17d@." prog.name
+        (words Pipeline.Join_points)
+        (words Pipeline.No_cc))
+    [ Bench_programs.k_nucleotide; Bench_programs.n_body; Bench_programs.transform ]
+
+(* ------------------------------------------------------------------ *)
+(* Sec. 8: direct style vs CPS                                          *)
+(* ------------------------------------------------------------------ *)
+
+let cps_table () =
+  Fmt.pr "@.%s@." (String.make 72 '-');
+  Fmt.pr "Direct style vs CPS (Sec. 8)@.";
+  Fmt.pr "%s@." (String.make 72 '-');
+  (* The paper's CSE example, closed over concrete f and g. *)
+  let module B = Builder in
+  let i2i = Types.Arrow (Types.int, Types.int) in
+  let prog =
+    B.app
+      (B.app
+         (B.lam "f" (Types.arrows [ Types.int; Types.int ] Types.int)
+            (fun f ->
+              B.lam "g" i2i (fun g ->
+                  B.let_ "a" (B.app g (B.int 7)) (fun a ->
+                      B.app2 f a (B.app g (B.int 7))))))
+         (B.lam "p" Types.int (fun p ->
+              B.lam "q" Types.int (fun q -> B.add p q))))
+      (B.lam "y" Types.int (fun y -> B.mul y y))
+  in
+  let shared e =
+    let before = Cse.stats.Cse.shared in
+    ignore (Cse.run e);
+    Cse.stats.Cse.shared - before
+  in
+  let cpsd = Cps.transform prog in
+  Fmt.pr "%-44s %10s %10s@." "f (g x) (g x), CSE opportunities found"
+    "direct" "CPS";
+  Fmt.pr "%-44s %10d %10d@." "" (shared prog) (shared cpsd);
+  Fmt.pr "%-44s %10d %10d@." "syntactic lambdas" (Cps.count_lams prog)
+    (Cps.count_lams cpsd);
+  Fmt.pr "%-44s %10d %10d@." "term size" (Syntax.size prog)
+    (Syntax.size cpsd)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel wall-clock benches                                          *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_benches () =
+  let open Bechamel in
+  let open Toolkit in
+  let pipeline_bench name src =
+    let denv, core = Fj_fusion.Streams.compile_pipeline src in
+    let base = optimize Pipeline.Baseline denv core in
+    let joins = optimize Pipeline.Join_points denv core in
+    [
+      Test.make
+        ~name:(name ^ "/run-baseline")
+        (Staged.stage (fun () -> ignore (Eval.eval base)));
+      Test.make
+        ~name:(name ^ "/run-join-points")
+        (Staged.stage (fun () -> ignore (Eval.eval joins)));
+      Test.make
+        ~name:(name ^ "/optimize-join-points")
+        (Staged.stage (fun () ->
+             ignore (optimize Pipeline.Join_points denv core)));
+    ]
+  in
+  let tests =
+    Test.make_grouped ~name:"fj"
+      [
+        Test.make_grouped ~name:"fusion"
+          (pipeline_bench "sum-map-filter"
+             (Fj_fusion.Streams.sum_map_filter_skipless 400));
+        Test.make_grouped ~name:"dot"
+          (pipeline_bench "dot-product"
+             (Fj_fusion.Streams.dot_product_skipless 200));
+      ]
+  in
+  let benchmark () =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 500) ()
+    in
+    Benchmark.all cfg instances tests
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Instance.monotonic_clock results
+  in
+  Fmt.pr "@.%s@." (String.make 72 '-');
+  Fmt.pr "Bechamel wall-clock (monotonic ns/run)@.";
+  Fmt.pr "%s@." (String.make 72 '-');
+  let results = analyze (benchmark ()) in
+  Hashtbl.iter
+    (fun name ols ->
+      match Bechamel.Analyze.OLS.estimates ols with
+      | Some [ est ] -> Fmt.pr "%-44s %12.1f ns/run@." name est
+      | _ -> Fmt.pr "%-44s %12s@." name "?")
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Main                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let quick = Array.exists (( = ) "--quick") Sys.argv in
+  Fmt.pr "System F_J benchmark harness — reproducing PLDI'17 Table 1@.";
+  Fmt.pr "(allocation words counted by the Fig. 3 abstract machine;@.";
+  Fmt.pr " Allocs column = (join-points - baseline) / baseline)@.";
+  let _ = table1_group "spectral" Bench_programs.spectral in
+  let _ = table1_group "real" Bench_programs.real in
+  let _ = table1_group "shootout" Bench_programs.shootout in
+  fusion_table 400;
+  machine_table ();
+  cc_ablation ();
+  cps_table ();
+  if not quick then bechamel_benches ();
+  Fmt.pr "@.done.@."

@@ -1,0 +1,304 @@
+(** [fjc] — the System F_J compiler driver.
+
+    Subcommands:
+
+    - [fjc check FILE]  — parse, typecheck, and Lint the elaborated core;
+    - [fjc run FILE]    — compile and evaluate [main] (choose the
+      optimisation mode with [--mode]); prints the result and the
+      abstract machine's allocation statistics;
+    - [fjc dump FILE]   — print the optimised Core (the paper's
+      "Core dumps" users pore over, Sec. 8);
+    - [fjc stats FILE]  — run under every compiler configuration and
+      tabulate allocations side by side;
+    - [fjc erase FILE]  — optimise, erase join points (Thm. 5), Lint
+      the resulting System F term and print it;
+    - [fjc lower FILE]  — lower to the block IR and print it, or run it
+      on the block machine with [--exec]. *)
+
+open Fj_core
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+type loaded = { denv : Datacon.env; core : Syntax.expr }
+
+let load ~no_prelude path =
+  let src = read_file path in
+  let denv, core =
+    if no_prelude then Fj_surface.Infer.compile src
+    else Fj_surface.Prelude.compile src
+  in
+  (match Lint.lint_result denv core with
+  | Ok _ -> ()
+  | Error err ->
+      Fmt.epr "fjc: internal error: elaborated core does not lint:@.%a@."
+        Lint.pp_error err;
+      exit 2);
+  { denv; core }
+
+let mode_conv =
+  Cmdliner.Arg.enum
+    [
+      ("baseline", Pipeline.Baseline);
+      ("join-points", Pipeline.Join_points);
+      ("no-cc", Pipeline.No_cc);
+      ("none", Pipeline.No_cc);
+    ]
+
+open Cmdliner
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Surface-language source file.")
+
+let no_prelude_flag =
+  Arg.(
+    value & flag
+    & info [ "no-prelude" ] ~doc:"Do not implicitly import the prelude.")
+
+let mode_flag =
+  Arg.(
+    value
+    & opt mode_conv Pipeline.Join_points
+    & info [ "mode"; "m" ]
+        ~doc:
+          "Compiler configuration: $(b,join-points) (the paper's), \
+           $(b,baseline) (pre-join-point GHC), or $(b,no-cc) (commuting \
+           conversions disabled).")
+
+let iters_flag =
+  Arg.(
+    value & opt int 3
+    & info [ "iterations" ] ~doc:"Pipeline rounds (float-in/contify/simplify).")
+
+let optimized mode iters (l : loaded) =
+  let cfg =
+    Pipeline.default_config ~mode ~iterations:iters ~datacons:l.denv
+      ~inline_threshold:300 ()
+  in
+  Pipeline.run cfg l.core
+
+(* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let doc = "Parse, typecheck, and Lint a program." in
+  let run file no_prelude =
+    let l = load ~no_prelude file in
+    let ty = Result.get_ok (Lint.lint_result l.denv l.core) in
+    Fmt.pr "%s: OK, main : %a@." file Types.pp ty;
+    0
+  in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ file_arg $ no_prelude_flag)
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let doc = "Compile and evaluate a program." in
+  let run file no_prelude mode iters unopt =
+    let l = load ~no_prelude file in
+    let e = if unopt then l.core else optimized mode iters l in
+    (match Lint.lint_result l.denv e with
+    | Ok _ -> ()
+    | Error err ->
+        Fmt.epr "fjc: optimiser broke the program:@.%a@." Lint.pp_error err;
+        exit 2);
+    let t, s = Eval.run_deep e in
+    Fmt.pr "%a@." Eval.pp_tree t;
+    Fmt.pr "-- %a@." Eval.pp_stats s;
+    0
+  in
+  let unopt_flag =
+    Arg.(value & flag & info [ "O0"; "unoptimised" ] ~doc:"Skip the optimiser.")
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ file_arg $ no_prelude_flag $ mode_flag $ iters_flag
+      $ unopt_flag)
+
+(* ------------------------------------------------------------------ *)
+(* dump                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let dump_cmd =
+  let doc = "Print the optimised Core." in
+  let run file no_prelude mode iters unopt report =
+    let l = load ~no_prelude file in
+    if unopt then Fmt.pr "%a@." Pretty.pp l.core
+    else begin
+      let cfg =
+        Pipeline.default_config ~mode ~iterations:iters ~datacons:l.denv
+          ~inline_threshold:300 ()
+      in
+      let e, r = Pipeline.run_report cfg l.core in
+      if report then Fmt.pr "-- passes:@.%a@.@." Pipeline.pp_report r;
+      Fmt.pr "%a@." Pretty.pp e
+    end;
+    0
+  in
+  let unopt_flag =
+    Arg.(value & flag & info [ "O0"; "unoptimised" ] ~doc:"Dump the input core.")
+  in
+  let report_flag =
+    Arg.(value & flag & info [ "report" ] ~doc:"Show per-pass sizes.")
+  in
+  Cmd.v (Cmd.info "dump" ~doc)
+    Term.(
+      const run $ file_arg $ no_prelude_flag $ mode_flag $ iters_flag
+      $ unopt_flag $ report_flag)
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stats_cmd =
+  let doc = "Compare allocation under every compiler configuration." in
+  let run file no_prelude iters =
+    let l = load ~no_prelude file in
+    let t0, s0 = Eval.run_deep l.core in
+    Fmt.pr "%-28s %10s %10s %8s %8s@." "configuration" "words" "objects"
+      "steps" "jumps";
+    Fmt.pr "%-28s %10d %10d %8d %8d@." "unoptimised" s0.Eval.words
+      s0.Eval.objects s0.Eval.steps s0.Eval.jumps;
+    List.iter
+      (fun mode ->
+        let e = optimized mode iters l in
+        let t, s = Eval.run_deep e in
+        if not (Eval.equal_tree t0 t) then begin
+          Fmt.epr "fjc: RESULT MISMATCH under %s@." (Pipeline.mode_name mode);
+          exit 2
+        end;
+        Fmt.pr "%-28s %10d %10d %8d %8d@." (Pipeline.mode_name mode)
+          s.Eval.words s.Eval.objects s.Eval.steps s.Eval.jumps)
+      [ Pipeline.Baseline; Pipeline.Join_points; Pipeline.No_cc ];
+    Fmt.pr "result: %a@." Eval.pp_tree t0;
+    0
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(const run $ file_arg $ no_prelude_flag $ iters_flag)
+
+(* ------------------------------------------------------------------ *)
+(* erase                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let erase_cmd =
+  let doc =
+    "Optimise, erase join points back to System F (Theorem 5), and print."
+  in
+  let run file no_prelude mode iters =
+    let l = load ~no_prelude file in
+    let e = optimized mode iters l in
+    let erased = Erase.erase e in
+    assert (Erase.is_join_free erased);
+    (match Lint.lint_result l.denv erased with
+    | Ok ty -> Fmt.pr "-- erased, lints at %a@." Types.pp ty
+    | Error err ->
+        Fmt.epr "fjc: erasure broke the program:@.%a@." Lint.pp_error err;
+        exit 2);
+    Fmt.pr "%a@." Pretty.pp erased;
+    0
+  in
+  Cmd.v (Cmd.info "erase" ~doc)
+    Term.(const run $ file_arg $ no_prelude_flag $ mode_flag $ iters_flag)
+
+(* ------------------------------------------------------------------ *)
+(* lower                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let lower_cmd =
+  let doc = "Lower to the block IR (join points become blocks + gotos)." in
+  let run file no_prelude mode iters exec =
+    let l = load ~no_prelude file in
+    let e = optimized mode iters l in
+    let prog = Fj_machine.Lower.lower_program e in
+    if exec then begin
+      let v, s = Fj_machine.Bmachine.run prog in
+      Fmt.pr "%a@." Eval.pp_tree (Fj_machine.Bmachine.tree_of_value v);
+      Fmt.pr "-- %a@." Fj_machine.Bmachine.pp_stats s
+    end
+    else Fmt.pr "%a@." Fj_machine.Blockir.pp_program prog;
+    0
+  in
+  let exec_flag =
+    Arg.(value & flag & info [ "exec" ] ~doc:"Run on the block machine.")
+  in
+  Cmd.v (Cmd.info "lower" ~doc)
+    Term.(
+      const run $ file_arg $ no_prelude_flag $ mode_flag $ iters_flag
+      $ exec_flag)
+
+(* ------------------------------------------------------------------ *)
+(* cps                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let cps_cmd =
+  let doc =
+    "Erase join points and CPS-transform (Sec. 8 comparison); runs both \
+     styles and reports size/lambda counts."
+  in
+  let run file no_prelude mode iters =
+    let l = load ~no_prelude file in
+    let direct = optimized mode iters l in
+    let erased = Erase.erase direct in
+    match Cps.transform erased with
+    | exception Cps.Unsupported m ->
+        Fmt.epr "fjc: program not in the CPS fragment: %s@." m;
+        1
+    | cpsd ->
+        (match Lint.lint_result l.denv cpsd with
+        | Ok _ -> ()
+        | Error err ->
+            Fmt.epr "fjc: CPS output does not lint: %a@." Lint.pp_error err;
+            exit 2);
+        let td, sd = Eval.run_deep direct in
+        let tc, sc = Eval.run_deep cpsd in
+        if not (Eval.equal_tree td tc) then begin
+          Fmt.epr "fjc: CPS result differs!@.";
+          exit 2
+        end;
+        Fmt.pr "result: %a@." Eval.pp_tree td;
+        Fmt.pr "%-14s size %6d  lambdas %5d  %a@." "direct"
+          (Syntax.size direct) (Cps.count_lams direct) Eval.pp_stats sd;
+        Fmt.pr "%-14s size %6d  lambdas %5d  %a@." "CPS" (Syntax.size cpsd)
+          (Cps.count_lams cpsd) Eval.pp_stats sc;
+        0
+  in
+  Cmd.v (Cmd.info "cps" ~doc)
+    Term.(const run $ file_arg $ no_prelude_flag $ mode_flag $ iters_flag)
+
+(* ------------------------------------------------------------------ *)
+(* sexp                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sexp_cmd =
+  let doc = "Serialise the optimised Core as S-expressions (stdout)." in
+  let run file no_prelude mode iters =
+    let l = load ~no_prelude file in
+    let e = optimized mode iters l in
+    print_string (Sexp.write e);
+    print_newline ();
+    0
+  in
+  Cmd.v (Cmd.info "sexp" ~doc)
+    Term.(const run $ file_arg $ no_prelude_flag $ mode_flag $ iters_flag)
+
+(* ------------------------------------------------------------------ *)
+(* main                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "a compiler for System F_J — join points and jumps (PLDI'17)" in
+  let info = Cmd.info "fjc" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [ check_cmd; run_cmd; dump_cmd; stats_cmd; erase_cmd; lower_cmd; cps_cmd; sexp_cmd ]))

@@ -1,0 +1,1 @@
+examples/case_of_case.ml: Builder Datacon Eval Fj_core Fmt Lint List Pretty Result Simplify Syntax Types

@@ -1,0 +1,1 @@
+examples/contify_loop.ml: Builder Contify Datacon Eval Fj_core Fj_surface Float_in Fmt Lint Literal Pipeline Pretty Simplify Syntax Types

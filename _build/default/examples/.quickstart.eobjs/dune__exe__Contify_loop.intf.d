@@ -1,0 +1,1 @@
+examples/contify_loop.mli:

@@ -1,0 +1,1 @@
+examples/fusion_pipeline.ml: Eval Fj_core Fj_fusion Fmt List Pipeline Pretty

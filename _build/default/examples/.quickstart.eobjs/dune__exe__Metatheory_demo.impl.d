@@ -1,0 +1,1 @@
+examples/metatheory_demo.ml: Builder Datacon Erase Eval Fj_core Fmt Lint Pretty Syntax Types

@@ -1,0 +1,1 @@
+examples/metatheory_demo.mli:

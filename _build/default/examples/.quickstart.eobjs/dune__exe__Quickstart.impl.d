@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Eval Fj_core Fj_surface Fmt Lint List Pipeline Pretty Result Types

@@ -1,0 +1,92 @@
+(** Walkthrough of Sec. 2: the case-of-case transformation, why naïve
+    duplication is bad, how pre-join-point GHC shares alternatives as
+    let-bound functions, and how join points fix both problems.
+
+    Run with: [dune exec examples/case_of_case.exe] *)
+
+open Fj_core
+open Syntax
+module B = Builder
+
+(* The paper's shape:
+
+     case (case v of { p1 -> e1; p2 -> e2 }) of
+       Nothing -> BIG1 ; Just x -> BIG2
+
+   with deliberately BIG alternatives. *)
+
+(* BIG expressions must depend on run-time variables, or the constant
+   folder would shrink them below every threshold. *)
+let big1 w = List.fold_left (fun acc i -> B.add (B.mul acc w) (B.int i)) w (List.init 7 (fun i -> i))
+let big2 w x = List.fold_left (fun acc i -> B.add (B.mul acc x) (B.int i)) w (List.init 7 (fun i -> i))
+
+(* The inner case's branches call an OPAQUE function [g], so the outer
+   case cannot be resolved statically: its big alternatives must be
+   shared — the whole point of the example. *)
+let program m g w =
+  let inner =
+    B.case m
+      [
+        B.alt_con "Just" [ Types.int ] [ "y" ]
+          (fun ys -> Syntax.App (g, List.hd ys));
+        B.alt_con "Nothing" [ Types.int ] [] (fun _ -> B.nothing Types.int);
+      ]
+  in
+  B.case inner
+    [
+      B.alt_con "Nothing" [ Types.int ] [] (fun _ -> big1 w);
+      B.alt_con "Just" [ Types.int ] [ "x" ] (fun xs -> big2 w (List.hd xs));
+    ]
+
+let show title e =
+  Fmt.pr "@.---- %s (size %d) ----@.%a@." title (size e) Pretty.pp e
+
+let () =
+  let f =
+    B.lam "m" (B.maybe_ty Types.int) (fun m ->
+        B.lam "g"
+          (Types.Arrow (Types.int, B.maybe_ty Types.int))
+          (fun g -> B.lam "w" Types.int (fun w -> program m g w)))
+  in
+  let _ = Result.get_ok (Lint.lint_result Datacon.builtins f) in
+  show "input" f;
+
+  (* With a small duplication threshold the simplifier must share the
+     big alternatives. Baseline: ordinary lets (allocate closures;
+     calls are opaque). Join points: join bindings (free; cases can
+     commute into them). *)
+  let dup = 8 in
+  let base =
+    Simplify.simplify
+      (Simplify.default_config ~join_points:false ~dup_threshold:dup ~inline_threshold:12 ())
+      f
+  in
+  show "baseline: alternatives shared as LET-BOUND FUNCTIONS" base;
+
+  let joins =
+    Simplify.simplify
+      (Simplify.default_config ~join_points:true ~dup_threshold:dup ~inline_threshold:12 ())
+      f
+  in
+  show "join points: alternatives shared as JOIN POINTS" joins;
+
+  (* Compare runtime cost when applied (the arguments are supplied at
+     run time, invisible to the optimiser). *)
+  let run name e =
+    let applied =
+      B.app3 e
+        (B.just Types.int (B.int 1))
+        (B.lam "y" Types.int (fun y -> B.just Types.int (B.add y (B.int 1))))
+        (B.int 3)
+    in
+    let t, s = Eval.run_deep applied in
+    Fmt.pr "%-12s => %a   (%a)@." name Eval.pp_tree t Eval.pp_stats s
+  in
+  Fmt.pr "@.---- applying to (Just 1) (\\y -> Just (y+1)) 3 ----@.";
+  run "baseline" base;
+  run "join-points" joins;
+  Fmt.pr
+    "@.The baseline allocates a closure for each shared alternative;@.\
+     the join-point version allocates nothing (Sec. 2: \"A C compiler@.\
+     would generate a jump to a label, not a call to a heap-allocated@.\
+     function closure!\").@."

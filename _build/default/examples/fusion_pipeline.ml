@@ -1,0 +1,65 @@
+(** Walkthrough of Sec. 5: stream fusion with recursive join points.
+
+    Shows the skipless pipeline [sSum (sMap f (sFilter p (sFromTo lo
+    hi)))] fusing to a flat, allocation-free loop under the join-point
+    compiler — and failing to fuse under the baseline — plus the
+    skip-ful comparison.
+
+    Run with: [dune exec examples/fusion_pipeline.exe] *)
+
+open Fj_core
+
+let n = 1000
+
+let optimise mode (denv, core) =
+  Pipeline.run
+    (Pipeline.default_config ~mode ~datacons:denv ~inline_threshold:300 ())
+    core
+
+let measure name src =
+  let denv, core = Fj_fusion.Streams.compile_pipeline src in
+  let t0, s0 = Eval.run_deep core in
+  let rows =
+    List.map
+      (fun mode ->
+        let e = optimise mode (denv, core) in
+        let t, s = Eval.run_deep e in
+        assert (Eval.equal_tree t0 t);
+        (Pipeline.mode_name mode, s))
+      [ Pipeline.Baseline; Pipeline.Join_points ]
+  in
+  Fmt.pr "@.%s   (result %a)@." name Eval.pp_tree t0;
+  Fmt.pr "  %-14s words=%-7d steps=%d@." "unoptimised" s0.Eval.words
+    s0.Eval.steps;
+  List.iter
+    (fun (m, s) ->
+      Fmt.pr "  %-14s words=%-7d steps=%d jumps=%d@." m s.Eval.words
+        s.Eval.steps s.Eval.jumps)
+    rows
+
+let () =
+  Fmt.pr "Stream fusion with join points (Sec. 5), n = %d@." n;
+
+  measure "skipless: sSum . sMap (*3) . sFilter odd . sFromTo 1"
+    (Fj_fusion.Streams.sum_map_filter_skipless n);
+  measure "skip-ful: tSum . tMap (*3) . tFilter odd . tFromTo 1"
+    (Fj_fusion.Streams.sum_map_filter_skipful n);
+  measure "plain lists: sum . map (*3) . filter odd . enumFromTo 1"
+    (Fj_fusion.Streams.sum_map_filter_lists n);
+  measure "zip: dot-product, skipless"
+    (Fj_fusion.Streams.dot_product_skipless (n / 2));
+  measure "zip: dot-product, skip-ful (buffered state)"
+    (Fj_fusion.Streams.dot_product_skipful (n / 2));
+
+  (* Show the actual fused loop. *)
+  Fmt.pr "@.---- the fused skipless loop (n = 10) ----@.";
+  let denv, core =
+    Fj_fusion.Streams.compile_pipeline
+      (Fj_fusion.Streams.sum_map_filter_skipless 10)
+  in
+  let fused = optimise Pipeline.Join_points (denv, core) in
+  Fmt.pr "%a@." Pretty.pp fused;
+  Fmt.pr
+    "@.\"with join points, Svenningsson's original Skip-less approach@.\
+     fuses just fine! Result: simpler code, less of it, and faster to@.\
+     execute. It's a straight win.\" — Sec. 5@."

@@ -1,0 +1,87 @@
+(** Quickstart: the three ways to use the library.
+
+    1. Compile a surface-language program and run it.
+    2. Build System F_J terms directly with {!Fj_core.Builder}.
+    3. Drive the optimiser and inspect what it did.
+
+    Run with: [dune exec examples/quickstart.exe] *)
+
+open Fj_core
+
+(* ------------------------------------------------------------------ *)
+(* 1. Compile and run a surface program                                 *)
+(* ------------------------------------------------------------------ *)
+
+let surface_demo () =
+  Fmt.pr "== 1. surface language ==@.";
+  let src =
+    {|
+def square x = x * x
+def main = sum (map square (enumFromTo 1 10))
+|}
+  in
+  (* [Prelude.compile] parses, infers types (Hindley–Milner), and
+     elaborates to explicitly-typed System F_J. *)
+  let denv, core = Fj_surface.Prelude.compile src in
+  (* Lint is the Fig. 2 typechecker. *)
+  let ty = Result.get_ok (Lint.lint_result denv core) in
+  Fmt.pr "main : %a@." Types.pp ty;
+  (* Evaluate on the Fig. 3 abstract machine. *)
+  let result, stats = Eval.run_deep core in
+  Fmt.pr "result = %a   (%a)@.@." Eval.pp_tree result Eval.pp_stats stats
+
+(* ------------------------------------------------------------------ *)
+(* 2. Build core terms directly                                        *)
+(* ------------------------------------------------------------------ *)
+
+let builder_demo () =
+  Fmt.pr "== 2. building F_J terms ==@.";
+  let open Builder in
+  (* join loop (n, acc) = if n <= 0 then acc else jump loop (n-1, acc+n)
+     in jump loop (10, 0) *)
+  let e =
+    joinrec1 "loop"
+      [ ("n", Types.int); ("acc", Types.int) ]
+      (fun jump args ->
+        match args with
+        | [ n; acc ] ->
+            if_ (le n (int 0)) acc
+              (jump [ sub n (int 1); add acc n ] Types.int)
+        | _ -> assert false)
+      (fun jump -> jump [ int 10; int 0 ] Types.int)
+  in
+  Fmt.pr "%a@." Pretty.pp e;
+  let result, stats = Eval.run_deep e in
+  Fmt.pr "result = %a   (%a)@." Eval.pp_tree result Eval.pp_stats stats;
+  Fmt.pr "note: words=0 — join points are stack-allocated.@.@."
+
+(* ------------------------------------------------------------------ *)
+(* 3. Drive the optimiser                                              *)
+(* ------------------------------------------------------------------ *)
+
+let optimiser_demo () =
+  Fmt.pr "== 3. the optimiser ==@.";
+  let denv, core =
+    Fj_surface.Prelude.compile
+      {|
+def main = any (\x -> x > 8) (enumFromTo 1 10)
+|}
+  in
+  List.iter
+    (fun mode ->
+      let cfg = Pipeline.default_config ~mode ~datacons:denv () in
+      let optimised, report = Pipeline.run_report cfg core in
+      let result, stats = Eval.run_deep optimised in
+      Fmt.pr "%-28s => %a   (%a)@."
+        (Pipeline.mode_name mode)
+        Eval.pp_tree result Eval.pp_stats stats;
+      ignore report)
+    [ Pipeline.Baseline; Pipeline.Join_points ];
+  Fmt.pr
+    "@.The join-point compiler allocates less: find's local loop was@.\
+     contified (Sec. 4) and any's case commuted into it (Sec. 5).@."
+
+let () =
+  surface_demo ();
+  builder_demo ();
+  optimiser_demo ()

@@ -1,0 +1,1 @@
+lib/core/axioms.ml: Datacon Ident List Literal Option Subst Syntax Types

@@ -1,0 +1,1 @@
+lib/core/builder.ml: Datacon Ident List Literal Primop Syntax Types

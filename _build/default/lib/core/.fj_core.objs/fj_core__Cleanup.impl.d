@@ -1,0 +1,1 @@
+lib/core/cleanup.ml: Axioms List Occur Primop Syntax

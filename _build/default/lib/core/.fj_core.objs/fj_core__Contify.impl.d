@@ -1,0 +1,1 @@
+lib/core/contify.ml: Fun Ident List Occur Option Syntax Types

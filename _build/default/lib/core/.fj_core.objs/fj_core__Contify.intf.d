@@ -1,0 +1,1 @@
+lib/core/contify.mli: Syntax

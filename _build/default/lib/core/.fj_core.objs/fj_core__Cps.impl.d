@@ -1,0 +1,1 @@
+lib/core/cps.ml: Fmt List Primop Syntax Types

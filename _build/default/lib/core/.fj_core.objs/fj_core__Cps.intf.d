@@ -1,0 +1,1 @@
+lib/core/cps.mli: Syntax Types

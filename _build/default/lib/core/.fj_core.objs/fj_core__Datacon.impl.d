@@ -1,0 +1,1 @@
+lib/core/datacon.ml: Fmt Ident List String Stringmap Types

@@ -1,0 +1,1 @@
+lib/core/datacon.mli: Format Ident Types

@@ -1,0 +1,1 @@
+lib/core/demote.ml: Ident List Syntax Types

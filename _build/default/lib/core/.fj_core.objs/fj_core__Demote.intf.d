@@ -1,0 +1,1 @@
+lib/core/demote.mli: Syntax

@@ -1,0 +1,1 @@
+lib/core/erase.ml: Demote List Subst Syntax Types

@@ -1,0 +1,1 @@
+lib/core/erase.mli: Syntax

@@ -1,0 +1,1 @@
+lib/core/eval.ml: Datacon Fmt Ident List Literal Option Primop String Syntax

@@ -1,0 +1,1 @@
+lib/core/float_in.ml: Ident List Option Syntax

@@ -1,0 +1,1 @@
+lib/core/float_in.mli: Syntax

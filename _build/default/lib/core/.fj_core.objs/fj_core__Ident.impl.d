@@ -1,0 +1,1 @@
+lib/core/ident.ml: Fmt Hashtbl Int Map Set

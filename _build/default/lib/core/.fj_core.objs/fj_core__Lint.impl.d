@@ -1,0 +1,1 @@
+lib/core/lint.ml: Datacon Fmt Ident List Literal Pretty Primop String Syntax Types

@@ -1,0 +1,1 @@
+lib/core/lint.mli: Datacon Format Syntax Types

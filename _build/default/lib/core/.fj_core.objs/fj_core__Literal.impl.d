@@ -1,0 +1,1 @@
+lib/core/literal.ml: Char Fmt Int String Types

@@ -1,0 +1,1 @@
+lib/core/literal.mli: Format Types

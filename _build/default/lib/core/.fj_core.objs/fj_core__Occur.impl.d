@@ -1,0 +1,1 @@
+lib/core/occur.ml: Fun Ident List Option Syntax

@@ -1,0 +1,1 @@
+lib/core/occur.mli: Ident Syntax

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Contify Cse Datacon Demand Float_in Float_out Fmt Lint List Rules Simplify Spec_constr String Syntax

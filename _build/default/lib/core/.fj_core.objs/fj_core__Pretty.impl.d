@@ -1,0 +1,1 @@
+lib/core/pretty.ml: Datacon Fmt Ident Literal Primop Syntax Types

@@ -1,0 +1,1 @@
+lib/core/primop.ml: Char Fmt List Literal String Types

@@ -1,0 +1,1 @@
+lib/core/primop.mli: Format Literal Types

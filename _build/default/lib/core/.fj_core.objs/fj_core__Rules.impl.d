@@ -1,0 +1,1 @@
+lib/core/rules.ml: Datacon Ident List Literal Pretty Primop Subst Syntax Types

@@ -1,0 +1,1 @@
+lib/core/sexp.ml: Char Datacon Fmt Fun Ident List Literal Primop Scanf String Syntax Types

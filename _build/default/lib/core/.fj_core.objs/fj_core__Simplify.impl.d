@@ -1,0 +1,1 @@
+lib/core/simplify.ml: Cleanup Datacon Demote Fun Ident List Literal Occur Primop Subst Syntax Types

@@ -1,0 +1,1 @@
+lib/core/spec_constr.ml: Cleanup Datacon Ident List Option Syntax Types

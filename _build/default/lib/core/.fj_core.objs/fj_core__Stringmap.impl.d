@@ -1,0 +1,1 @@
+lib/core/stringmap.ml: Map String

@@ -1,0 +1,1 @@
+lib/core/subst.ml: Ident List Syntax Types

@@ -1,0 +1,1 @@
+lib/core/subst.mli: Ident Syntax Types

@@ -1,0 +1,1 @@
+lib/core/syntax.ml: Datacon Fmt Ident List Literal Primop Types

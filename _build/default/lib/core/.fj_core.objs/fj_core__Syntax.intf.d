@@ -1,0 +1,1 @@
+lib/core/syntax.mli: Datacon Ident Literal Primop Types

@@ -1,0 +1,347 @@
+(** The equational theory of Fig. 4, as executable single-step rewrites.
+
+    Each axiom is a partial function [expr -> expr option] returning
+    [Some e'] when the axiom applies at the root (reading the figure
+    left-to-right), [None] otherwise. The optimizer ({!Simplify}) works
+    with a fused, context-passing implementation of the same theory;
+    this module is the specification form, used by the metatheory tests
+    (soundness of every axiom is checked by evaluation on random
+    well-typed terms) and by the erasure procedure of Sec. 6.
+
+    A one-frame evaluation context [E] (Fig. 1) is represented by
+    {!frame}; [casefloat]/[float]/[jfloat]/[abort] take the frame as an
+    argument. *)
+
+open Syntax
+
+(** One evaluation-context frame [F]: applied function, instantiated
+    polymorphism, or case scrutinee. (The fourth form of Fig. 1, a join
+    binding, is handled by the axioms themselves.) *)
+type frame =
+  | FApp of expr  (** [[] v] *)
+  | FTyApp of Types.t  (** [[] tau] *)
+  | FCase of alt list  (** [case [] of alts] *)
+
+(** Plug an expression into a frame. *)
+let plug frame e =
+  match frame with
+  | FApp arg -> App (e, arg)
+  | FTyApp t -> TyApp (e, t)
+  | FCase alts -> Case (e, alts)
+
+(** The result type of [plug frame e] given that [e : ty]. *)
+let frame_result_ty frame (ty : Types.t) : Types.t option =
+  match (frame, ty) with
+  | FApp _, Types.Arrow (_, r) -> Some r
+  | FTyApp phi, Types.Forall (a, body) -> Some (Types.subst1 a phi body)
+  | FCase alts, _ -> (
+      match alts with
+      | a :: _ -> ( match ty_of a.alt_rhs with t -> Some t | exception _ -> None)
+      | [] -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* beta / beta_tau                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** [(\x:sigma. e) v = let x:sigma = v in e]. *)
+let beta = function
+  | App (Lam (x, body), arg) -> Some (Let (NonRec (x, arg), body))
+  | _ -> None
+
+(** [(/\a. e) phi = e{phi/a}]. *)
+let beta_ty = function
+  | TyApp (TyLam (a, body), phi) -> Some (Subst.ty_beta_reduce a phi body)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* inline / drop                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** [let vb in C\[x\] = let vb in C\[v\]] for [(x = v) in vb] with [v] a
+    value: exhaustively inline a non-recursive value binding into the
+    body. Applies only when the right-hand side is a WHNF or trivial
+    (the paper's [inline] is restricted to values [v]). *)
+let inline = function
+  | Let (NonRec (x, rhs), body)
+    when (is_whnf rhs || is_trivial rhs) && occurs x.v_name body ->
+      (* Freshen per occurrence via the substitution's cloning. *)
+      Some (Let (NonRec (x, rhs), Subst.beta_reduce x (Subst.freshen rhs) body))
+  | _ -> None
+
+(** [let vb in e = e] when nothing bound by [vb] occurs free in [e]. *)
+let drop = function
+  | Let (b, body)
+    when List.for_all
+           (fun (x : var) -> not (occurs x.v_name body))
+           (binders_of_bind b)
+         && (match b with
+            | NonRec _ -> true
+            | Strict _ ->
+                (* A dead strict binding may still diverge; dropping it
+                   is unsound in general. *)
+                false
+            | Rec pairs ->
+                (* For recursive groups the binders must also be dead in
+                   the right-hand sides, or dropping changes nothing
+                   anyway since they are unreachable; we simply require
+                   deadness in the body, as the axiom does. *)
+                ignore pairs;
+                true) ->
+      Some body
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* jinline / jdrop                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Substitute a join definition for tail jumps to it within the tail
+   positions of an expression: walks the tail contexts [L] of Fig. 1
+   only, replacing [jump j phis es tau] by
+   [let xs = es in rhs{phis/as}]. Jumps in non-tail positions are left
+   alone (and make the axiom inapplicable if [require_all]). *)
+let substitute_jumps ~(defn : join_defn) (e : expr) : expr option =
+  let j = defn.j_var in
+  let applied = ref true in
+  (* [true] iff no non-tail occurrence found. *)
+  let rec tail e =
+    match e with
+    | Jump (j', phis, es, _) when var_equal j j' ->
+        if
+          List.length phis = List.length defn.j_tyvars
+          && List.length es = List.length defn.j_params
+        then begin
+          (* Freshen the definition (cloning its binders), then
+             substitute the type arguments and let-bind the value
+             arguments. *)
+          let d' = Subst.defn Subst.empty defn in
+          let ty_inst =
+            List.fold_left2
+              (fun m a phi -> Ident.Map.add a phi m)
+              Ident.Map.empty d'.j_tyvars phis
+          in
+          let s =
+            Ident.Map.fold
+              (fun a phi s -> Subst.add_type a phi s)
+              ty_inst Subst.empty
+          in
+          let body = Subst.expr s d'.j_rhs in
+          let xs =
+            List.map
+              (fun (x : var) -> { x with v_ty = Types.subst ty_inst x.v_ty })
+              d'.j_params
+          in
+          List.fold_right2
+            (fun x arg acc -> Let (NonRec (x, arg), acc))
+            xs es body
+        end
+        else begin
+          applied := false;
+          e
+        end
+    | Jump (j', phis, es, ty) -> Jump (j', phis, List.map check es, ty)
+    | Case (scrut, alts) ->
+        Case (check scrut, List.map (fun a -> { a with alt_rhs = tail a.alt_rhs }) alts)
+    | Let (b, body) ->
+        let b' =
+          match b with
+          | NonRec (x, rhs) -> NonRec (x, check rhs)
+          | Strict (x, rhs) -> Strict (x, check rhs)
+          | Rec pairs -> Rec (List.map (fun (x, rhs) -> (x, check rhs)) pairs)
+        in
+        Let (b', tail body)
+    | Join (jb, body) ->
+        let jb' =
+          match jb with
+          | JNonRec d -> JNonRec { d with j_rhs = tail d.j_rhs }
+          | JRec ds -> JRec (List.map (fun d -> { d with j_rhs = tail d.j_rhs }) ds)
+        in
+        Join (jb', tail body)
+    | _ -> check e
+  (* Non-tail positions: jumps to [j] here block the axiom. *)
+  and check e =
+    match e with
+    | Jump (j', _, _, _) when var_equal j j' ->
+        applied := false;
+        e
+    | Jump (j', phis, es, ty) -> Jump (j', phis, List.map check es, ty)
+    | Var _ | Lit _ -> e
+    | Con (dc, phis, es) -> Con (dc, phis, List.map check es)
+    | Prim (op, es) -> Prim (op, List.map check es)
+    | App (f, a) -> App (check f, check a)
+    | TyApp (f, t) -> TyApp (check f, t)
+    | Lam (x, b) -> Lam (x, check b)
+    | TyLam (a, b) -> TyLam (a, check b)
+    | Let (NonRec (x, rhs), body) -> Let (NonRec (x, check rhs), check body)
+    | Let (Strict (x, rhs), body) -> Let (Strict (x, check rhs), check body)
+    | Let (Rec pairs, body) ->
+        Let (Rec (List.map (fun (x, rhs) -> (x, check rhs)) pairs), check body)
+    | Case (scrut, alts) ->
+        Case (check scrut, List.map (fun a -> { a with alt_rhs = check a.alt_rhs }) alts)
+    | Join (jb, body) ->
+        let jb' =
+          match jb with
+          | JNonRec d -> JNonRec { d with j_rhs = check d.j_rhs }
+          | JRec ds -> JRec (List.map (fun d -> { d with j_rhs = check d.j_rhs }) ds)
+        in
+        Join (jb', check body)
+  in
+  let e' = tail e in
+  if !applied then Some e' else None
+
+(** [jinline]: exhaustively inline a non-recursive join point at its
+    tail jumps. Fails (returns [None]) if some jump to it is not in
+    tail position — the side condition enforced by the tail context [L]
+    in Fig. 4. *)
+let jinline = function
+  | Join (JNonRec d, body) -> (
+      match substitute_jumps ~defn:d body with
+      | Some body' -> Some (Join (JNonRec d, body'))
+      | None -> None)
+  | _ -> None
+
+(** [join jb in e = e] when no label bound by [jb] occurs in [e]. *)
+let jdrop = function
+  | Join (jb, body)
+    when List.for_all
+           (fun (j : var) -> not (occurs j.v_name body))
+           (binders_of_jbind jb) ->
+      Some body
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* case                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** [case K phis vs of ... K xs -> e ... = let xs = vs in e], the
+    case-of-known-constructor rule (plus its literal analogue). *)
+let case_of_known = function
+  | Case (Con (dc, _, args), alts) -> (
+      let pick { alt_pat; _ } =
+        match alt_pat with PCon (d, _) -> Datacon.equal d dc | _ -> false
+      in
+      match
+        ( List.find_opt pick alts,
+          List.find_opt (fun a -> a.alt_pat = PDefault) alts )
+      with
+      | Some { alt_pat = PCon (_, xs); alt_rhs }, _ ->
+          Some
+            (List.fold_right2
+               (fun x arg acc -> Let (NonRec (x, arg), acc))
+               xs args alt_rhs)
+      | None, Some { alt_rhs; _ } -> Some alt_rhs
+      | _ -> None)
+  | Case (Lit l, alts) -> (
+      let pick { alt_pat; _ } =
+        match alt_pat with PLit l' -> Literal.equal l l' | _ -> false
+      in
+      match
+        ( List.find_opt pick alts,
+          List.find_opt (fun a -> a.alt_pat = PDefault) alts )
+      with
+      | Some { alt_rhs; _ }, _ -> Some alt_rhs
+      | None, Some { alt_rhs; _ } -> Some alt_rhs
+      | _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* The commuting conversions                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Duplicate the frame around [e], freshening the frame's binders (a
+   case frame binds pattern variables; an argument may bind internally).
+   Used whenever an axiom copies [E] into several holes. *)
+let plug_fresh frame e =
+  match frame with
+  | FCase alts -> (
+      let dummy = mk_var "cf" (Types.bottom ()) in
+      let template = Case (Var dummy, alts) in
+      match Subst.freshen template with
+      | Case (_, alts') -> Case (e, alts')
+      | _ -> assert false)
+  | FApp arg -> App (e, Subst.freshen arg)
+  | FTyApp t -> TyApp (e, t)
+
+(** [casefloat]: [E\[case e of alts\] = case e of {p -> E\[rhs\]}].
+    The frame is duplicated into every branch (freshened per copy). *)
+let casefloat frame = function
+  | Case (scrut, alts) ->
+      Some
+        (Case
+           ( scrut,
+             List.map
+               (fun a -> { a with alt_rhs = plug_fresh frame a.alt_rhs })
+               alts ))
+  | _ -> None
+
+(** [float]: [E\[let vb in e\] = let vb in E\[e\]]. *)
+let float frame = function
+  | Let (b, body) -> Some (Let (b, plug frame body))
+  | _ -> None
+
+(** [jfloat]: [E\[join jb in e\] = join E\[jb\] in E\[e\]], pushing the
+    frame into every join right-hand side and the body (each copy of
+    the frame freshened). *)
+let jfloat frame = function
+  | Join (jb, body) ->
+      let push d = { d with j_rhs = plug_fresh frame d.j_rhs } in
+      let jb' =
+        match jb with
+        | JNonRec d -> JNonRec (push d)
+        | JRec ds -> JRec (List.map push ds)
+      in
+      Some (Join (jb', plug_fresh frame body))
+  | _ -> None
+
+(** [abort]: [E\[jump j phis es tau\] : tau' = jump j phis es tau']. *)
+let abort frame = function
+  | Jump (j, phis, es, ty) ->
+      Option.map
+        (fun ty' -> Jump (j, phis, es, ty'))
+        (frame_result_ty frame ty)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* commute (the derived general form)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** [commute]: [E\[L\[es\]\] = L\[E\[es\]\]] — push a frame through a
+    maximal tail context, aborting at jumps. This is the single general
+    axiom of which [casefloat], [float] and [jfloat] are instances
+    (Sec. 3, "The commute axiom"); it is also the engine of the erasure
+    procedure (Sec. 6). Always succeeds: an expression that is not one
+    of the tail-context forms is an [L = \[\]] leaf, where the frame is
+    simply plugged. *)
+let rec commute frame (e : expr) : expr =
+  match e with
+  | Case (scrut, alts) ->
+      Case
+        ( scrut,
+          List.map
+            (fun a -> { a with alt_rhs = commute_fresh frame a.alt_rhs })
+            alts )
+  | Let (b, body) -> Let (b, commute frame body)
+  | Join (jb, body) ->
+      let push d = { d with j_rhs = commute_fresh frame d.j_rhs } in
+      let jb' =
+        match jb with
+        | JNonRec d -> JNonRec (push d)
+        | JRec ds -> JRec (List.map push ds)
+      in
+      Join (jb', commute_fresh frame body)
+  | Jump (j, phis, es, ty) -> (
+      match frame_result_ty frame ty with
+      | Some ty' -> Jump (j, phis, es, ty')
+      | None -> plug frame e)
+  | _ -> plug_fresh frame e
+
+and commute_fresh frame e =
+  (* Each placement of the frame gets fresh binders. *)
+  match frame with
+  | FCase alts ->
+      let dummy = mk_var "cm" (Types.bottom ()) in
+      (match Subst.freshen (Case (Var dummy, alts)) with
+      | Case (_, alts') -> commute (FCase alts') e
+      | _ -> assert false)
+  | FApp arg -> commute (FApp (Subst.freshen arg)) e
+  | FTyApp _ -> commute frame e

@@ -1,0 +1,10 @@
+(** Post-simplification cleanup: [drop], [jdrop] and once-used
+    [jinline], applied bottom-up between simplifier passes. *)
+
+(** Cheap, certainly-terminating expressions (cf. GHC's
+    ok-for-speculation): safe to discard or force early. *)
+val ok_for_speculation : Syntax.expr -> bool
+
+(** One bottom-up pass; returns the new term and whether anything
+    changed. *)
+val cleanup : Syntax.expr -> Syntax.expr * bool

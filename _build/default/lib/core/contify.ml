@@ -1,0 +1,323 @@
+(** Contification: inferring join points (Sec. 4, Fig. 5).
+
+    A [let]-bound function every one of whose occurrences is a
+    saturated {e tail call} (with a consistent argument shape) can be
+    rebound as a join point, and its calls turned into jumps, without
+    changing the meaning of the program: when such a call runs, the
+    evaluation context to discard is empty.
+
+    Implementation: run {!Occur} on the scope of each binding; if every
+    occurrence is a tail call of shape [(n_ty, n_val)], the right-hand
+    side decomposes as [/\a_1..a_nty. \x_1..x_nval. body], and [body]
+    has the same type as the binding's scope (the proviso of Fig. 5),
+    then rewrite. Recursive groups are contified only as a whole, with
+    the same check applied to each right-hand side (whose own lambdas
+    are first stripped, so the recursive calls are tail calls of the
+    stripped bodies).
+
+    One restriction beyond the paper: a nullary candidate
+    ([n_ty = n_val = 0]) that is used more than once is left alone —
+    under call-by-need the [let] shares one evaluation, whereas a join
+    point would re-evaluate at every jump. (GHC's Core is free to do
+    this too but its simplifier makes the same work-duplication
+    choice.) *)
+
+open Syntax
+
+type stats = { mutable contified : int; mutable groups : int }
+
+let stats = { contified = 0; groups = 0 }
+let reset_stats () =
+  stats.contified <- 0;
+  stats.groups <- 0
+
+(* Strip exactly [n_ty] type binders then [n_val] value binders from an
+   expression; [None] if the binder prefix does not match. *)
+let strip_binders ~n_ty ~n_val e =
+  let rec tys n acc e =
+    if n = 0 then vals n_val acc [] e
+    else
+      match e with
+      | TyLam (a, b) -> tys (n - 1) acc b |> add_ty a
+      | _ -> None
+  and add_ty a = Option.map (fun (tvs, xs, body) -> (a :: tvs, xs, body))
+  and vals n _acc xs e =
+    if n = 0 then Some ([], List.rev xs, e)
+    else
+      match e with
+      | Lam (x, b) -> vals (n - 1) _acc (x :: xs) b
+      | _ -> None
+  in
+  tys n_ty () e
+
+(* Rewrite every saturated tail-call spine of one of the [targets] into
+   a jump. The occurrence analysis has already certified that every
+   occurrence of a target is such a spine in tail position, so we can
+   rewrite spines wherever they appear. [targets] maps the old
+   identifier to the new join binder and its shape. *)
+let rewrite_calls (targets : (var * Occur.call_shape) Ident.Map.t) e =
+  let rec go e =
+    match e with
+    | Var _ | App _ | TyApp _ -> spine e
+    | Lit _ -> e
+    | Con (dc, phis, es) -> Con (dc, phis, List.map go es)
+    | Prim (op, es) -> Prim (op, List.map go es)
+    | Lam (x, b) -> Lam (x, go b)
+    | TyLam (a, b) -> TyLam (a, go b)
+    | Let (NonRec (x, rhs), body) -> Let (NonRec (x, go rhs), go body)
+    | Let (Strict (x, rhs), body) -> Let (Strict (x, go rhs), go body)
+    | Let (Rec pairs, body) ->
+        Let (Rec (List.map (fun (x, rhs) -> (x, go rhs)) pairs), go body)
+    | Case (scrut, alts) ->
+        Case
+          ( go scrut,
+            List.map (fun a -> { a with alt_rhs = go a.alt_rhs }) alts )
+    | Join (JNonRec d, body) ->
+        Join (JNonRec { d with j_rhs = go d.j_rhs }, go body)
+    | Join (JRec ds, body) ->
+        Join (JRec (List.map (fun d -> { d with j_rhs = go d.j_rhs }) ds), go body)
+    | Jump (j, phis, es, ty) -> Jump (j, phis, List.map go es, ty)
+  and spine e =
+    let head, args = collect_args e in
+    match head with
+    | Var v when Ident.Map.mem v.v_name targets ->
+        let jvar, (shape : Occur.call_shape) =
+          Ident.Map.find v.v_name targets
+        in
+        let tys =
+          List.filter_map (function `Ty t -> Some t | `Val _ -> None) args
+        in
+        let vals =
+          List.filter_map
+            (function `Val a -> Some (go a) | `Ty _ -> None)
+            args
+        in
+        assert (List.length tys = shape.n_ty);
+        assert (List.length vals = shape.n_val);
+        (* The jump's declared result type is the type the call had. *)
+        let res_ty =
+          let inst = Types.instantiate v.v_ty tys in
+          let rec drop n ty =
+            if n = 0 then ty
+            else
+              match ty with
+              | Types.Arrow (_, t) -> drop (n - 1) t
+              | _ -> invalid_arg "Contify: call shape does not match type"
+          in
+          drop shape.n_val inst
+        in
+        Jump (jvar, tys, vals, res_ty)
+    | Var _ -> e
+    | _ -> (
+        match e with
+        | App (f, a) -> App (spine f, go a)
+        | TyApp (f, t) -> TyApp (spine f, t)
+        | _ -> go e)
+  in
+  go e
+
+(* Can this binding group be contified, given the usage of its binders
+   in their scope (and, for recursive groups, in the right-hand
+   sides)? Returns the prepared join definitions. *)
+let candidate_defn (x : var) rhs (shape : Occur.call_shape) =
+  match strip_binders ~n_ty:shape.n_ty ~n_val:shape.n_val rhs with
+  | None -> None
+  | Some (tvs, xs, body) ->
+      let jvar =
+        { v_name = x.v_name; v_ty = Types.join_point_ty tvs (List.map (fun p -> p.v_ty) xs) }
+      in
+      Some (jvar, { j_var = jvar; j_tyvars = tvs; j_params = xs; j_rhs = body })
+
+let shape_of_usage (i : Occur.info) =
+  if i.count > 0 && i.all_tail then
+    match i.shape with
+    | Some s when s.n_ty + s.n_val >= 1 || i.count = 1 -> Some s
+    | _ -> None
+  else None
+
+(* The Fig. 5 proviso: the contified body must have the type of the
+   scope. [ty_of] may raise on open terms built by tests; treat any
+   failure as "not contifiable". *)
+let body_ty_matches body scope_ty =
+  match Syntax.ty_of body with
+  | ty -> Types.equal ty scope_ty
+  | exception _ -> false
+
+(** One bottom-up pass turning every eligible [let] into a [join].
+    Idempotent; cheap enough to run "whenever the occurrence analyzer
+    runs" (Sec. 7). *)
+let rec contify (e : expr) : expr =
+  match e with
+  | Var _ | Lit _ -> e
+  | Con (dc, phis, es) -> Con (dc, phis, List.map contify es)
+  | Prim (op, es) -> Prim (op, List.map contify es)
+  | App (f, a) -> App (contify f, contify a)
+  | TyApp (f, t) -> TyApp (contify f, t)
+  | Lam (x, b) -> Lam (x, contify b)
+  | TyLam (a, b) -> TyLam (a, contify b)
+  | Case (scrut, alts) ->
+      Case
+        ( contify scrut,
+          List.map (fun a -> { a with alt_rhs = contify a.alt_rhs }) alts )
+  | Join (JNonRec d, body) ->
+      Join (JNonRec { d with j_rhs = contify d.j_rhs }, contify body)
+  | Join (JRec ds, body) ->
+      Join
+        ( JRec (List.map (fun d -> { d with j_rhs = contify d.j_rhs }) ds),
+          contify body )
+  | Jump (j, phis, es, ty) -> Jump (j, phis, List.map contify es, ty)
+  | Let (Strict (x, rhs), body) ->
+      Let (Strict (x, contify rhs), contify body)
+  | Let (NonRec (x, rhs), body) -> (
+      let rhs = contify rhs in
+      let body = contify body in
+      let usage = Occur.of_expr body in
+      match shape_of_usage (Occur.lookup usage x) with
+      | None -> Let (NonRec (x, rhs), body)
+      | Some shape -> (
+          match candidate_defn x rhs shape with
+          | None -> Let (NonRec (x, rhs), body)
+          | Some (jvar, defn) ->
+              let scope_ty =
+                match Syntax.ty_of body with
+                | ty -> Some ty
+                | exception _ -> None
+              in
+              if
+                match scope_ty with
+                | Some ty -> body_ty_matches defn.j_rhs ty
+                | None -> false
+              then begin
+                stats.contified <- stats.contified + 1;
+                let targets = Ident.Map.singleton x.v_name (jvar, shape) in
+                Join (JNonRec defn, rewrite_calls targets body)
+              end
+              else Let (NonRec (x, rhs), body)))
+  | Let (Rec pairs, body) -> (
+      let pairs = List.map (fun (x, rhs) -> (x, contify rhs)) pairs in
+      let body = contify body in
+      let fallback () = Let (Rec pairs, body) in
+      (* Usage across the scope and every right-hand side. *)
+      let body_usage = Occur.of_expr body in
+      let scope_ty =
+        match Syntax.ty_of body with ty -> Some ty | exception _ -> None
+      in
+      match scope_ty with
+      | None -> fallback ()
+      | Some scope_ty -> (
+          (* Each binder needs a consistent shape across body and all
+             rhss; each rhs must strip to that shape; recursive calls
+             must be tail calls of the stripped bodies. *)
+          let shapes =
+            List.map
+              (fun (x, _) -> (x, Occur.lookup body_usage x))
+              pairs
+          in
+          (* First guess shapes from the body usage; occurrences may
+             also be only in rhss, so merge rhs usages (computed on
+             stripped bodies below). To keep this simple we require a
+             usable shape to be visible from the merged usage of body
+             and raw rhss-in-tail-position-after-stripping. We iterate:
+             strip with the body shape. *)
+          let try_with_shapes
+              (chosen : (var * Occur.call_shape) list) =
+            let defns =
+              List.map
+                (fun ((x : var), shape) ->
+                  match
+                    List.find_opt
+                      (fun ((y : var), _) -> var_equal x y)
+                      pairs
+                  with
+                  | None -> None
+                  | Some (_, rhs) ->
+                      Option.map
+                        (fun (jv, d) -> (x, shape, jv, d))
+                        (candidate_defn x rhs shape))
+                chosen
+            in
+            if List.exists Option.is_none defns then None
+            else
+              let defns = List.filter_map Fun.id defns in
+              (* Check typing proviso and tail-ness of recursive calls
+                 inside each stripped rhs. *)
+              let ok_types =
+                List.for_all
+                  (fun (_, _, _, d) -> body_ty_matches d.j_rhs scope_ty)
+                  defns
+              in
+              if not ok_types then None
+              else
+                let rhs_usages =
+                  List.map (fun (_, _, _, d) -> Occur.of_expr d.j_rhs) defns
+                in
+                let total_usage =
+                  List.fold_left Occur.union body_usage rhs_usages
+                in
+                let all_ok =
+                  List.for_all
+                    (fun ((x : var), shape, _, _) ->
+                      match
+                        shape_of_usage (Occur.lookup total_usage x)
+                      with
+                      | Some s -> s = shape
+                      | None -> false)
+                    defns
+                in
+                if not all_ok then None
+                else
+                  let targets =
+                    List.fold_left
+                      (fun m ((x : var), shape, jv, _) ->
+                        Ident.Map.add x.v_name (jv, shape) m)
+                      Ident.Map.empty defns
+                  in
+                  let ds =
+                    List.map
+                      (fun (_, _, _, d) ->
+                        { d with j_rhs = rewrite_calls targets d.j_rhs })
+                      defns
+                  in
+                  Some (Join (JRec ds, rewrite_calls targets body))
+          in
+          let chosen =
+            List.filter_map
+              (fun ((x : var), (i : Occur.info)) ->
+                match shape_of_usage i with
+                | Some s -> Some (x, s)
+                | None -> (
+                    (* The binder may be used only in the rhss; guess
+                       its shape from its manifest arity. *)
+                    if i.count > 0 then None
+                    else
+                      match
+                        List.find_opt
+                          (fun ((y : var), _) -> var_equal x y)
+                          pairs
+                      with
+                      | None -> None
+                      | Some (_, rhs) ->
+                          let binders, _ = collect_binders rhs in
+                          let n_ty =
+                            List.length
+                              (List.filter
+                                 (function `Ty _ -> true | _ -> false)
+                                 binders)
+                          in
+                          let n_val =
+                            List.length
+                              (List.filter
+                                 (function `Val _ -> true | _ -> false)
+                                 binders)
+                          in
+                          Some (x, { Occur.n_ty; n_val })))
+              shapes
+          in
+          if List.length chosen <> List.length pairs then fallback ()
+          else
+            match try_with_shapes chosen with
+            | Some e' ->
+                stats.groups <- stats.groups + 1;
+                stats.contified <- stats.contified + List.length pairs;
+                e'
+            | None -> fallback ()))

@@ -1,0 +1,16 @@
+(** Contification: inferring join points from tail-called let bindings
+    (Sec. 4, Fig. 5 of the paper). *)
+
+type stats = { mutable contified : int; mutable groups : int }
+
+(** Running counters of contified bindings / recursive groups. *)
+val stats : stats
+
+val reset_stats : unit -> unit
+
+(** One bottom-up pass turning every eligible [let] into a [join]:
+    every occurrence must be a saturated tail call of consistent shape,
+    the right-hand side must supply matching binders, and the stripped
+    body must have the scope's type (the Fig. 5 proviso). Idempotent,
+    typing- and meaning-preserving. *)
+val contify : Syntax.expr -> Syntax.expr

@@ -1,0 +1,198 @@
+(** A call-by-value CPS transform — the paper's Sec. 8 foil.
+
+    The paper argues for direct style over continuation-passing style
+    with concrete examples: "consider common sub-expression elimination
+    (CSE). In [f (g x) (g x)], the common sub-expression is easy to
+    see. But it is much harder to find in the CPS version", and rewrite
+    RULES "are more difficult to spot" once every application is
+    threaded through continuations.
+
+    This module makes that argument executable: a standard (Fischer /
+    Plotkin) call-by-value CPS transform over the {e monomorphic,
+    join-free} fragment of F_J (exactly what {!Erase} produces for the
+    paper's examples), with
+
+    {v [[ tau -> sigma ]] = [[tau]] -> ([[sigma]] -> R) -> R v}
+
+    for a fixed answer type [R]. The output is ordinary F_J (Lint
+    checks it), so the {e same} optimisers can be pointed at both
+    styles and compared — see the CSE experiment in the tests and in
+    [bench/main.exe].
+
+    Continuations for case branches are bound as functions (Kennedy's
+    [letcont]) rather than duplicated, which is precisely the
+    "join-point as ordinary binding" encoding the paper starts from. *)
+
+open Syntax
+
+exception Unsupported of string
+
+let unsupported fmt = Fmt.kstr (fun m -> raise (Unsupported m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** CPS-transform a (monomorphic, first-order-data) type with answer
+    type [r]: arrows become double-barrelled; data types are kept as-is
+    (their fields must be first-order for this to be faithful — the
+    fragment our examples and benches use). *)
+let rec cps_ty ~(r : Types.t) (t : Types.t) : Types.t =
+  match t with
+  | Types.Var _ -> t
+  | Types.Con _ -> t
+  | Types.App _ -> t
+  | Types.Arrow (a, b) ->
+      Types.Arrow
+        (cps_ty ~r a, Types.Arrow (Types.Arrow (cps_ty ~r b, r), r))
+  | Types.Forall _ -> unsupported "polymorphic type in CPS fragment"
+
+(* ------------------------------------------------------------------ *)
+(* Terms                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* [cps ~r e k] builds the CPS translation of [e] delivered to the
+   (syntactic) continuation builder [k : expr -> expr], which receives
+   a *value* (trivial expression). *)
+let rec cps ~(r : Types.t) (e : expr) (k : expr -> expr) : expr =
+  match e with
+  | Var v -> k (Var { v with v_ty = cps_ty ~r v.v_ty })
+  | Lit _ -> k e
+  | Con (dc, phis, args) ->
+      (* Evaluate fields left to right (CBV), then construct. *)
+      cps_list ~r args (fun vals -> k (Con (dc, phis, vals)))
+  | Prim (op, args) ->
+      cps_list ~r args (fun vals ->
+          let res_ty = snd (Primop.signature op) in
+          let x = mk_var "p" res_ty in
+          Let (NonRec (x, Prim (op, vals)), k (Var x)))
+  | Lam (x, body) ->
+      let x' = { x with v_ty = cps_ty ~r x.v_ty } in
+      let body_ty = cps_ty ~r (ty_of_orig body) in
+      let kv = mk_var "k" (Types.Arrow (body_ty, r)) in
+      k
+        (Lam
+           ( x',
+             Lam (kv, cps ~r body (fun v -> App (Var kv, v))) ))
+  | App (f, a) ->
+      cps ~r f (fun fv ->
+          cps ~r a (fun av ->
+              let res_ty = cps_ty ~r (ty_of_orig e) in
+              let x = mk_var "v" res_ty in
+              App (App (fv, av), Lam (x, k (Var x)))))
+  | Let ((NonRec (x, rhs) | Strict (x, rhs)), body) ->
+      (* The transform is call-by-value, so strict and lazy bindings
+         coincide. *)
+      cps ~r rhs (fun v ->
+          let x' = { x with v_ty = cps_ty ~r x.v_ty } in
+          Let (NonRec (x', v), cps ~r body k))
+  | Let (Rec pairs, body) ->
+      (* Recursive functions: CPS each lambda in place. *)
+      let pairs' =
+        List.map
+          (fun ((x : var), rhs) ->
+            match rhs with
+            | Lam _ ->
+                let x' = { x with v_ty = cps_ty ~r x.v_ty } in
+                (x', cps_value ~r rhs)
+            | _ -> unsupported "recursive non-lambda binding in CPS fragment")
+          pairs
+      in
+      Let (Rec pairs', cps ~r body k)
+  | Case (scrut, alts) ->
+      cps ~r scrut (fun sv ->
+          (* Bind the continuation once (Kennedy's letcont) so the
+             branches share it — the CPS encoding of a join point. *)
+          let res_ty = cps_ty ~r (ty_of_alts alts) in
+          let x = mk_var "v" res_ty in
+          let kv = mk_var "kont" (Types.Arrow (res_ty, r)) in
+          Let
+            ( NonRec (kv, Lam (x, k (Var x))),
+              Case
+                ( sv,
+                  List.map
+                    (fun { alt_pat; alt_rhs } ->
+                      let alt_pat =
+                        match alt_pat with
+                        | PCon (dc, xs) ->
+                            PCon
+                              ( dc,
+                                List.map
+                                  (fun (b : var) ->
+                                    { b with v_ty = cps_ty ~r b.v_ty })
+                                  xs )
+                        | p -> p
+                      in
+                      {
+                        alt_pat;
+                        alt_rhs = cps ~r alt_rhs (fun v -> App (Var kv, v));
+                      })
+                    alts ) ))
+  | TyApp _ | TyLam _ -> unsupported "type abstraction in CPS fragment"
+  | Join _ | Jump _ ->
+      unsupported "join point in CPS input (erase first)"
+
+(* Values in binding position (recursive lambdas). *)
+and cps_value ~r (e : expr) : expr =
+  match e with
+  | Lam (x, body) ->
+      let x' = { x with v_ty = cps_ty ~r x.v_ty } in
+      let body_ty = cps_ty ~r (ty_of_orig body) in
+      let kv = mk_var "k" (Types.Arrow (body_ty, r)) in
+      Lam (x', Lam (kv, cps ~r body (fun v -> App (Var kv, v))))
+  | _ -> unsupported "expected a lambda value"
+
+and cps_list ~r (es : expr list) (k : expr list -> expr) : expr =
+  match es with
+  | [] -> k []
+  | e :: rest -> cps ~r e (fun v -> cps_list ~r rest (fun vs -> k (v :: vs)))
+
+(* The type of the ORIGINAL (pre-CPS) expression; binders still carry
+   source types at this point. *)
+and ty_of_orig e = ty_of e
+
+and ty_of_alts = function
+  | a :: _ -> ty_of a.alt_rhs
+  | [] -> invalid_arg "Cps: empty case"
+
+(** CPS-transform a whole (monomorphic, join-free) program of type
+    [ty]: the result takes no continuation — it is applied to the
+    identity — and again has type [ty], so it can be evaluated and
+    compared directly against the direct-style original. *)
+let transform (e : expr) : expr =
+  let r = ty_of e in
+  (* The answer type is the program's own (base or data) type, so the
+     identity continuation closes the computation at the same type as
+     the direct-style original. A function-typed program would need an
+     abstract answer type (answer-type polymorphism); it is rejected —
+     observably it is only ever [<fun>] anyway. *)
+  (match r with
+  | Types.Arrow _ | Types.Forall _ ->
+      unsupported "function-typed program (answer type must be first-order)"
+  | _ -> ());
+  let x = mk_var "ans" r in
+  cps ~r e (fun v -> App (Lam (x, Var x), v))
+
+(** Count syntactic lambda abstractions — the paper's "administrative"
+    blow-up of CPS is visible in this number. *)
+let rec count_lams = function
+  | Lam (_, b) -> 1 + count_lams b
+  | TyLam (_, b) -> count_lams b
+  | Var _ | Lit _ -> 0
+  | Con (_, _, es) | Prim (_, es) ->
+      List.fold_left (fun n e -> n + count_lams e) 0 es
+  | App (f, a) -> count_lams f + count_lams a
+  | TyApp (f, _) -> count_lams f
+  | Let (b, body) ->
+      List.fold_left (fun n (_, rhs) -> n + count_lams rhs) (count_lams body)
+        (bind_pairs b)
+  | Case (s, alts) ->
+      List.fold_left
+        (fun n a -> n + count_lams a.alt_rhs)
+        (count_lams s) alts
+  | Join (jb, body) ->
+      List.fold_left
+        (fun n d -> n + count_lams d.j_rhs)
+        (count_lams body) (join_defns jb)
+  | Jump (_, _, es, _) ->
+      List.fold_left (fun n e -> n + count_lams e) 0 es

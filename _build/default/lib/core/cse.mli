@@ -1,0 +1,9 @@
+(** Common sub-expression elimination — the Sec. 8 direct-style
+    argument made concrete. Only work-reducing sharing is performed. *)
+
+type stats = { mutable shared : int }
+
+val stats : stats
+
+(** Run CSE over a whole program. *)
+val run : Syntax.expr -> Syntax.expr

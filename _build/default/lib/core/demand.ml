@@ -1,0 +1,337 @@
+(** Demand (strictness) analysis and strictification.
+
+    Sec. 7 of the paper: "Strictness analysis is as useful for join
+    points as it is for ordinary let bindings", with the
+    worker/wrapper transform adjusted so the pieces remain join
+    points. This module implements the part of that story that matters
+    for allocation:
+
+    - {!strict_vars} computes which free variables an expression
+      {e certainly forces} before producing a WHNF (a 2-point demand
+      domain). Jumps to join points (and saturated calls to known
+      functions) propagate the demand of the callee's strict
+      parameters into the corresponding arguments; for {e recursive}
+      groups the parameter masks are computed as a (descending)
+      fixpoint, exactly as in GHC's demand analyser.
+    - {!strictify} uses the masks to
+      {ul {- turn demanded lazy [let]s into {!Syntax.Strict} bindings;}
+          {- wrap the strict arguments of jumps and saturated calls in
+             strict bindings, forcing them before the transfer.}}
+
+    The payoff is GHC's: a tail-recursive loop whose accumulator is
+    strictly used no longer allocates a thunk per iteration — the
+    argument is evaluated before the jump, and an unboxed result binds
+    for free. Forcing early is sound exactly because the analysis
+    proved the value would be forced anyway (or the program diverges
+    either way). *)
+
+open Syntax
+
+(* ------------------------------------------------------------------ *)
+(* The analysis                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Strictness environment: binder unique -> (value arity, parameter
+    strictness mask). Entries exist for join points and for let-bound
+    functions whose definition is in scope. *)
+type fenv = (int * bool list) Ident.Map.t
+
+(** Free variables certainly forced before [e] yields a WHNF, given
+    strictness masks for in-scope join points and functions. *)
+let rec strict_vars (fenv : fenv) (e : expr) : Ident.Set.t =
+  match e with
+  | Var v -> Ident.Set.singleton v.v_name
+  | Lit _ | Lam _ | TyLam _ | Con _ ->
+      (* Already WHNF; constructor fields are lazy. *)
+      Ident.Set.empty
+  | Prim (_, es) ->
+      (* Primops are strict in every argument. *)
+      List.fold_left
+        (fun acc e -> Ident.Set.union acc (strict_vars fenv e))
+        Ident.Set.empty es
+  | App _ | TyApp _ -> spine_strict fenv e
+  | Case (scrut, alts) ->
+      let branches =
+        List.map
+          (fun { alt_pat; alt_rhs } ->
+            List.fold_left
+              (fun s (x : var) -> Ident.Set.remove x.v_name s)
+              (strict_vars fenv alt_rhs) (pat_binders alt_pat))
+          alts
+      in
+      let meet =
+        match branches with
+        | [] -> Ident.Set.empty
+        | b :: bs -> List.fold_left Ident.Set.inter b bs
+      in
+      Ident.Set.union (strict_vars fenv scrut) meet
+  | Let ((NonRec (x, rhs) | Strict (x, rhs)), body) ->
+      let sb = strict_vars fenv body in
+      let s = Ident.Set.remove x.v_name sb in
+      if Ident.Set.mem x.v_name sb then
+        Ident.Set.union s (strict_vars fenv rhs)
+      else s
+  | Let (Rec pairs, body) ->
+      (* Compute the group's parameter masks (fixpoint) so calls to the
+         local functions propagate demand into their arguments. *)
+      let defs =
+        List.filter_map
+          (fun ((x : var), rhs) ->
+            let binders, b = collect_binders rhs in
+            let params =
+              List.filter_map
+                (function `Val x -> Some x | `Ty _ -> None)
+                binders
+            in
+            if params = [] then None else Some (x, params, b))
+          pairs
+      in
+      let fenv' =
+        List.fold_left
+          (fun fe (name, m) -> Ident.Map.add name m fe)
+          fenv (fix_masks fenv defs)
+      in
+      List.fold_left
+        (fun s ((x : var), _) -> Ident.Set.remove x.v_name s)
+        (strict_vars fenv' body) pairs
+  | Join (jb, body) ->
+      (* The body runs first. Jumps inside it propagate demand into
+         their arguments via the masks (threaded by the caller through
+         [fenv]); the labels themselves are not values. *)
+      List.fold_left
+        (fun s (j : var) -> Ident.Set.remove j.v_name s)
+        (strict_vars fenv body)
+        (binders_of_jbind jb)
+  | Jump (j, _, es, _) -> (
+      match Ident.Map.find_opt j.v_name fenv with
+      | Some (_, mask) when List.length mask = List.length es ->
+          List.fold_left2
+            (fun acc strict e ->
+              if strict then Ident.Set.union acc (strict_vars fenv e)
+              else acc)
+            Ident.Set.empty mask es
+      | _ -> Ident.Set.empty)
+
+(* A saturated call to a function with a known mask forces the head and
+   the strict arguments. *)
+and spine_strict fenv e =
+  let head, args = collect_args e in
+  let vargs =
+    List.filter_map (function `Val a -> Some a | `Ty _ -> None) args
+  in
+  match head with
+  | Var v -> (
+      let self = Ident.Set.singleton v.v_name in
+      match Ident.Map.find_opt v.v_name fenv with
+      | Some (arity, mask) when List.length vargs = arity ->
+          List.fold_left2
+            (fun acc strict a ->
+              if strict then Ident.Set.union acc (strict_vars fenv a)
+              else acc)
+            self mask vargs
+      | _ -> self)
+  | _ -> strict_vars fenv head
+
+(** Which parameters of a (stripped) body are strictly demanded. *)
+and strict_params fenv (params : var list) (body : expr) : bool list =
+  let s = strict_vars fenv body in
+  List.map (fun (p : var) -> Ident.Set.mem p.v_name s) params
+
+(* Descending fixpoint for a recursive group: start with every
+   parameter assumed strict; recompute until the masks stabilise. *)
+and fix_masks (fenv : fenv) (defs : (var * var list * expr) list) :
+    (Ident.t * (int * bool list)) list =
+  let init =
+    List.map
+      (fun ((jv : var), params, _) ->
+        (jv.v_name, (List.length params, List.map (fun _ -> true) params)))
+      defs
+  in
+  let rec iterate masks =
+    let env =
+      List.fold_left
+        (fun fe (name, m) -> Ident.Map.add name m fe)
+        fenv masks
+    in
+    let masks' =
+      List.map
+        (fun ((jv : var), params, body) ->
+          (jv.v_name, (List.length params, strict_params env params body)))
+        defs
+    in
+    if masks' = masks then masks else iterate masks'
+  in
+  iterate init
+
+(* ------------------------------------------------------------------ *)
+(* Strictification                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type stats = { mutable strict_lets : int; mutable strict_args : int }
+
+let stats = { strict_lets = 0; strict_args = 0 }
+
+(* Is it worth (and sound by demand) forcing this argument early? WHNFs
+   and trivial expressions gain nothing. *)
+let worth_forcing e = not (is_trivial e || is_whnf e)
+
+(* Wrap the strict arguments of an argument list in strict bindings
+   around [mk args']. *)
+let strictify_args (mask : bool list) (es : expr list)
+    (mk : expr list -> expr) : expr =
+  let wraps = ref [] in
+  let es' =
+    List.map2
+      (fun strict e ->
+        if strict && worth_forcing e then begin
+          stats.strict_args <- stats.strict_args + 1;
+          let ty = match ty_of e with t -> t | exception _ -> Types.unit in
+          let t = mk_var "s" ty in
+          wraps := (fun body -> Let (Strict (t, e), body)) :: !wraps;
+          Var t
+        end
+        else e)
+      mask es
+  in
+  List.fold_left (fun body w -> w body) (mk es') !wraps
+
+let mask_of_lambda fenv rhs =
+  let binders, body = collect_binders rhs in
+  let params =
+    List.filter_map (function `Val x -> Some x | `Ty _ -> None) binders
+  in
+  if params = [] then None
+  else Some (List.length params, strict_params fenv params body)
+
+(* Strip a lambda chain to (params, body); [None] if no value params. *)
+let lambda_parts rhs =
+  let binders, body = collect_binders rhs in
+  let params =
+    List.filter_map (function `Val x -> Some x | `Ty _ -> None) binders
+  in
+  if params = [] then None else Some (params, body)
+
+(** One bottom-up strictification pass. *)
+let rec strictify_expr (fenv : fenv) (e : expr) : expr =
+  match e with
+  | Var _ | Lit _ -> e
+  | Con (dc, phis, es) -> Con (dc, phis, List.map (strictify_expr fenv) es)
+  | Prim (op, es) -> Prim (op, List.map (strictify_expr fenv) es)
+  | App _ | TyApp _ -> strictify_spine fenv e
+  | Lam (x, b) -> Lam (x, strictify_expr fenv b)
+  | TyLam (a, b) -> TyLam (a, strictify_expr fenv b)
+  | Let (NonRec (x, rhs), body) ->
+      let rhs = strictify_expr fenv rhs in
+      let fenv_body =
+        match mask_of_lambda fenv rhs with
+        | Some m -> Ident.Map.add x.v_name m fenv
+        | None -> fenv
+      in
+      let body = strictify_expr fenv_body body in
+      (* Demanded lazy bindings become strict bindings. *)
+      if worth_forcing rhs && Ident.Set.mem x.v_name (strict_vars fenv_body body)
+      then begin
+        stats.strict_lets <- stats.strict_lets + 1;
+        Let (Strict (x, rhs), body)
+      end
+      else Let (NonRec (x, rhs), body)
+  | Let (Strict (x, rhs), body) ->
+      Let (Strict (x, strictify_expr fenv rhs), strictify_expr fenv body)
+  | Let (Rec pairs, body) ->
+      let defs =
+        List.filter_map
+          (fun ((x : var), rhs) ->
+            Option.map (fun (ps, b) -> (x, ps, b)) (lambda_parts rhs))
+          pairs
+      in
+      let masks = fix_masks fenv defs in
+      let fenv' =
+        List.fold_left
+          (fun fe (name, m) -> Ident.Map.add name m fe)
+          fenv masks
+      in
+      Let
+        ( Rec (List.map (fun (x, rhs) -> (x, strictify_expr fenv' rhs)) pairs),
+          strictify_expr fenv' body )
+  | Case (scrut, alts) ->
+      Case
+        ( strictify_expr fenv scrut,
+          List.map
+            (fun a -> { a with alt_rhs = strictify_expr fenv a.alt_rhs })
+            alts )
+  | Join (jb, body) ->
+      let defns = join_defns jb in
+      let masks =
+        match jb with
+        | JNonRec d ->
+            [
+              ( d.j_var.v_name,
+                ( List.length d.j_params,
+                  strict_params fenv d.j_params d.j_rhs ) );
+            ]
+        | JRec ds ->
+            fix_masks fenv
+              (List.map (fun d -> (d.j_var, d.j_params, d.j_rhs)) ds)
+      in
+      ignore defns;
+      let fenv' =
+        List.fold_left
+          (fun fe (name, m) -> Ident.Map.add name m fe)
+          fenv masks
+      in
+      (* Jumps inside the rhss (recursive case) see the masks too. *)
+      let rhs_env = match jb with JNonRec _ -> fenv | JRec _ -> fenv' in
+      let jb' =
+        match jb with
+        | JNonRec d -> JNonRec { d with j_rhs = strictify_expr rhs_env d.j_rhs }
+        | JRec ds ->
+            JRec
+              (List.map
+                 (fun d -> { d with j_rhs = strictify_expr rhs_env d.j_rhs })
+                 ds)
+      in
+      Join (jb', strictify_expr fenv' body)
+  | Jump (j, phis, es, ty) -> (
+      let es = List.map (strictify_expr fenv) es in
+      match Ident.Map.find_opt j.v_name fenv with
+      | Some (_, mask) when List.length mask = List.length es ->
+          strictify_args mask es (fun es' -> Jump (j, phis, es', ty))
+      | _ -> Jump (j, phis, es, ty))
+
+(* Saturated calls to functions with known masks get their strict
+   arguments forced early; other spines are just traversed. *)
+and strictify_spine fenv e =
+  let head, args = collect_args e in
+  let vargs =
+    List.filter_map (function `Val a -> Some a | `Ty _ -> None) args
+  in
+  match head with
+  | Var v -> (
+      match Ident.Map.find_opt v.v_name fenv with
+      | Some (arity, mask) when List.length vargs = arity ->
+          let vargs = List.map (strictify_expr fenv) vargs in
+          strictify_args mask vargs (fun vargs' ->
+              (* Rebuild the spine in the original arg order. *)
+              let rec rebuild e args vals =
+                match args with
+                | [] -> e
+                | `Ty t :: rest -> rebuild (TyApp (e, t)) rest vals
+                | `Val _ :: rest -> (
+                    match vals with
+                    | v :: vals -> rebuild (App (e, v)) rest vals
+                    | [] -> assert false)
+              in
+              rebuild (Var v) args vargs')
+      | _ -> apps_rebuild fenv head args)
+  | _ -> apps_rebuild fenv head args
+
+and apps_rebuild fenv head args =
+  let head' = strictify_expr fenv head in
+  List.fold_left
+    (fun e -> function
+      | `Ty t -> TyApp (e, t)
+      | `Val a -> App (e, strictify_expr fenv a))
+    head' args
+
+(** Run strictification over a whole program. *)
+let strictify (e : expr) : expr = strictify_expr Ident.Map.empty e

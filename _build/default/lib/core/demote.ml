@@ -1,0 +1,127 @@
+(** Demoting join points back to ordinary bindings.
+
+    This is the right-to-left reading of the [contify] axiom (Fig. 5):
+    a [join] whose jumps are all tail calls can be rebound as a [let]
+    of a function, and the jumps as ordinary calls. It is the workhorse
+    of the erasure theorem (Sec. 6) — after commuting-normalisation
+    every jump is a tail call, so every join point can be demoted — and
+    of the {e baseline} compiler pipeline, which must not have join
+    points in its IR at all.
+
+    {b Precondition}: every jump to a demoted label must be a tail
+    call. On other inputs the result would change meaning (a non-tail
+    jump discards its context; a call does not); {!Erase} establishes
+    the precondition first. *)
+
+open Syntax
+
+let fun_var_of_defn (d : join_defn) ~res_ty : var =
+  {
+    v_name = d.j_var.v_name;
+    v_ty =
+      Types.foralls d.j_tyvars
+        (Types.arrows (List.map (fun (p : var) -> p.v_ty) d.j_params) res_ty);
+  }
+
+let lam_of_defn (d : join_defn) : expr =
+  ty_lams d.j_tyvars (lams d.j_params d.j_rhs)
+
+(* Rewrite jumps to the given labels into calls of the corresponding
+   function variables. *)
+let rec rewrite_jumps (m : var Ident.Map.t) (e : expr) : expr =
+  match e with
+  | Var _ | Lit _ -> e
+  | Con (dc, phis, es) -> Con (dc, phis, List.map (rewrite_jumps m) es)
+  | Prim (op, es) -> Prim (op, List.map (rewrite_jumps m) es)
+  | App (f, a) -> App (rewrite_jumps m f, rewrite_jumps m a)
+  | TyApp (f, t) -> TyApp (rewrite_jumps m f, t)
+  | Lam (x, b) -> Lam (x, rewrite_jumps m b)
+  | TyLam (a, b) -> TyLam (a, rewrite_jumps m b)
+  | Let (NonRec (x, rhs), body) ->
+      Let (NonRec (x, rewrite_jumps m rhs), rewrite_jumps m body)
+  | Let (Strict (x, rhs), body) ->
+      Let (Strict (x, rewrite_jumps m rhs), rewrite_jumps m body)
+  | Let (Rec pairs, body) ->
+      Let
+        ( Rec (List.map (fun (x, rhs) -> (x, rewrite_jumps m rhs)) pairs),
+          rewrite_jumps m body )
+  | Case (scrut, alts) ->
+      Case
+        ( rewrite_jumps m scrut,
+          List.map (fun a -> { a with alt_rhs = rewrite_jumps m a.alt_rhs }) alts
+        )
+  | Join (jb, body) ->
+      let jb' =
+        match jb with
+        | JNonRec d -> JNonRec { d with j_rhs = rewrite_jumps m d.j_rhs }
+        | JRec ds ->
+            JRec (List.map (fun d -> { d with j_rhs = rewrite_jumps m d.j_rhs }) ds)
+      in
+      Join (jb', rewrite_jumps m body)
+  | Jump (j, phis, es, _) -> (
+      let es = List.map (rewrite_jumps m) es in
+      match Ident.Map.find_opt j.v_name m with
+      | Some f -> apps (ty_apps (Var f) phis) es
+      | None -> Jump (j, phis, es, ty_of e))
+
+(** Demote every join binding in [e] to a let binding (bottom-up),
+    rewriting the jumps into calls. See the precondition above. *)
+let rec demote (e : expr) : expr =
+  match e with
+  | Var _ | Lit _ -> e
+  | Con (dc, phis, es) -> Con (dc, phis, List.map demote es)
+  | Prim (op, es) -> Prim (op, List.map demote es)
+  | App (f, a) -> App (demote f, demote a)
+  | TyApp (f, t) -> TyApp (demote f, t)
+  | Lam (x, b) -> Lam (x, demote b)
+  | TyLam (a, b) -> TyLam (a, demote b)
+  | Let (NonRec (x, rhs), body) -> Let (NonRec (x, demote rhs), demote body)
+  | Let (Strict (x, rhs), body) -> Let (Strict (x, demote rhs), demote body)
+  | Let (Rec pairs, body) ->
+      Let (Rec (List.map (fun (x, rhs) -> (x, demote rhs)) pairs), demote body)
+  | Case (scrut, alts) ->
+      Case (demote scrut, List.map (fun a -> { a with alt_rhs = demote a.alt_rhs }) alts)
+  | Jump (j, phis, es, ty) -> Jump (j, phis, List.map demote es, ty)
+  | Join (jb, body) -> demote_binding jb (demote_jb_rhss jb) (demote body)
+
+and demote_jb_rhss jb =
+  match jb with
+  | JNonRec d -> JNonRec { d with j_rhs = demote d.j_rhs }
+  | JRec ds -> JRec (List.map (fun d -> { d with j_rhs = demote d.j_rhs }) ds)
+
+and demote_binding _orig jb body =
+  match jb with
+  | JNonRec d ->
+      let res_ty =
+        match ty_of d.j_rhs with t -> t | exception _ -> Types.bottom ()
+      in
+      let f = fun_var_of_defn d ~res_ty in
+      let m = Ident.Map.singleton d.j_var.v_name f in
+      Let (NonRec (f, lam_of_defn d), rewrite_jumps m body)
+  | JRec ds ->
+      let fs =
+        List.map
+          (fun d ->
+            let res_ty =
+              match ty_of d.j_rhs with t -> t | exception _ -> Types.bottom ()
+            in
+            (d, fun_var_of_defn d ~res_ty))
+          ds
+      in
+      let m =
+        List.fold_left
+          (fun m (d, f) -> Ident.Map.add d.j_var.v_name f m)
+          Ident.Map.empty fs
+      in
+      Let
+        ( Rec
+            (List.map
+               (fun (d, f) ->
+                 (f, rewrite_jumps m (lam_of_defn d)))
+               fs),
+          rewrite_jumps m body )
+
+(** Demote a single [Join] at the root (defensive use by the baseline
+    simplifier, which must never see join points). *)
+let demote_top e =
+  match e with Join (jb, body) -> demote_binding jb jb body | _ -> e

@@ -1,0 +1,12 @@
+(** Demoting join points to ordinary bindings — the right-to-left
+    reading of [contify], used by {!Erase} and the baseline pipeline.
+
+    Precondition: every jump to a demoted label is a tail call
+    ({!Erase.commuting_normal_form} establishes this). *)
+
+(** Demote every join binding (bottom-up); jumps become saturated
+    calls. *)
+val demote : Syntax.expr -> Syntax.expr
+
+(** Demote a single [Join] at the root only. *)
+val demote_top : Syntax.expr -> Syntax.expr

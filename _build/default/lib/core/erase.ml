@@ -1,0 +1,137 @@
+(** Erasure of join points: the executable content of Theorem 5
+    (Sec. 6).
+
+    For any well-typed F_J term there is an equivalent System F term.
+    The construction follows the paper exactly:
+
+    + rewrite to {e commuting-normal form} by iterating [commute] and
+      [abort] — push every evaluation frame through the tail contexts
+      beneath it, so that afterwards {e every jump is a tail call} of
+      its binding (Lemma 4);
+    + apply [contify] right-to-left (de-contification, {!Demote}):
+      every join binding becomes a [let]-bound function, every jump an
+      ordinary saturated call.
+
+    The result contains no [Join]/[Jump] (checked by {!is_join_free})
+    and evaluates to the same answer — both properties are exercised by
+    the test suite on random well-typed terms. *)
+
+open Syntax
+
+type frame = FApp of expr | FTyApp of Types.t | FCase of alt list
+
+(* Rebuild a stack of frames (innermost first) around a leaf. *)
+let unwind_frames frames e =
+  List.fold_left
+    (fun e f ->
+      match f with
+      | FApp a -> App (e, a)
+      | FTyApp t -> TyApp (e, t)
+      | FCase alts -> Case (e, alts))
+    e frames
+
+(* Result type of a frame stack given the hole's type. *)
+let rec frames_res_ty frames (ty : Types.t) =
+  match frames with
+  | [] -> ty
+  | FApp _ :: rest -> (
+      match ty with
+      | Types.Arrow (_, r) -> frames_res_ty rest r
+      | _ -> raise (Ill_typed "Erase: application of non-function"))
+  | FTyApp t :: rest -> (
+      match ty with
+      | Types.Forall (a, body) -> frames_res_ty rest (Types.subst1 a t body)
+      | _ -> raise (Ill_typed "Erase: instantiation of non-forall"))
+  | FCase alts :: rest -> (
+      match alts with
+      | a :: _ -> frames_res_ty rest (ty_of a.alt_rhs)
+      | [] -> raise (Ill_typed "Erase: empty case"))
+
+(* Fresh copy of a frame (frames are duplicated into several tail
+   holes; each copy must have fresh binders). *)
+let fresh_frame = function
+  | FApp a -> FApp (Subst.freshen a)
+  | FTyApp t -> FTyApp t
+  | FCase alts ->
+      let dummy = mk_var "ef" (Types.bottom ()) in
+      (match Subst.freshen (Case (Var dummy, alts)) with
+      | Case (_, alts') -> FCase alts'
+      | _ -> assert false)
+
+(* [norm frames e]: normalise [e] under the pending evaluation context
+   [frames] (innermost first), pushing the context through tail
+   contexts ([commute]) and discarding it at jumps ([abort]). The
+   result contains the context. *)
+let rec norm (frames : frame list) (e : expr) : expr =
+  match e with
+  | Var _ | Lit _ -> unwind_frames frames e
+  | Con (dc, phis, es) ->
+      unwind_frames frames (Con (dc, phis, List.map (norm []) es))
+  | Prim (op, es) -> unwind_frames frames (Prim (op, List.map (norm []) es))
+  | Lam (x, b) -> unwind_frames frames (Lam (x, norm [] b))
+  | TyLam (a, b) -> unwind_frames frames (TyLam (a, norm [] b))
+  | App (f, a) -> norm (FApp (norm [] a) :: frames) f
+  | TyApp (f, t) -> norm (FTyApp t :: frames) f
+  | Case (scrut, alts) ->
+      (* casefloat: the pending context moves into every branch. *)
+      let alts' =
+        List.map
+          (fun alt ->
+            { alt with alt_rhs = norm (List.map fresh_frame frames) alt.alt_rhs })
+          alts
+      in
+      (* The scrutinee is then normalised under the (single) case
+         frame; the outer [frames] were consumed by the branches. *)
+      norm [ FCase alts' ] scrut
+  | Let (b, body) ->
+      (* float: the context passes the binding. *)
+      let b' =
+        match b with
+        | NonRec (x, rhs) -> NonRec (x, norm [] rhs)
+        | Strict (x, rhs) -> Strict (x, norm [] rhs)
+        | Rec pairs -> Rec (List.map (fun (x, rhs) -> (x, norm [] rhs)) pairs)
+      in
+      Let (b', norm frames body)
+  | Join (jb, body) ->
+      (* jfloat: the context is copied into every right-hand side and
+         the body. *)
+      let push d =
+        { d with j_rhs = norm (List.map fresh_frame frames) d.j_rhs }
+      in
+      let jb' =
+        match jb with
+        | JNonRec d -> JNonRec (push d)
+        | JRec ds -> JRec (List.map push ds)
+      in
+      Join (jb', norm frames body)
+  | Jump (j, phis, es, ty) ->
+      (* abort: discard the context, claim its result type. *)
+      let ty' = frames_res_ty frames ty in
+      Jump (j, phis, List.map (norm []) es, ty')
+
+(** Rewrite [e] so that every jump is a tail call of its join binding
+    (Lemma 4 / commuting-normal form). *)
+let commuting_normal_form (e : expr) : expr = norm [] e
+
+(** [erase e]: an equivalent System F term with no join points
+    (Theorem 5). *)
+let erase (e : expr) : expr =
+  e |> commuting_normal_form |> Demote.demote |> Subst.freshen
+
+(** Does the term contain no [Join] or [Jump]? (I.e., is it a System F
+    term?) *)
+let rec is_join_free = function
+  | Var _ | Lit _ -> true
+  | Con (_, _, es) | Prim (_, es) -> List.for_all is_join_free es
+  | App (f, a) -> is_join_free f && is_join_free a
+  | TyApp (f, _) -> is_join_free f
+  | Lam (_, b) | TyLam (_, b) -> is_join_free b
+  | Let ((NonRec (_, rhs) | Strict (_, rhs)), body) ->
+      is_join_free rhs && is_join_free body
+  | Let (Rec pairs, body) ->
+      List.for_all (fun (_, rhs) -> is_join_free rhs) pairs
+      && is_join_free body
+  | Case (scrut, alts) ->
+      is_join_free scrut
+      && List.for_all (fun a -> is_join_free a.alt_rhs) alts
+  | Join _ | Jump _ -> false

@@ -1,0 +1,12 @@
+(** Erasure of join points: the executable Theorem 5 (Sec. 6). *)
+
+(** Rewrite so every jump is a tail call of its binding (Lemma 4), by
+    iterating [commute] and [abort]. *)
+val commuting_normal_form : Syntax.expr -> Syntax.expr
+
+(** An equivalent System F term with no join points: commuting-normal
+    form, then de-contification, then a freshening pass. *)
+val erase : Syntax.expr -> Syntax.expr
+
+(** Does the term contain no [Join]/[Jump]? *)
+val is_join_free : Syntax.expr -> bool

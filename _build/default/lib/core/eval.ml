@@ -1,0 +1,520 @@
+(** The abstract machine of Fig. 3, with allocation accounting.
+
+    A configuration is (focus expression, stack, heap). We implement it
+    as an environment machine: variables map to heap addresses rather
+    than being substituted, so evaluation is constant-time per step and
+    large benchmark programs run quickly.
+
+    Two evaluation strategies are provided: call-by-name, exactly as in
+    Fig. 3, and call-by-need, which is Fig. 3 plus standard update
+    frames (the paper: "switching to call-by-need by pushing an update
+    frame is absolutely standard"). Benchmarks use call-by-need since
+    the paper measures GHC.
+
+    {b Join points are stack-allocated}: a [join] binding captures the
+    current stack; a [jump] truncates the stack back to it ("adjust the
+    stack and jump", Sec. 2). Neither allocates heap. Everything
+    heap-allocated is counted:
+
+    - a constructor with [n > 0] fields costs [n + 1] words;
+    - a closure or thunk costs 2 words;
+    - literals, nullary constructors, join bindings and jumps are free.
+
+    The counter is the same quantity GHC's [-ticky]/RTS allocation
+    statistics measure, which Table 1 of the paper reports. *)
+
+open Syntax
+
+type mode = By_name | By_need
+
+type stats = {
+  mutable steps : int;  (** Machine transitions taken. *)
+  mutable objects : int;  (** Heap objects allocated. *)
+  mutable words : int;  (** Words allocated (proxy for bytes). *)
+  mutable jumps : int;  (** Jumps executed. *)
+  mutable joins_entered : int;  (** Join bindings evaluated (free). *)
+}
+
+let fresh_stats () =
+  { steps = 0; objects = 0; words = 0; jumps = 0; joins_entered = 0 }
+
+let pp_stats ppf s =
+  Fmt.pf ppf "steps=%d allocs=%d words=%d jumps=%d joins=%d" s.steps s.objects
+    s.words s.jumps s.joins_entered
+
+(* ------------------------------------------------------------------ *)
+(* Machine representation                                              *)
+(* ------------------------------------------------------------------ *)
+
+type operand = Imm of Literal.t | Ptr of cell ref
+
+and value =
+  | VLit of Literal.t
+  | VCon of Datacon.t * operand list
+  | VFun of env * var list * expr
+      (** A function closure with its {e manifest arity}: consecutive
+          value binders are collected so saturated curried calls bind
+          all arguments in one step without intermediate closures
+          (GHC's eval/apply). A partial application re-closes over the
+          bound prefix (a PAP) and is counted as an allocation. *)
+  | VTyFun of env * Ident.t * expr
+
+and cell = Thunk of env * expr | Value of value | Blackhole
+
+and env = { vars : operand Ident.Map.t; joins : jpoint Ident.Map.t }
+
+and jpoint = {
+  jp_defn : join_defn;
+  mutable jp_env : env;  (** Environment at the binding (tied for rec). *)
+  jp_stack : frame list;  (** Stack at the binding; a jump resumes here. *)
+}
+
+and frame =
+  | FArg of env * expr  (** [[] e]: apply the value to argument [e]. *)
+  | FTyArg  (** [[] tau]: instantiate (types are erased). *)
+  | FCase of env * alt list  (** [case [] of alts]. *)
+  | FPrim of Primop.t * value list * (env * expr) list
+      (** Primop with evaluated prefix (reversed) and pending args. *)
+  | FUpdate of cell ref  (** Call-by-need update frame. *)
+  | FStrict of env * var * expr
+      (** Strict-let frame: bind the value, then run the body. *)
+
+let empty_env = { vars = Ident.Map.empty; joins = Ident.Map.empty }
+
+exception Stuck of string
+exception Out_of_fuel
+
+let stuck fmt = Fmt.kstr (fun m -> raise (Stuck m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* The machine                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type config = { mode : mode; stats : stats; mutable fuel : int }
+
+let alloc_cell cfg ~words c =
+  cfg.stats.objects <- cfg.stats.objects + 1;
+  cfg.stats.words <- cfg.stats.words + words;
+  ref c
+
+let closure_words = 2
+
+(* Evaluate "cheap" expressions speculatively: literals, variables
+   already pointing at values, and a {e bounded} number of primops over
+   cheap arguments. This mirrors the effect of GHC's strictness
+   analysis / ok-for-speculation on strict loop arguments (an [Int]
+   counter does not allocate a thunk per iteration); like GHC, the
+   amount of speculated work is bounded, so a large deferred
+   computation still costs a thunk. The speculation applies identically
+   under every compiler pipeline, so allocation deltas still isolate
+   the join-point effects. *)
+let speculation_budget = 8
+
+let rec eval_cheap_b budget env e : value option =
+  if !budget < 0 then None
+  else
+    match e with
+    | Lit l -> Some (VLit l)
+    | Var v -> (
+        match Ident.Map.find_opt v.v_name env.vars with
+        | Some (Imm l) -> Some (VLit l)
+        | Some (Ptr cell) -> (
+            match !cell with Value v -> Some v | _ -> None)
+        | None -> None)
+    | Prim (op, args) ->
+        decr budget;
+        if !budget < 0 then None
+        else
+          let rec go acc = function
+            | [] -> Some (List.rev acc)
+            | a :: rest -> (
+                match eval_cheap_b budget env a with
+                | Some v -> go (v :: acc) rest
+                | None -> None)
+          in
+          Option.bind (go [] args) (fun vs -> apply_prim_opt op vs)
+    | TyApp (f, _) -> eval_cheap_b budget env f
+    | Let ((NonRec (x, rhs) | Strict (x, rhs)), body) -> (
+        (* Look through cheap bindings (e.g. demand-analysis wrappers)
+           so they do not defeat speculation. *)
+        decr budget;
+        match eval_cheap_b budget env rhs with
+        | Some (VLit l) ->
+            eval_cheap_b budget
+              { env with vars = Ident.Map.add x.v_name (Imm l) env.vars }
+              body
+        | Some v ->
+            eval_cheap_b budget
+              { env with
+                vars = Ident.Map.add x.v_name (Ptr (ref (Value v))) env.vars
+              }
+              body
+        | None -> None)
+    | _ -> None
+
+and eval_cheap env e : value option =
+  eval_cheap_b (ref speculation_budget) env e
+
+and apply_prim_opt op vs : value option =
+  let lits =
+    List.filter_map (function VLit l -> Some l | _ -> None) vs
+  in
+  if List.length lits <> List.length vs then None
+  else
+    match Primop.fold_lit op lits with
+    | Some l -> Some (VLit l)
+    | None -> (
+        match Primop.fold_bool op lits with
+        | Some b -> Some (VCon (Datacon.of_bool b, []))
+        | None -> None)
+
+let apply_prim op vs =
+  match apply_prim_opt op vs with
+  | Some v -> v
+  | None -> stuck "primop %s applied to bad arguments" (Primop.name op)
+
+(* Turn an argument expression into an operand, allocating a thunk when
+   it is neither trivial nor cheaply evaluable. *)
+let bind_operand (x : var) op env =
+  { env with vars = Ident.Map.add x.v_name op env.vars }
+
+(* Wrap an already-evaluated (and already-counted) value as an operand:
+   never allocates. *)
+let operand_of_value = function
+  | VLit l -> Imm l
+  | v -> Ptr (ref (Value v))
+
+let rec operand_of_arg cfg env e : operand =
+  match e with
+  | Lit l -> Imm l
+  | Var v -> (
+      match Ident.Map.find_opt v.v_name env.vars with
+      | Some op -> op
+      | None -> stuck "unbound variable %a" Ident.pp v.v_name)
+  | Con _ | Lam _ | TyLam _ ->
+      (* A WHNF argument is built directly (its own allocation is
+         counted inside [value_of_whnf]); no extra thunk. *)
+      (match value_of_whnf cfg env e with
+      | VLit l -> Imm l
+      | v -> Ptr (ref (Value v)))
+  | _ -> (
+      match eval_cheap env e with
+      | Some (VLit l) -> Imm l
+      | Some (VCon (_, []) as v) ->
+          (* Nullary constructors are static: share one cell, count no
+             allocation. *)
+          Ptr (ref (Value v))
+      | Some v ->
+          Ptr (alloc_cell cfg ~words:closure_words (Value v))
+      | None -> Ptr (alloc_cell cfg ~words:closure_words (Thunk (env, e))))
+
+(* Evaluate a WHNF right-hand side directly to a value (used by [let]
+   so that a constructor binding allocates a constructor, not a thunk
+   around one). *)
+and value_of_whnf cfg env e : value =
+  match e with
+  | Lit l -> VLit l
+  | Lam _ ->
+      (* Collect the manifest arity: one closure for the whole chain. *)
+      let rec collect acc = function
+        | Lam (x, b) -> collect (x :: acc) b
+        | b -> (List.rev acc, b)
+      in
+      let params, body = collect [] e in
+      cfg.stats.objects <- cfg.stats.objects + 1;
+      cfg.stats.words <- cfg.stats.words + closure_words;
+      VFun (env, params, body)
+  | TyLam (a, b) ->
+      cfg.stats.objects <- cfg.stats.objects + 1;
+      cfg.stats.words <- cfg.stats.words + closure_words;
+      VTyFun (env, a, b)
+  | Con (dc, _, args) ->
+      let ops = List.map (operand_of_arg cfg env) args in
+      if args <> [] then begin
+        cfg.stats.objects <- cfg.stats.objects + 1;
+        cfg.stats.words <- cfg.stats.words + 1 + List.length args
+      end;
+      VCon (dc, ops)
+  | _ -> invalid_arg "value_of_whnf: not a WHNF"
+
+and bind_let cfg env (x : var) rhs =
+  if is_whnf rhs then bind_operand x (operand_of_whnf cfg env rhs) env
+  else
+    (* [operand_of_arg] speculates cheap right-hand sides (variables,
+       literals, primops over evaluated operands) without allocating;
+       anything else becomes a thunk. *)
+    bind_operand x (operand_of_arg cfg env rhs) env
+
+and operand_of_whnf cfg env rhs =
+  match value_of_whnf cfg env rhs with
+  | VLit l -> Imm l
+  | v -> Ptr (ref (Value v))
+
+(* Note: the cell for a WHNF value was already counted inside
+   [value_of_whnf]; the [ref] above is representation, not a fresh
+   object. *)
+
+let match_alt (dc_opt : [ `Con of Datacon.t | `Lit of Literal.t ]) alts =
+  let matches { alt_pat; _ } =
+    match (alt_pat, dc_opt) with
+    | PCon (d, _), `Con dc -> Datacon.equal d dc
+    | PLit l, `Lit l' -> Literal.equal l l'
+    | _ -> false
+  in
+  match List.find_opt matches alts with
+  | Some a -> Some a
+  | None ->
+      List.find_opt (fun { alt_pat; _ } -> alt_pat = PDefault) alts
+
+(** Run [e] in [env0]. Raises {!Stuck} on type errors, {!Out_of_fuel}
+    when [fuel] machine steps are exhausted. *)
+let eval ?(mode = By_need) ?(fuel = max_int) ?(env = empty_env) e :
+    value * stats =
+  let cfg = { mode; stats = fresh_stats (); fuel } in
+  let tick () =
+    cfg.stats.steps <- cfg.stats.steps + 1;
+    cfg.fuel <- cfg.fuel - 1;
+    if cfg.fuel <= 0 then raise Out_of_fuel
+  in
+  (* [run env e stack] — the [push]/[beta]/[bind]/[look]/[case]/[jump]
+     transitions. Written in CPS over an explicit stack, tail-recursive. *)
+  let rec run env (e : expr) (stack : frame list) : value =
+    tick ();
+    match e with
+    | Lit l -> ret (VLit l) stack
+    | Var v -> (
+        match Ident.Map.find_opt v.v_name env.vars with
+        | None -> stuck "unbound variable %a" Ident.pp v.v_name
+        | Some (Imm l) -> ret (VLit l) stack
+        | Some (Ptr cell) -> force cell stack)
+    | Con _ -> ret (value_of_whnf cfg env e) stack
+    | Lam _ | TyLam _ -> ret (value_of_whnf cfg env e) stack
+    | Prim (op, []) -> ret (apply_prim op []) stack
+    | Prim (op, a :: rest) -> (
+        match eval_cheap env e with
+        | Some v -> ret v stack
+        | None ->
+            run env a (FPrim (op, [], List.map (fun e -> (env, e)) rest) :: stack))
+    | App (f, a) -> run env f (FArg (env, a) :: stack)
+    | TyApp (f, _) -> run env f (FTyArg :: stack)
+    | Let (NonRec (x, rhs), body) ->
+        run (bind_let cfg env x rhs) body stack
+    | Let (Strict (x, rhs), body) ->
+        (* Evaluate the right-hand side to WHNF first; an unboxed
+           result binds with no allocation. *)
+        if is_whnf rhs then run (bind_let cfg env x rhs) body stack
+        else (
+          match eval_cheap env rhs with
+          | Some v ->
+              run (bind_operand x (operand_of_value v) env) body stack
+          | None -> run env rhs (FStrict (env, x, body) :: stack))
+    | Let (Rec pairs, body) ->
+        (* Allocate cells first so the closures can see each other. *)
+        let cells =
+          List.map
+            (fun (x, rhs) ->
+              (x, rhs, alloc_cell cfg ~words:closure_words Blackhole))
+            pairs
+        in
+        let env' =
+          List.fold_left
+            (fun env (x, _, cell) -> bind_operand x (Ptr cell) env)
+            env cells
+        in
+        List.iter
+          (fun (_, rhs, cell) ->
+            if is_whnf rhs then
+              (* The object was already counted as the recursive cell. *)
+              cell :=
+                Value
+                  (match rhs with
+                  | Lit l -> VLit l
+                  | Lam _ ->
+                      let rec collect acc = function
+                        | Lam (x, b) -> collect (x :: acc) b
+                        | b -> (List.rev acc, b)
+                      in
+                      let params, body = collect [] rhs in
+                      VFun (env', params, body)
+                  | TyLam (a, b) -> VTyFun (env', a, b)
+                  | Con (dc, _, args) ->
+                      VCon (dc, List.map (operand_of_arg cfg env') args)
+                  | _ -> assert false)
+            else cell := Thunk (env', rhs))
+          cells;
+        run env' body stack
+    | Case (scrut, alts) -> run env scrut (FCase (env, alts) :: stack)
+    | Join (jb, body) ->
+        cfg.stats.joins_entered <- cfg.stats.joins_entered + 1;
+        let ds = join_defns jb in
+        let jps =
+          List.map
+            (fun d -> (d, { jp_defn = d; jp_env = env; jp_stack = stack }))
+            ds
+        in
+        let env' =
+          List.fold_left
+            (fun env (d, jp) ->
+              { env with joins = Ident.Map.add d.j_var.v_name jp env.joins })
+            env jps
+        in
+        (* Tie the knot: recursive join points see their siblings. *)
+        (match jb with
+        | JNonRec _ -> ()
+        | JRec _ -> List.iter (fun (_, jp) -> jp.jp_env <- env') jps);
+        run env' body stack
+    | Jump (j, _, args, _) -> (
+        match Ident.Map.find_opt j.v_name env.joins with
+        | None -> stuck "jump to unbound label %a" Ident.pp j.v_name
+        | Some jp ->
+            cfg.stats.jumps <- cfg.stats.jumps + 1;
+            let d = jp.jp_defn in
+            if List.length args <> List.length d.j_params then
+              stuck "jump to %a: wrong arity" Ident.pp j.v_name;
+            (* Arguments are prepared in the current environment... *)
+            let ops = List.map (operand_of_arg cfg env) args in
+            let env' =
+              List.fold_left2
+                (fun env p op -> bind_operand p op env)
+                jp.jp_env d.j_params ops
+            in
+            (* ...then the stack is truncated to the binding's: this is
+               the [jump] rule popping [s']. No allocation. *)
+            run env' d.j_rhs jp.jp_stack)
+  (* Return a value to the topmost frame. *)
+  and ret (v : value) (stack : frame list) : value =
+    match stack with
+    | [] -> v
+    | FUpdate cell :: rest ->
+        cell := Value v;
+        ret v rest
+    | FStrict (senv, x, body) :: rest ->
+        run (bind_operand x (operand_of_value v) senv) body rest
+    | FArg _ :: _ -> (
+        match v with
+        | VFun (cenv, params, body) ->
+            (* Bind as many pending arguments as we have parameters;
+               a leftover parameter prefix becomes a PAP (allocated);
+               leftover argument frames continue on the result. *)
+            let rec bind env params stack =
+              match (params, stack) with
+              | [], _ -> run env body stack
+              | _ :: _, FArg (aenv, arg) :: rest ->
+                  let op = operand_of_arg cfg aenv arg in
+                  bind
+                    (bind_operand (List.hd params) op env)
+                    (List.tl params) rest
+              | _ :: _, _ ->
+                  (* Under-saturated: allocate a partial application. *)
+                  cfg.stats.objects <- cfg.stats.objects + 1;
+                  cfg.stats.words <- cfg.stats.words + closure_words;
+                  ret (VFun (env, params, body)) stack
+            in
+            bind cenv params stack
+        | _ -> stuck "applying a non-function")
+    | FTyArg :: rest -> (
+        match v with
+        | VTyFun (cenv, _, body) -> run cenv body rest
+        | _ -> stuck "type-applying a non-type-function")
+    | FCase (cenv, alts) :: rest -> (
+        let key =
+          match v with
+          | VCon (dc, _) -> `Con dc
+          | VLit l -> `Lit l
+          | _ -> stuck "case on a function value"
+        in
+        match match_alt key alts with
+        | None -> stuck "no matching case alternative"
+        | Some { alt_pat; alt_rhs } ->
+            let env' =
+              match (alt_pat, v) with
+              | PCon (_, xs), VCon (_, ops) ->
+                  List.fold_left2
+                    (fun env x op -> bind_operand x op env)
+                    cenv xs ops
+              | _ -> cenv
+            in
+            run env' alt_rhs rest)
+    | FPrim (op, done_, pending) :: rest -> (
+        let done_ = v :: done_ in
+        match pending with
+        | [] -> ret (apply_prim op (List.rev done_)) rest
+        | (penv, pe) :: pending' ->
+            run penv pe (FPrim (op, done_, pending') :: rest))
+  (* Force a heap cell. *)
+  and force (cell : cell ref) (stack : frame list) : value =
+    match !cell with
+    | Value v -> ret v stack
+    | Blackhole -> stuck "<<loop>> (blackhole entered)"
+    | Thunk (tenv, te) -> (
+        match cfg.mode with
+        | By_name -> run tenv te stack
+        | By_need ->
+            cell := Blackhole;
+            run tenv te (FUpdate cell :: stack))
+  in
+  let v = run env e [] in
+  (v, cfg.stats)
+
+(* ------------------------------------------------------------------ *)
+(* Observation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** A fully-forced first-order view of a value, for comparing results
+    across compiler pipelines in tests and benchmarks. Functions print
+    as [<fun>]; forcing is bounded by [depth]. *)
+type tree = TLit of Literal.t | TCon of string * tree list | TFun
+
+let rec force_deep ?(depth = 1_000_000) ?(fuel = max_int) (v : value) : tree =
+  if depth <= 0 then TFun
+  else
+    match v with
+    | VLit l -> TLit l
+    | VFun _ | VTyFun _ -> TFun
+    | VCon (dc, ops) ->
+        TCon
+          ( dc.name,
+            List.map
+              (fun op ->
+                let v =
+                  match op with
+                  | Imm l -> VLit l
+                  | Ptr cell -> force_operand ~fuel cell
+                in
+                force_deep ~depth:(depth - 1) ~fuel v)
+              ops )
+
+and force_operand ~fuel (cell : cell ref) : value =
+  match !cell with
+  | Value v -> v
+  | Blackhole -> stuck "<<loop>> (blackhole entered during observation)"
+  | Thunk (tenv, te) ->
+      let v, _ = eval ~mode:By_need ~fuel ~env:tenv te in
+      cell := Value v;
+      v
+
+let rec equal_tree a b =
+  match (a, b) with
+  | TLit l, TLit l' -> Literal.equal l l'
+  | TCon (c, xs), TCon (c', ys) ->
+      String.equal c c'
+      && List.length xs = List.length ys
+      && List.for_all2 equal_tree xs ys
+  | TFun, TFun -> true
+  | _ -> false
+
+let rec pp_tree ppf = function
+  | TLit l -> Literal.pp ppf l
+  | TFun -> Fmt.string ppf "<fun>"
+  | TCon (c, []) -> Fmt.string ppf c
+  | TCon (c, args) ->
+      Fmt.pf ppf "(%s%a)" c
+        Fmt.(list ~sep:nop (fun ppf t -> Fmt.pf ppf " %a" pp_tree t))
+        args
+
+(** Run a closed expression and return the deeply-forced result along
+    with allocation statistics. The statistics do {e not} include work
+    done while forcing the result for observation. *)
+let run_deep ?(mode = By_need) ?(fuel = max_int) e : tree * stats =
+  let v, stats = eval ~mode ~fuel e in
+  (force_deep ~fuel v, stats)

@@ -1,0 +1,48 @@
+(** The abstract machine of Fig. 3 with allocation accounting:
+    call-by-name (as in the figure) and call-by-need (update frames).
+    Join bindings capture the stack; a jump truncates back to it —
+    neither allocates. Constructors cost [1 + n] words, closures and
+    thunks 2; literals, nullary constructors and join points are
+    free. *)
+
+type mode = By_name | By_need
+
+type stats = {
+  mutable steps : int;
+  mutable objects : int;
+  mutable words : int;  (** The Table 1 metric. *)
+  mutable jumps : int;
+  mutable joins_entered : int;
+}
+
+val fresh_stats : unit -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+(** Machine values (weak head normal forms). *)
+type value
+
+(** Machine environments. *)
+type env
+
+val empty_env : env
+
+exception Stuck of string
+exception Out_of_fuel
+
+(** Run an expression to WHNF. Defaults: call-by-need, unlimited fuel,
+    empty environment. *)
+val eval :
+  ?mode:mode -> ?fuel:int -> ?env:env -> Syntax.expr -> value * stats
+
+(** A fully-forced first-order view of a value. *)
+type tree = TLit of Literal.t | TCon of string * tree list | TFun
+
+(** Deep-force a value (functions print as [TFun]). *)
+val force_deep : ?depth:int -> ?fuel:int -> value -> tree
+
+val equal_tree : tree -> tree -> bool
+val pp_tree : Format.formatter -> tree -> unit
+
+(** Evaluate and deep-force a closed expression. The statistics do not
+    include the observation forcing. *)
+val run_deep : ?mode:mode -> ?fuel:int -> Syntax.expr -> tree * stats

@@ -1,0 +1,127 @@
+(** The Float In pass: move let bindings inwards, towards their use
+    sites (Sec. 7; [float] of Fig. 4 read right-to-left).
+
+    Floating a binding into a case branch means it is only allocated
+    when that branch is taken; floating it into a case {e scrutinee}
+    turns calls that were blocked by an intervening context into tail
+    calls, which is the first step of the staged Moby derivation of
+    Sec. 4:
+
+    {v let f x = rhs in case f y of alts
+       ==> case (let f x = rhs in f y) of alts   (this pass)
+       ==> case (join f x = rhs in jump f y) of alts  (Contify)
+       ==> join f x = case rhs of alts in ...        (Simplify, jfloat) v}
+
+    A binding is never pushed under a lambda, into a join-point or
+    letrec right-hand side (work duplication), and — per the paper's
+    GHC modifications — Float In {e never un-saturates a join point}
+    (join bindings and jumps are left exactly where they are). *)
+
+open Syntax
+
+let changed = ref false
+
+(* Number of sink targets in [body] that mention [x]: used to require a
+   unique home. *)
+let rec sink (x : var) rhs body : expr option =
+  let free_in e = occurs x.v_name e in
+  match body with
+  | Case (scrut, alts) ->
+      let in_scrut = free_in scrut in
+      let live_alts = List.filter (fun a -> free_in a.alt_rhs) alts in
+      if in_scrut && live_alts = [] then (
+        changed := true;
+        Some (Case (push x rhs scrut, alts)))
+      else if (not in_scrut) && List.length live_alts = 1 then (
+        changed := true;
+        Some
+          (Case
+             ( scrut,
+               List.map
+                 (fun a ->
+                   if free_in a.alt_rhs then
+                     { a with alt_rhs = push x rhs a.alt_rhs }
+                   else a)
+                 alts )))
+      else None
+  | Let (Strict _, _) -> None
+  | Let (NonRec (y, yrhs), body') ->
+      if free_in yrhs then None
+      else if free_in body' then
+        Option.map (fun b -> Let (NonRec (y, yrhs), b)) (sink x rhs body')
+      else None
+  | Join (jb, body') ->
+      (* Never disturb join right-hand sides; sink into the body only. *)
+      let rhss_free =
+        List.exists (fun d -> occurs x.v_name d.j_rhs) (join_defns jb)
+      in
+      if rhss_free then None
+      else Option.map (fun b -> Join (jb, b)) (sink x rhs body')
+  | App (f, a) ->
+      (* Never separate a bound variable from its arguments: pushing
+         [let x = ...] into the head of a call [x a1 .. an] would
+         un-saturate it (the same pitfall the paper fixed in GHC's
+         Float In for join points, Sec. 7) and block contification. *)
+      let head_is_x =
+        match fst (collect_args body) with
+        | Var v -> Ident.equal v.v_name x.v_name
+        | _ -> false
+      in
+      if head_is_x then None
+      else if free_in f && not (free_in a) then (
+        changed := true;
+        Some (App (push x rhs f, a)))
+      else if free_in a && not (free_in f) then (
+        changed := true;
+        Some (App (f, push x rhs a)))
+      else None
+  | TyApp (f, t) ->
+      if free_in f then (
+        changed := true;
+        Some (TyApp (push x rhs f, t)))
+      else None
+  | _ -> None
+
+and push x rhs e = Let (NonRec (x, rhs), e)
+
+(** One bottom-up Float In pass. *)
+let rec float_in (e : expr) : expr =
+  match e with
+  | Var _ | Lit _ -> e
+  | Con (dc, phis, es) -> Con (dc, phis, List.map float_in es)
+  | Prim (op, es) -> Prim (op, List.map float_in es)
+  | App (f, a) -> App (float_in f, float_in a)
+  | TyApp (f, t) -> TyApp (float_in f, t)
+  | Lam (x, b) -> Lam (x, float_in b)
+  | TyLam (a, b) -> TyLam (a, float_in b)
+  | Let (Strict (x, rhs), body) ->
+      Let (Strict (x, float_in rhs), float_in body)
+  | Let (NonRec (x, rhs), body) -> (
+      let rhs = float_in rhs in
+      let body = float_in body in
+      match sink x rhs body with
+      | Some e' -> float_in e'
+      | None -> Let (NonRec (x, rhs), body))
+  | Let (Rec pairs, body) ->
+      Let
+        ( Rec (List.map (fun (x, rhs) -> (x, float_in rhs)) pairs),
+          float_in body )
+  | Case (scrut, alts) ->
+      Case
+        ( float_in scrut,
+          List.map (fun a -> { a with alt_rhs = float_in a.alt_rhs }) alts )
+  | Join (jb, body) ->
+      let jb' =
+        match jb with
+        | JNonRec d -> JNonRec { d with j_rhs = float_in d.j_rhs }
+        | JRec ds ->
+            JRec (List.map (fun d -> { d with j_rhs = float_in d.j_rhs }) ds)
+      in
+      Join (jb', float_in body)
+  | Jump (j, phis, es, ty) -> Jump (j, phis, List.map float_in es, ty)
+
+(** Entry point: returns the floated term and whether anything moved. *)
+let run (e : expr) : expr * bool =
+  changed := false;
+  let e' = float_in e in
+  (e', !changed)

@@ -1,0 +1,7 @@
+(** The Float In pass: move let bindings toward their use sites
+    (enabling contification, cf. the Moby staging of Sec. 4). Never
+    pushes under a lambda, into join/letrec right-hand sides, or into
+    the head of a call (un-saturation, Sec. 7). *)
+
+(** Returns the floated term and whether anything moved. *)
+val run : Syntax.expr -> Syntax.expr * bool

@@ -1,0 +1,96 @@
+(** The Float Out pass: move let bindings outwards (a light version of
+    GHC's full laziness [20]).
+
+    A binding whose right-hand side does not mention the enclosing
+    lambda's binder can be allocated once, outside the lambda, instead
+    of once per call.
+
+    Per the paper's GHC modifications (Sec. 7): {b moving a join
+    binding outwards risks destroying the join point} (it can separate
+    the binding from the evaluation context its jumps must return to,
+    or capture it in a closure), so Float Out {e leaves join bindings
+    alone}. The test suite checks this. *)
+
+open Syntax
+
+let changed = ref false
+
+(* Collect consecutive non-recursive lets at the top of [e] whose
+   right-hand sides do not mention any variable in [blocked]; return
+   them (outermost first) and the stripped body. Join bindings stop the
+   collection: they are never floated. *)
+let rec split_floatable blocked (e : expr) =
+  match e with
+  | Let (NonRec (x, rhs), body)
+    when Ident.Set.is_empty (Ident.Set.inter blocked (free_vars rhs)) ->
+      let floats, body' = split_floatable blocked body in
+      ((x, rhs) :: floats, body')
+  | _ -> ([], e)
+
+let wrap_floats floats e =
+  List.fold_right (fun (x, rhs) acc -> Let (NonRec (x, rhs), acc)) floats e
+
+(** One bottom-up Float Out pass. *)
+let rec float_out (e : expr) : expr =
+  match e with
+  | Var _ | Lit _ -> e
+  | Con (dc, phis, es) -> Con (dc, phis, List.map float_out es)
+  | Prim (op, es) -> Prim (op, List.map float_out es)
+  | App (f, a) -> App (float_out f, float_out a)
+  | TyApp (f, t) -> TyApp (float_out f, t)
+  | Lam (x, b) -> (
+      let b = float_out b in
+      let blocked = Ident.Set.singleton x.v_name in
+      match split_floatable blocked b with
+      | [], _ -> Lam (x, b)
+      | floats, body' ->
+          changed := true;
+          wrap_floats floats (Lam (x, body')))
+  | TyLam (a, b) -> (
+      let b = float_out b in
+      let blocked = Ident.Set.singleton a in
+      (* For a type lambda the blocking variable is a type variable;
+         check the rhs's free type variables. *)
+      let rec split e =
+        match e with
+        | Let (NonRec (x, rhs), body)
+          when not (Ident.Set.mem a (free_ty_vars rhs))
+               && not (Ident.Set.mem a (Types.free_vars x.v_ty)) ->
+            let fs, body' = split body in
+            ((x, rhs) :: fs, body')
+        | _ -> ([], e)
+      in
+      ignore blocked;
+      match split b with
+      | [], _ -> TyLam (a, b)
+      | floats, body' ->
+          changed := true;
+          wrap_floats floats (TyLam (a, body')))
+  | Let (NonRec (x, rhs), body) ->
+      Let (NonRec (x, float_out rhs), float_out body)
+  | Let (Strict (x, rhs), body) ->
+      Let (Strict (x, float_out rhs), float_out body)
+  | Let (Rec pairs, body) ->
+      Let
+        ( Rec (List.map (fun (x, rhs) -> (x, float_out rhs)) pairs),
+          float_out body )
+  | Case (scrut, alts) ->
+      Case
+        ( float_out scrut,
+          List.map (fun a -> { a with alt_rhs = float_out a.alt_rhs }) alts )
+  | Join (jb, body) ->
+      (* Join bindings are not floated, but we still traverse inside. *)
+      let jb' =
+        match jb with
+        | JNonRec d -> JNonRec { d with j_rhs = float_out d.j_rhs }
+        | JRec ds ->
+            JRec (List.map (fun d -> { d with j_rhs = float_out d.j_rhs }) ds)
+      in
+      Join (jb', float_out body)
+  | Jump (j, phis, es, ty) -> Jump (j, phis, List.map float_out es, ty)
+
+(** Entry point: returns the floated term and whether anything moved. *)
+let run (e : expr) : expr * bool =
+  changed := false;
+  let e' = float_out e in
+  (e', !changed)

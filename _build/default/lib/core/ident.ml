@@ -1,0 +1,63 @@
+(** Globally-unique identifiers.
+
+    Every binder in the System F_J intermediate representation carries an
+    identifier with a globally unique integer key (a [Unique] in GHC
+    parlance). Identity is decided solely by the key; the textual name is
+    kept only for printing and debugging. Substitution avoids capture by
+    refreshing binders, i.e. by allocating a new key while keeping the
+    human-readable name. *)
+
+type t = {
+  name : string;  (** Human-readable hint, not significant for identity. *)
+  id : int;  (** Globally unique key; the sole basis of identity. *)
+}
+
+let counter = ref 0
+
+(** [fresh name] allocates a brand-new identifier with hint [name]. *)
+let fresh name =
+  incr counter;
+  { name; id = !counter }
+
+(** [refresh x] allocates a new identifier with the same name hint as [x]
+    but a distinct key. Used when cloning binders during substitution. *)
+let refresh t = fresh t.name
+
+(** [equal a b] holds iff the two identifiers have the same unique key. *)
+let equal a b = Int.equal a.id b.id
+
+(** Total order on the unique key (names are ignored). *)
+let compare a b = Int.compare a.id b.id
+
+let hash t = t.id
+let name t = t.name
+let id t = t.id
+
+(** Pretty-print as [name_id]; stable and unambiguous within a run. *)
+let pp ppf t = Fmt.pf ppf "%s_%d" t.name t.id
+
+let to_string t = Fmt.str "%a" pp t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
+(** Reset the global supply. Only for deterministic test output; never
+    call while terms built under the old supply are still alive. *)
+let unsafe_reset_counter () = counter := 0
+
+(** Ensure future {!fresh} keys exceed [n]. Called by deserialisers so
+    loaded uniques can never collide with newly allocated ones. *)
+let ensure_above n = if !counter <= n then counter := n + 1

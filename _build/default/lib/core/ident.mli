@@ -1,0 +1,31 @@
+(** Globally-unique identifiers (GHC-style uniques). Identity is the
+    integer key; the name is a printing hint. *)
+
+type t = { name : string; id : int }
+
+(** Allocate a brand-new identifier with the given name hint. *)
+val fresh : string -> t
+
+(** New identifier with the same name hint but a distinct key. *)
+val refresh : t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val name : t -> string
+val id : t -> int
+
+(** Prints as [name_id]. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Tbl : Hashtbl.S with type key = t
+
+(** Reset the global supply — tests only. *)
+val unsafe_reset_counter : unit -> unit
+
+(** Ensure future {!fresh} keys exceed [n] (used by deserialisers). *)
+val ensure_above : int -> unit

@@ -1,0 +1,39 @@
+(** Unboxed literals.
+
+    The paper's Fig. 1 has only algebraic data; like GHC Core we add
+    machine literals so that realistic benchmark programs can be written
+    (see DESIGN.md, "Substitutions"). Literals are unboxed: evaluating
+    one never allocates. *)
+
+type t =
+  | Int of int  (** Machine integer, [Int]. *)
+  | Char of char  (** Machine character, [Char]. *)
+  | String of string  (** Immutable string constant, [String]. *)
+
+(** The type of a literal. *)
+let ty = function
+  | Int _ -> Types.int
+  | Char _ -> Types.char
+  | String _ -> Types.string
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> Int.equal x y
+  | Char x, Char y -> Char.equal x y
+  | String x, String y -> String.equal x y
+  | _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Int.compare x y
+  | Char x, Char y -> Char.compare x y
+  | String x, String y -> String.compare x y
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Char _, _ -> -1
+  | _, Char _ -> 1
+
+let pp ppf = function
+  | Int n -> Fmt.int ppf n
+  | Char c -> Fmt.pf ppf "%C" c
+  | String s -> Fmt.pf ppf "%S" s

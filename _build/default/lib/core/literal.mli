@@ -1,0 +1,9 @@
+(** Unboxed literals (an addition over the paper's Fig. 1, as in GHC
+    Core); evaluating one never allocates. *)
+
+type t = Int of int | Char of char | String of string
+
+val ty : t -> Types.t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

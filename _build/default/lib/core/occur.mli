@@ -1,0 +1,31 @@
+(** Occurrence analysis: counts, under-lambda flags, and the
+    tail-call/shape tracking that drives contification (Sec. 4). *)
+
+type call_shape = { n_ty : int; n_val : int }
+
+type info = {
+  count : int;
+  under_lam : bool;
+  all_tail : bool;
+  shape : call_shape option;
+}
+
+type t = info Ident.Map.t
+
+val no_info : info
+val union : t -> t -> t
+
+(** Usage info for the free variables of an expression; [tail] says
+    whether the expression itself is in tail position. *)
+val analyze : tail:bool -> Syntax.expr -> t
+
+(** Analysis of a complete (tail-position) expression. *)
+val of_expr : Syntax.expr -> t
+
+(** Also record the usage of every binder (keyed by unique) — consumed
+    by the simplifier. *)
+val with_binder_info : Syntax.expr -> t * info Ident.Map.t
+
+val lookup : t -> Syntax.var -> info
+val is_dead : t -> Syntax.var -> bool
+val occurs_once_safely : t -> Syntax.var -> bool

@@ -1,0 +1,161 @@
+(** The Core-to-Core pass pipeline.
+
+    Three compiler configurations, matching the experimental contrast
+    of Sec. 7 plus one ablation:
+
+    - {b Join_points} — the paper's compiler: Float In, contification
+      (run "whenever the occurrence analyzer runs"), and the Simplifier
+      with [jfloat]/[abort], iterated; Float Out at the end.
+    - {b Baseline} — pre-join-point GHC, the paper's baseline: same
+      pipeline but contification off and shared case alternatives bound
+      as ordinary lets. (The {e back end} — see {!Fj_machine.Lower} —
+      still recognises non-escaping tail-called bindings, as the
+      paper's baseline does.)
+    - {b No_cc} — commuting conversions disabled entirely; quantifies
+      the Sec. 2 claim that they are "tremendously important in
+      practice".
+
+    [run] optionally Lints between every pass, which is how the test
+    suite "forensically identifies" any pass that destroys typing. *)
+
+open Syntax
+
+type mode = Baseline | Join_points | No_cc
+
+let mode_name = function
+  | Baseline -> "baseline"
+  | Join_points -> "join-points"
+  | No_cc -> "no-commuting-conversions"
+
+type config = {
+  mode : mode;
+  iterations : int;  (** Rounds of (float-in; contify; simplify). *)
+  inline_threshold : int;
+  dup_threshold : int;
+  strictness : bool;
+      (** Run the demand analysis ({!Demand}) each round. Applies under
+          every mode — the paper's baseline GHC has strictness analysis
+          too; only the join-point-specific parts differ. *)
+  cse : bool;  (** Run common sub-expression elimination each round. *)
+  rules : Rules.rule list;
+      (** User rewrite RULES (Sec. 8), applied once per round before
+          the simplifier — like GHC, rules fire interleaved with
+          inlining so that library-author equations (e.g.
+          stream/unstream) meet their redexes. *)
+  spec_constr : bool;
+      (** Run call-pattern specialisation ({!Spec_constr}) each round
+          (only effective on recursive join points, i.e. under
+          [Join_points]). *)
+  datacons : Datacon.env;
+  lint_every_pass : bool;
+      (** Typecheck between passes; raise {!Pass_broke_lint} on
+          failure. *)
+}
+
+let default_config ?(mode = Join_points) ?(iterations = 3)
+    ?(inline_threshold = 60) ?(dup_threshold = 12) ?(strictness = true)
+    ?(cse = true) ?(spec_constr = true) ?(rules = [])
+    ?(datacons = Datacon.builtins) ?(lint_every_pass = false) () =
+  { mode; iterations; inline_threshold; dup_threshold; strictness; cse;
+    rules; spec_constr; datacons; lint_every_pass }
+
+exception Pass_broke_lint of string * Lint.error
+
+type report = {
+  mutable trail : (string * int) list;  (** (pass, size after), reversed. *)
+  mutable contified : int;
+}
+
+let fresh_report () = { trail = []; contified = 0 }
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>%a@]"
+    Fmt.(
+      list ~sep:cut (fun ppf (p, n) -> Fmt.pf ppf "%-28s size %d" p n))
+    (List.rev r.trail)
+
+let simplify_config (c : config) : Simplify.config =
+  {
+    Simplify.join_points = (c.mode = Join_points);
+    case_of_case = c.mode <> No_cc;
+    inline_threshold = c.inline_threshold;
+    dup_threshold = c.dup_threshold;
+    datacons = c.datacons;
+  }
+
+(** Run the configured pipeline. Returns the optimised term and a
+    report of the passes run. *)
+let run_report (c : config) (e : expr) : expr * report =
+  let report = fresh_report () in
+  let check pass e =
+    report.trail <- (pass, size e) :: report.trail;
+    if c.lint_every_pass then begin
+      match Lint.lint_result c.datacons e with
+      | Ok _ -> ()
+      | Error err -> raise (Pass_broke_lint (pass, err))
+    end;
+    e
+  in
+  let scfg = simplify_config c in
+  let e = check "input" e in
+  let rec rounds i e =
+    if i >= c.iterations then e
+    else
+      let e, _ = Float_in.run e in
+      let e = check (Fmt.str "float-in (%d)" i) e in
+      let e =
+        if c.mode = Join_points then begin
+          let before = Contify.stats.contified in
+          let e = Contify.contify e in
+          report.contified <-
+            report.contified + (Contify.stats.contified - before);
+          check (Fmt.str "contify (%d)" i) e
+        end
+        else e
+      in
+      let e =
+        if c.rules = [] then e
+        else begin
+          let e, fired = Rules.rewrite c.rules e in
+          if fired <> [] then
+            report.trail <-
+              (Fmt.str "rules (%d): %s" i (String.concat "," fired), size e)
+              :: report.trail;
+          e
+        end
+      in
+      let e =
+        if c.spec_constr && c.mode = Join_points then
+          check (Fmt.str "spec-constr (%d)" i) (Spec_constr.run e)
+        else e
+      in
+      let e =
+        if c.strictness then begin
+          let e = Demand.strictify e in
+          check (Fmt.str "demand (%d)" i) e
+        end
+        else e
+      in
+      let e = Simplify.simplify ~max_iters:6 scfg e in
+      let e = check (Fmt.str "simplify (%d)" i) e in
+      let e =
+        if c.cse then check (Fmt.str "cse (%d)" i) (Cse.run e) else e
+      in
+      rounds (i + 1) e
+  in
+  let e = rounds 0 e in
+  let e, _ = Float_out.run e in
+  let e = check "float-out" e in
+  let e = Simplify.simplify ~max_iters:4 scfg e in
+  let e = check "simplify (final)" e in
+  (e, report)
+
+let run c e = fst (run_report c e)
+
+(** Convenience: optimise under every mode and return the association
+    list (used by the benchmark harness). *)
+let run_all_modes ?(iterations = 3) ?(datacons = Datacon.builtins) e =
+  List.map
+    (fun mode ->
+      (mode, run (default_config ~mode ~iterations ~datacons ()) e))
+    [ Baseline; Join_points; No_cc ]

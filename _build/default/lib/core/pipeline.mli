@@ -1,0 +1,57 @@
+(** The Core-to-Core pass pipeline: the three compiler configurations
+    of the paper's experiment (join-points, pre-join-point baseline,
+    and a no-commuting-conversions ablation). *)
+
+type mode = Baseline | Join_points | No_cc
+
+val mode_name : mode -> string
+
+type config = {
+  mode : mode;
+  iterations : int;
+  inline_threshold : int;
+  dup_threshold : int;
+  strictness : bool;
+  cse : bool;
+  rules : Rules.rule list;
+  spec_constr : bool;
+  datacons : Datacon.env;
+  lint_every_pass : bool;
+}
+
+val default_config :
+  ?mode:mode ->
+  ?iterations:int ->
+  ?inline_threshold:int ->
+  ?dup_threshold:int ->
+  ?strictness:bool ->
+  ?cse:bool ->
+  ?spec_constr:bool ->
+  ?rules:Rules.rule list ->
+  ?datacons:Datacon.env ->
+  ?lint_every_pass:bool ->
+  unit ->
+  config
+
+(** Raised by {!run_report} when [lint_every_pass] is set and a pass
+    breaks typing — the paper's "forensic" use of Core Lint (Sec. 7). *)
+exception Pass_broke_lint of string * Lint.error
+
+type report = {
+  mutable trail : (string * int) list;  (** (pass name, size after). *)
+  mutable contified : int;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+(** Run the configured pipeline; also returns the pass report. *)
+val run_report : config -> Syntax.expr -> Syntax.expr * report
+
+val run : config -> Syntax.expr -> Syntax.expr
+
+(** Optimise under every mode (used by the benchmark harness). *)
+val run_all_modes :
+  ?iterations:int ->
+  ?datacons:Datacon.env ->
+  Syntax.expr ->
+  (mode * Syntax.expr) list

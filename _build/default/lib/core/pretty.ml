@@ -1,0 +1,133 @@
+(** Pretty-printing of System F_J terms, in the style of GHC's Core
+    dumps. Haskell programmers "pore over Core dumps" (Sec. 8); so will
+    users of this library, so the output is kept close to the paper's
+    notation: [join j x = rhs in body], [jump j @phi e tau]. *)
+
+open Syntax
+
+let pp_var_bind ppf (v : var) =
+  Fmt.pf ppf "(%a : %a)" Ident.pp v.v_name Types.pp v.v_ty
+
+let pp_var_occ ppf (v : var) = Ident.pp ppf v.v_name
+
+let rec pp_expr prec ppf e =
+  match e with
+  | Var v -> pp_var_occ ppf v
+  | Lit l -> Literal.pp ppf l
+  | Con (dc, phis, es) ->
+      let doc ppf () =
+        Fmt.pf ppf "%a%a%a" Datacon.pp dc
+          Fmt.(list ~sep:nop (fun ppf t -> Fmt.pf ppf " @%a" (ty_prec 11) t))
+          phis
+          Fmt.(list ~sep:nop (fun ppf e -> Fmt.pf ppf " %a" (pp_expr 11) e))
+          es
+      in
+      if prec > 10 && (phis <> [] || es <> []) then Fmt.parens doc ppf ()
+      else doc ppf ()
+  | Prim (op, es) ->
+      let doc ppf () =
+        Fmt.pf ppf "%a%a" Primop.pp op
+          Fmt.(list ~sep:nop (fun ppf e -> Fmt.pf ppf " %a" (pp_expr 11) e))
+          es
+      in
+      if prec > 10 then Fmt.parens doc ppf () else doc ppf ()
+  | App _ | TyApp _ ->
+      let head, args = collect_args e in
+      let doc ppf () =
+        Fmt.pf ppf "%a%a" (pp_expr 11) head
+          Fmt.(
+            list ~sep:nop (fun ppf -> function
+              | `Ty t -> Fmt.pf ppf " @%a" (ty_prec 11) t
+              | `Val e -> Fmt.pf ppf " %a" (pp_expr 11) e))
+          args
+      in
+      if prec > 10 then Fmt.parens doc ppf () else doc ppf ()
+  | Lam _ | TyLam _ ->
+      let binders, body = collect_binders e in
+      let doc ppf () =
+        Fmt.pf ppf "@[<hov 2>\\%a ->@ %a@]"
+          Fmt.(
+            list ~sep:sp (fun ppf -> function
+              | `Val x -> pp_var_bind ppf x
+              | `Ty a -> Fmt.pf ppf "@@%a" Ident.pp a))
+          binders (pp_expr 0) body
+      in
+      if prec > 0 then Fmt.parens doc ppf () else doc ppf ()
+  | Let (b, body) ->
+      let doc ppf () =
+        Fmt.pf ppf "@[<v>@[<hov 2>let %a@]@ in %a@]" pp_bind b (pp_expr 0)
+          body
+      in
+      if prec > 0 then Fmt.parens doc ppf () else doc ppf ()
+  | Case (scrut, alts) ->
+      let doc ppf () =
+        Fmt.pf ppf "@[<v 2>case %a of@ %a@]" (pp_expr 0) scrut
+          Fmt.(list ~sep:cut pp_alt)
+          alts
+      in
+      if prec > 0 then Fmt.parens doc ppf () else doc ppf ()
+  | Join (jb, body) ->
+      let doc ppf () =
+        Fmt.pf ppf "@[<v>@[<hov 2>join %a@]@ in %a@]" pp_jbind jb
+          (pp_expr 0) body
+      in
+      if prec > 0 then Fmt.parens doc ppf () else doc ppf ()
+  | Jump (j, phis, es, ty) ->
+      let doc ppf () =
+        Fmt.pf ppf "jump %a%a%a @@[%a]" pp_var_occ j
+          Fmt.(list ~sep:nop (fun ppf t -> Fmt.pf ppf " @%a" (ty_prec 11) t))
+          phis
+          Fmt.(list ~sep:nop (fun ppf e -> Fmt.pf ppf " %a" (pp_expr 11) e))
+          es (ty_prec 0) ty
+      in
+      if prec > 10 then Fmt.parens doc ppf () else doc ppf ()
+
+and ty_prec prec ppf t =
+  (* Reuse the precedence-aware type printer. *)
+  if prec > 10 then
+    match t with
+    | Types.Var _ | Types.Con _ -> Types.pp ppf t
+    | _ -> Fmt.parens Types.pp ppf t
+  else Types.pp ppf t
+
+and pp_bind ppf = function
+  | NonRec (x, rhs) ->
+      Fmt.pf ppf "@[<hov 2>%a =@ %a@]" pp_var_bind x (pp_expr 0) rhs
+  | Strict (x, rhs) ->
+      Fmt.pf ppf "@[<hov 2>!%a =@ %a@]" pp_var_bind x (pp_expr 0) rhs
+  | Rec pairs ->
+      Fmt.pf ppf "rec { @[<v>%a@] }"
+        Fmt.(
+          list ~sep:(any ";@ ") (fun ppf (x, rhs) ->
+              Fmt.pf ppf "@[<hov 2>%a =@ %a@]" pp_var_bind x (pp_expr 0) rhs))
+        pairs
+
+and pp_jbind ppf = function
+  | JNonRec d -> pp_defn ppf d
+  | JRec ds ->
+      Fmt.pf ppf "rec { @[<v>%a@] }"
+        Fmt.(list ~sep:(any ";@ ") pp_defn)
+        ds
+
+and pp_defn ppf (d : join_defn) =
+  Fmt.pf ppf "@[<hov 2>%a%a%a =@ %a@]" pp_var_occ d.j_var
+    Fmt.(list ~sep:nop (fun ppf a -> Fmt.pf ppf " @@%a" Ident.pp a))
+    d.j_tyvars
+    Fmt.(list ~sep:nop (fun ppf x -> Fmt.pf ppf " %a" pp_var_bind x))
+    d.j_params (pp_expr 0) d.j_rhs
+
+and pp_alt ppf { alt_pat; alt_rhs } =
+  Fmt.pf ppf "@[<hov 2>%a ->@ %a@]" pp_pat alt_pat (pp_expr 0) alt_rhs
+
+and pp_pat ppf = function
+  | PCon (dc, xs) ->
+      Fmt.pf ppf "%a%a" Datacon.pp dc
+        Fmt.(list ~sep:nop (fun ppf x -> Fmt.pf ppf " %a" pp_var_occ x))
+        xs
+  | PLit l -> Literal.pp ppf l
+  | PDefault -> Fmt.string ppf "_"
+
+(** Print an expression at top level. *)
+let pp ppf e = pp_expr 0 ppf e
+
+let to_string e = Fmt.str "@[<v>%a@]" pp e

@@ -1,0 +1,294 @@
+(** S-expression serialisation of System F_J.
+
+    A production compiler persists its IR — GHC writes interface files
+    with unfoldings so that cross-module inlining (which Sec. 2 calls
+    "the key that unlocks a cascade of further optimizations") can see
+    definitions from other compilation units. This module provides that
+    substrate: a complete, round-trippable textual encoding of types,
+    terms and datatype environments.
+
+    Uniques are preserved through a round trip, so a reloaded term is
+    syntactically identical (not merely alpha-equivalent) — checked by
+    the property tests. *)
+
+open Syntax
+
+(* ------------------------------------------------------------------ *)
+(* S-expressions                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type t = Atom of string | List of t list
+
+let rec pp ppf = function
+  | Atom s -> Fmt.string ppf s
+  | List xs -> Fmt.pf ppf "@[<hov 1>(%a)@]" Fmt.(list ~sep:sp pp) xs
+
+let to_string s = Fmt.str "%a" pp s
+
+exception Parse_error of string
+
+(* A small reader: atoms are runs of non-delimiter characters; strings
+   are quoted with OCaml escapes. *)
+let parse_string (src : string) : t =
+  let n = String.length src in
+  let pos = ref 0 in
+  let error fmt = Fmt.kstr (fun m -> raise (Parse_error m)) fmt in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n && (src.[!pos] = ' ' || src.[!pos] = '\n' || src.[!pos] = '\t'
+                  || src.[!pos] = '\r')
+    do
+      incr pos
+    done
+  in
+  let read_quoted () =
+    (* Assumes src.[!pos] = '"'. *)
+    let start = !pos in
+    incr pos;
+    let rec scan () =
+      if !pos >= n then error "unterminated string"
+      else
+        match src.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            pos := !pos + 2;
+            scan ()
+        | _ ->
+            incr pos;
+            scan ()
+    in
+    scan ();
+    String.sub src start (!pos - start)
+  in
+  let rec read () =
+    skip_ws ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some '(' ->
+        incr pos;
+        let rec items acc =
+          skip_ws ();
+          match peek () with
+          | Some ')' ->
+              incr pos;
+              List (List.rev acc)
+          | None -> error "unclosed list"
+          | _ -> items (read () :: acc)
+        in
+        items []
+    | Some ')' -> error "unexpected ')'"
+    | Some '"' -> Atom (read_quoted ())
+    | Some _ ->
+        let start = !pos in
+        while
+          !pos < n
+          && not
+               (List.mem src.[!pos] [ ' '; '\n'; '\t'; '\r'; '('; ')'; '"' ])
+        do
+          incr pos
+        done;
+        Atom (String.sub src start (!pos - start))
+  in
+  let s = read () in
+  skip_ws ();
+  if !pos <> n then error "trailing input at offset %d" !pos;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Writers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let of_ident (i : Ident.t) = Atom (Fmt.str "%s.%d" (Ident.name i) (Ident.id i))
+
+let rec of_ty (t : Types.t) : t =
+  match t with
+  | Types.Var a -> List [ Atom "tv"; of_ident a ]
+  | Types.Con c -> List [ Atom "tc"; Atom c ]
+  | Types.App (f, a) -> List [ Atom "tapp"; of_ty f; of_ty a ]
+  | Types.Arrow (a, b) -> List [ Atom "->"; of_ty a; of_ty b ]
+  | Types.Forall (a, b) -> List [ Atom "forall"; of_ident a; of_ty b ]
+
+let of_var (v : var) : t = List [ of_ident v.v_name; of_ty v.v_ty ]
+
+let of_lit (l : Literal.t) : t =
+  match l with
+  | Literal.Int n -> List [ Atom "int"; Atom (string_of_int n) ]
+  | Literal.Char c -> List [ Atom "char"; Atom (string_of_int (Char.code c)) ]
+  | Literal.String s -> List [ Atom "string"; Atom (Fmt.str "%S" s) ]
+
+let rec of_expr (e : expr) : t =
+  match e with
+  | Var v -> List [ Atom "var"; of_var v ]
+  | Lit l -> List [ Atom "lit"; of_lit l ]
+  | Con (dc, phis, es) ->
+      List
+        (Atom "con" :: Atom dc.name
+        :: List (List.map of_ty phis)
+        :: List.map of_expr es)
+  | Prim (op, es) ->
+      List (Atom "prim" :: Atom (Primop.name op) :: List.map of_expr es)
+  | App (f, a) -> List [ Atom "app"; of_expr f; of_expr a ]
+  | TyApp (f, t) -> List [ Atom "tyapp"; of_expr f; of_ty t ]
+  | Lam (x, b) -> List [ Atom "lam"; of_var x; of_expr b ]
+  | TyLam (a, b) -> List [ Atom "tylam"; of_ident a; of_expr b ]
+  | Let (NonRec (x, rhs), body) ->
+      List [ Atom "let"; of_var x; of_expr rhs; of_expr body ]
+  | Let (Strict (x, rhs), body) ->
+      List [ Atom "let!"; of_var x; of_expr rhs; of_expr body ]
+  | Let (Rec pairs, body) ->
+      List
+        [
+          Atom "letrec";
+          List
+            (List.map (fun (x, rhs) -> List [ of_var x; of_expr rhs ]) pairs);
+          of_expr body;
+        ]
+  | Case (scrut, alts) ->
+      List (Atom "case" :: of_expr scrut :: List.map of_alt alts)
+  | Join (JNonRec d, body) ->
+      List [ Atom "join"; of_defn d; of_expr body ]
+  | Join (JRec ds, body) ->
+      List [ Atom "joinrec"; List (List.map of_defn ds); of_expr body ]
+  | Jump (j, phis, es, ty) ->
+      List
+        (Atom "jump" :: of_var j
+        :: List (List.map of_ty phis)
+        :: of_ty ty :: List.map of_expr es)
+
+and of_alt { alt_pat; alt_rhs } =
+  match alt_pat with
+  | PCon (dc, xs) ->
+      List
+        (Atom "pcon" :: Atom dc.name
+        :: List (List.map of_var xs)
+        :: [ of_expr alt_rhs ])
+  | PLit l -> List [ Atom "plit"; of_lit l; of_expr alt_rhs ]
+  | PDefault -> List [ Atom "pdefault"; of_expr alt_rhs ]
+
+and of_defn (d : join_defn) =
+  List
+    [
+      of_var d.j_var;
+      List (List.map of_ident d.j_tyvars);
+      List (List.map of_var d.j_params);
+      of_expr d.j_rhs;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Readers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let error fmt = Fmt.kstr (fun m -> raise (Parse_error m)) fmt
+
+let to_ident = function
+  | Atom s -> (
+      match String.rindex_opt s '.' with
+      | Some i ->
+          let name = String.sub s 0 i in
+          let id =
+            try int_of_string (String.sub s (i + 1) (String.length s - i - 1))
+            with _ -> error "bad ident %s" s
+          in
+          Ident.ensure_above id;
+          ({ Ident.name; id } : Ident.t)
+      | None -> error "bad ident %s" s)
+  | List _ -> error "expected an ident atom"
+
+let rec to_ty (s : t) : Types.t =
+  match s with
+  | List [ Atom "tv"; a ] -> Types.Var (to_ident a)
+  | List [ Atom "tc"; Atom c ] -> Types.Con c
+  | List [ Atom "tapp"; f; a ] -> Types.App (to_ty f, to_ty a)
+  | List [ Atom "->"; a; b ] -> Types.Arrow (to_ty a, to_ty b)
+  | List [ Atom "forall"; a; b ] -> Types.Forall (to_ident a, to_ty b)
+  | _ -> error "bad type: %s" (to_string s)
+
+let to_var = function
+  | List [ name; ty ] -> { v_name = to_ident name; v_ty = to_ty ty }
+  | s -> error "bad variable: %s" (to_string s)
+
+let to_lit = function
+  | List [ Atom "int"; Atom n ] -> Literal.Int (int_of_string n)
+  | List [ Atom "char"; Atom c ] -> Literal.Char (Char.chr (int_of_string c))
+  | List [ Atom "string"; Atom s ] -> Literal.String (Scanf.sscanf s "%S" Fun.id)
+  | s -> error "bad literal: %s" (to_string s)
+
+let primop_of_name name =
+  match List.find_opt (fun op -> Primop.name op = name) Primop.all with
+  | Some op -> op
+  | None -> error "unknown primop %s" name
+
+(** Reading constructors needs the datatype environment. *)
+let rec to_expr (env : Datacon.env) (s : t) : expr =
+  let expr = to_expr env in
+  match s with
+  | List [ Atom "var"; v ] -> Var (to_var v)
+  | List [ Atom "lit"; l ] -> Lit (to_lit l)
+  | List (Atom "con" :: Atom name :: List phis :: es) -> (
+      match Datacon.find_con env name with
+      | Some dc -> Con (dc, List.map to_ty phis, List.map expr es)
+      | None -> error "unknown constructor %s" name)
+  | List (Atom "prim" :: Atom name :: es) ->
+      Prim (primop_of_name name, List.map expr es)
+  | List [ Atom "app"; f; a ] -> App (expr f, expr a)
+  | List [ Atom "tyapp"; f; t ] -> TyApp (expr f, to_ty t)
+  | List [ Atom "lam"; x; b ] -> Lam (to_var x, expr b)
+  | List [ Atom "tylam"; a; b ] -> TyLam (to_ident a, expr b)
+  | List [ Atom "let"; x; rhs; body ] ->
+      Let (NonRec (to_var x, expr rhs), expr body)
+  | List [ Atom "let!"; x; rhs; body ] ->
+      Let (Strict (to_var x, expr rhs), expr body)
+  | List [ Atom "letrec"; List pairs; body ] ->
+      Let
+        ( Rec
+            (List.map
+               (function
+                 | List [ x; rhs ] -> (to_var x, expr rhs)
+                 | s -> error "bad letrec pair: %s" (to_string s))
+               pairs),
+          expr body )
+  | List (Atom "case" :: scrut :: alts) ->
+      Case (expr scrut, List.map (to_alt env) alts)
+  | List [ Atom "join"; d; body ] -> Join (JNonRec (to_defn env d), expr body)
+  | List [ Atom "joinrec"; List ds; body ] ->
+      Join (JRec (List.map (to_defn env) ds), expr body)
+  | List (Atom "jump" :: j :: List phis :: ty :: es) ->
+      Jump (to_var j, List.map to_ty phis, List.map expr es, to_ty ty)
+  | _ -> error "bad expression: %s" (to_string s)
+
+and to_alt env = function
+  | List [ Atom "pcon"; Atom name; List xs; rhs ] -> (
+      match Datacon.find_con env name with
+      | Some dc ->
+          {
+            alt_pat = PCon (dc, List.map to_var xs);
+            alt_rhs = to_expr env rhs;
+          }
+      | None -> error "unknown constructor %s" name)
+  | List [ Atom "plit"; l; rhs ] ->
+      { alt_pat = PLit (to_lit l); alt_rhs = to_expr env rhs }
+  | List [ Atom "pdefault"; rhs ] ->
+      { alt_pat = PDefault; alt_rhs = to_expr env rhs }
+  | s -> error "bad alternative: %s" (to_string s)
+
+and to_defn env = function
+  | List [ jv; List tvs; List ps; rhs ] ->
+      {
+        j_var = to_var jv;
+        j_tyvars = List.map to_ident tvs;
+        j_params = List.map to_var ps;
+        j_rhs = to_expr env rhs;
+      }
+  | s -> error "bad join definition: %s" (to_string s)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program convenience                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Serialise an expression to a string. *)
+let write (e : expr) : string = to_string (of_expr e)
+
+(** Parse an expression back (constructors resolved in [env]). *)
+let read (env : Datacon.env) (src : string) : expr =
+  to_expr env (parse_string src)

@@ -1,0 +1,34 @@
+(** The Simplifier: a context-passing partial evaluator in the style of
+    GHC's (Sec. 7) — inlining, beta, case-of-known-constructor,
+    dead-code, constant folding, and the commuting conversions.
+    Join-point behaviour needs exactly two cases: the continuation is
+    copied into join right-hand sides (jfloat) and discarded at jumps
+    (abort). *)
+
+type config = {
+  join_points : bool;
+      (** Share case alternatives as join points; enable jfloat/abort.
+          When false, behave like pre-join-point GHC (alternatives
+          shared as ordinary lets). *)
+  case_of_case : bool;
+  inline_threshold : int;
+  dup_threshold : int;
+  datacons : Datacon.env;
+}
+
+val default_config :
+  ?join_points:bool ->
+  ?case_of_case:bool ->
+  ?inline_threshold:int ->
+  ?dup_threshold:int ->
+  ?datacons:Datacon.env ->
+  unit ->
+  config
+
+(** One simplifier pass; returns the new term and whether anything
+    changed. *)
+val run_pass : config -> Syntax.expr -> Syntax.expr * bool
+
+(** Iterate {!run_pass} (interleaved with {!Cleanup.cleanup}) to a
+    fixpoint or [max_iters]. *)
+val simplify : ?max_iters:int -> config -> Syntax.expr -> Syntax.expr

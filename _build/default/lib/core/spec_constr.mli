@@ -1,0 +1,14 @@
+(** Call-pattern specialisation (SpecConstr) for recursive join points
+    — the stream-fusion ingredient of Sec. 9 [21]. If every jump to a
+    recursive join point passes the same data constructor in some
+    position, the join point takes the fields instead and the
+    constructor allocation disappears from the loop. *)
+
+type stats = { mutable specialised : int }
+
+val stats : stats
+
+(** Run one layer of specialisation over a whole program (pipeline
+    rounds peel nested constructor layers). Typing- and
+    meaning-preserving. *)
+val run : Syntax.expr -> Syntax.expr

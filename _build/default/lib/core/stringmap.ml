@@ -1,0 +1,3 @@
+(** String-keyed maps, shared across the library. *)
+
+include Map.Make (String)

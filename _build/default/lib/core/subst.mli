@@ -1,0 +1,39 @@
+(** Capture-avoiding substitution: every binder passed is refreshed, so
+    [expr empty e] is an alpha-copy sharing no binders with [e]. *)
+
+type t = {
+  terms : Syntax.expr Ident.Map.t;
+  types : Types.t Ident.Map.t;
+}
+
+val empty : t
+val is_empty : t -> bool
+val add_term : Ident.t -> Syntax.expr -> t -> t
+val add_type : Ident.t -> Types.t -> t -> t
+
+val of_list :
+  ?types:(Ident.t * Types.t) list -> (Ident.t * Syntax.expr) list -> t
+
+val subst_ty : t -> Types.t -> Types.t
+
+(** Refresh one binder, returning it and the extended substitution. *)
+val clone_var : t -> Syntax.var -> Syntax.var * t
+
+val clone_tyvar : t -> Ident.t -> Ident.t * t
+val clone_vars : t -> Syntax.var list -> Syntax.var list * t
+val clone_tyvars : t -> Ident.t list -> Ident.t list * t
+
+(** Apply a substitution to an expression. *)
+val expr : t -> Syntax.expr -> Syntax.expr
+
+(** Apply to one join definition (cloning its binders). *)
+val defn : t -> Syntax.join_defn -> Syntax.join_defn
+
+(** Alpha-copy with entirely fresh binders. *)
+val freshen : Syntax.expr -> Syntax.expr
+
+(** [beta_reduce x arg body] = [body{arg/x}]. *)
+val beta_reduce : Syntax.var -> Syntax.expr -> Syntax.expr -> Syntax.expr
+
+(** [ty_beta_reduce a phi body] = [body{phi/a}]. *)
+val ty_beta_reduce : Ident.t -> Types.t -> Syntax.expr -> Syntax.expr

@@ -1,0 +1,341 @@
+(** Abstract syntax of System F_J terms (Fig. 1 of the paper).
+
+    The term language is System F with datatypes, [let] (possibly
+    recursive), [case], and the paper's two new constructs:
+
+    - [Join (jb, body)] — a join-point binding [join jb in body];
+    - [Jump (j, phis, args, ty)] — a jump [jump j phis args ty], where
+      [ty] is the type the whole jump expression claims (rule JUMP lets
+      a jump claim any type, since it never returns).
+
+    Following the GHC implementation (Sec. 7), a join point's binder is
+    an ordinary {!var} whose type is [forall a. sigmas -> forall r. r];
+    the [Join]/[Jump] constructors are what distinguish it
+    syntactically.
+
+    Beyond the paper we add literals and saturated primops (see
+    DESIGN.md): they are orthogonal to join points and required for
+    realistic benchmarks. *)
+
+(** A term-variable binder: an identifier together with its type. *)
+type var = { v_name : Ident.t; v_ty : Types.t }
+
+type expr =
+  | Var of var  (** Occurrence of a term variable. *)
+  | Lit of Literal.t  (** Unboxed literal. *)
+  | Con of Datacon.t * Types.t list * expr list
+      (** Saturated constructor application [K phis es]. *)
+  | Prim of Primop.t * expr list  (** Saturated primitive operation. *)
+  | App of expr * expr  (** Application [e u]. *)
+  | TyApp of expr * Types.t  (** Type instantiation [e phi]. *)
+  | Lam of var * expr  (** Value abstraction [\x:sigma. e]. *)
+  | TyLam of Ident.t * expr  (** Type abstraction [/\a. e]. *)
+  | Let of bind * expr  (** Value binding [let vb in e]. *)
+  | Case of expr * alt list  (** Case analysis [case e of alts]. *)
+  | Join of jbind * expr  (** Join-point binding [join jb in u]. *)
+  | Jump of var * Types.t list * expr list * Types.t
+      (** [jump j phis es tau]: invoke join point [j]. *)
+
+and bind =
+  | NonRec of var * expr  (** [x : tau = e] *)
+  | Strict of var * expr
+      (** [let! x : tau = e] — a demand-analysis-certified strict
+          binding: the right-hand side is evaluated to WHNF before the
+          body runs. Introduced by {!Demand} where the binder is
+          provably demanded (GHC models these as cases with binders;
+          §7 of the paper discusses strictness analysis for join
+          points). An unboxed-literal result binds with {b no heap
+          allocation} — this is what keeps loop accumulators free. *)
+  | Rec of (var * expr) list  (** [rec x_i : tau_i = e_i] *)
+
+(** One join-point definition [j tyvars params = rhs]. The binder
+    [j_var]'s type is always [Types.join_point_ty] of the parameters. *)
+and join_defn = {
+  j_var : var;
+  j_tyvars : Ident.t list;
+  j_params : var list;
+  j_rhs : expr;
+}
+
+and jbind = JNonRec of join_defn | JRec of join_defn list
+
+and alt = { alt_pat : pat; alt_rhs : expr }
+
+and pat =
+  | PCon of Datacon.t * var list  (** [K x1 ... xn -> rhs] *)
+  | PLit of Literal.t  (** Literal pattern (unboxed match). *)
+  | PDefault  (** Wildcard [DEFAULT]; matches anything. *)
+
+(* ------------------------------------------------------------------ *)
+(* Smart constructors and helpers                                      *)
+(* ------------------------------------------------------------------ *)
+
+let mk_var name ty = { v_name = Ident.fresh name; v_ty = ty }
+let var_occ v = Var v
+
+(** Refresh a binder's identifier, keeping its type. *)
+let refresh_var v = { v with v_name = Ident.refresh v.v_name }
+
+let var_equal a b = Ident.equal a.v_name b.v_name
+
+(** [apps f es] builds the curried application [f e1 ... en]. *)
+let apps f es = List.fold_left (fun acc e -> App (acc, e)) f es
+
+(** [ty_apps f phis] builds [f phi1 ... phin]. *)
+let ty_apps f phis = List.fold_left (fun acc t -> TyApp (acc, t)) f phis
+
+(** [lams xs e] builds [\x1 ... xn. e]. *)
+let lams xs e = List.fold_right (fun x acc -> Lam (x, acc)) xs e
+
+(** [ty_lams as e] builds [/\a1 ... an. e]. *)
+let ty_lams tvs e = List.fold_right (fun a acc -> TyLam (a, acc)) tvs e
+
+(** Fully decompose an application head: returns the head expression,
+    and the spine of type and value arguments in application order. *)
+let collect_args e =
+  let rec go e (args : [ `Ty of Types.t | `Val of expr ] list) =
+    match e with
+    | App (f, a) -> go f (`Val a :: args)
+    | TyApp (f, t) -> go f (`Ty t :: args)
+    | _ -> (e, args)
+  in
+  go e []
+
+(** Strip leading value and type lambdas, in order. *)
+let collect_binders e =
+  let rec go acc = function
+    | Lam (x, b) -> go (`Val x :: acc) b
+    | TyLam (a, b) -> go (`Ty a :: acc) b
+    | e -> (List.rev acc, e)
+  in
+  go [] e
+
+let join_defns = function JNonRec d -> [ d ] | JRec ds -> ds
+let bind_pairs = function
+  | NonRec (x, e) | Strict (x, e) -> [ (x, e) ]
+  | Rec xs -> xs
+let binders_of_bind b = List.map fst (bind_pairs b)
+let binders_of_jbind jb = List.map (fun d -> d.j_var) (join_defns jb)
+
+(** Variables bound by a pattern. *)
+let pat_binders = function PCon (_, xs) -> xs | PLit _ | PDefault -> []
+
+(** A fresh join-point binder for the given type/value parameters. *)
+let mk_join_var name tyvars (params : var list) =
+  mk_var name
+    (Types.join_point_ty tyvars (List.map (fun p -> p.v_ty) params))
+
+(* ------------------------------------------------------------------ *)
+(* Predicates                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Answers [A] of Fig. 1: lambdas, type lambdas and constructor
+    applications to values. Literals are also answers. *)
+let rec is_answer = function
+  | Lam _ | TyLam _ | Lit _ -> true
+  | Con (_, _, args) -> List.for_all is_answer args
+  | Var _ -> false
+  | _ -> false
+
+(** Values for the purpose of the [inline] axiom: anything whose
+    evaluation is complete (a WHNF). Variable occurrences are treated as
+    trivial rather than values. *)
+let is_whnf = function Lam _ | TyLam _ | Lit _ | Con _ -> true | _ -> false
+
+(** Trivial expressions: duplicating them costs nothing at runtime. *)
+let rec is_trivial = function
+  | Var _ | Lit _ -> true
+  | TyApp (e, _) -> is_trivial e
+  | Con (_, _, []) -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Size                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** A crude size measure used by inlining heuristics: the number of
+    syntax nodes, ignoring types. *)
+let rec size e =
+  match e with
+  | Var _ | Lit _ -> 1
+  | Con (_, _, es) | Prim (_, es) -> 1 + List.fold_left (fun n e -> n + size e) 0 es
+  | App (f, a) -> size f + size a
+  | TyApp (f, _) -> size f
+  | Lam (_, b) -> 1 + size b
+  | TyLam (_, b) -> size b
+  | Let (b, body) ->
+      1 + size body
+      + List.fold_left (fun n (_, e) -> n + size e) 0 (bind_pairs b)
+  | Case (scrut, alts) ->
+      1 + size scrut
+      + List.fold_left (fun n a -> n + 1 + size a.alt_rhs) 0 alts
+  | Join (jb, body) ->
+      1 + size body
+      + List.fold_left (fun n d -> n + size d.j_rhs) 0 (join_defns jb)
+  | Jump (_, _, es, _) ->
+      1 + List.fold_left (fun n e -> n + size e) 0 es
+
+(* ------------------------------------------------------------------ *)
+(* Free variables                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Free {e term} variables of an expression — including free labels
+    (join-point names), which live in the same namespace. *)
+let free_vars e =
+  let rec go bound acc e =
+    match e with
+    | Var v ->
+        if Ident.Set.mem v.v_name bound then acc
+        else Ident.Set.add v.v_name acc
+    | Jump (j, _, es, _) ->
+        let acc =
+          if Ident.Set.mem j.v_name bound then acc
+          else Ident.Set.add j.v_name acc
+        in
+        List.fold_left (go bound) acc es
+    | Lit _ -> acc
+    | Con (_, _, es) | Prim (_, es) -> List.fold_left (go bound) acc es
+    | App (f, a) -> go bound (go bound acc f) a
+    | TyApp (f, _) -> go bound acc f
+    | Lam (x, b) -> go (Ident.Set.add x.v_name bound) acc b
+    | TyLam (_, b) -> go bound acc b
+    | Let ((NonRec (x, rhs) | Strict (x, rhs)), body) ->
+        let acc = go bound acc rhs in
+        go (Ident.Set.add x.v_name bound) acc body
+    | Let (Rec pairs, body) ->
+        let bound' =
+          List.fold_left
+            (fun s (x, _) -> Ident.Set.add x.v_name s)
+            bound pairs
+        in
+        let acc =
+          List.fold_left (fun acc (_, rhs) -> go bound' acc rhs) acc pairs
+        in
+        go bound' acc body
+    | Case (scrut, alts) ->
+        let acc = go bound acc scrut in
+        List.fold_left
+          (fun acc { alt_pat; alt_rhs } ->
+            let bound' =
+              List.fold_left
+                (fun s x -> Ident.Set.add x.v_name s)
+                bound (pat_binders alt_pat)
+            in
+            go bound' acc alt_rhs)
+          acc alts
+    | Join (JNonRec d, body) ->
+        let acc = go_defn bound acc d in
+        go (Ident.Set.add d.j_var.v_name bound) acc body
+    | Join (JRec ds, body) ->
+        let bound' =
+          List.fold_left
+            (fun s d -> Ident.Set.add d.j_var.v_name s)
+            bound ds
+        in
+        let acc = List.fold_left (go_defn bound') acc ds in
+        go bound' acc body
+  and go_defn bound acc d =
+    let bound' =
+      List.fold_left
+        (fun s p -> Ident.Set.add p.v_name s)
+        bound d.j_params
+    in
+    go bound' acc d.j_rhs
+  in
+  go Ident.Set.empty Ident.Set.empty e
+
+(** Free type variables (needed by the floating passes). *)
+let free_ty_vars e =
+  let add_ty bound acc ty =
+    Ident.Set.union acc (Ident.Set.diff (Types.free_vars ty) bound)
+  in
+  let add_var bound acc (v : var) = add_ty bound acc v.v_ty in
+  let rec go bound acc e =
+    match e with
+    | Var v -> add_var bound acc v
+    | Lit _ -> acc
+    | Con (_, tys, es) ->
+        let acc = List.fold_left (fun a t -> add_ty bound a t) acc tys in
+        List.fold_left (go bound) acc es
+    | Prim (_, es) -> List.fold_left (go bound) acc es
+    | App (f, a) -> go bound (go bound acc f) a
+    | TyApp (f, t) -> go bound (add_ty bound acc t) f
+    | Lam (x, b) -> go bound (add_var bound acc x) b
+    | TyLam (a, b) -> go (Ident.Set.add a bound) acc b
+    | Let (b, body) ->
+        let acc =
+          List.fold_left
+            (fun acc (x, rhs) -> go bound (add_var bound acc x) rhs)
+            acc (bind_pairs b)
+        in
+        go bound acc body
+    | Case (scrut, alts) ->
+        let acc = go bound acc scrut in
+        List.fold_left
+          (fun acc { alt_pat; alt_rhs } ->
+            let acc =
+              List.fold_left (add_var bound) acc (pat_binders alt_pat)
+            in
+            go bound acc alt_rhs)
+          acc alts
+    | Join (jb, body) ->
+        let acc =
+          List.fold_left
+            (fun acc d ->
+              let bound' =
+                List.fold_left (fun s a -> Ident.Set.add a s) bound d.j_tyvars
+              in
+              let acc =
+                List.fold_left (add_var bound') acc d.j_params
+              in
+              go bound' acc d.j_rhs)
+            acc (join_defns jb)
+        in
+        go bound acc body
+    | Jump (_, tys, es, ty) ->
+        let acc = List.fold_left (add_ty bound) acc tys in
+        let acc = add_ty bound acc ty in
+        List.fold_left (go bound) acc es
+  in
+  go Ident.Set.empty Ident.Set.empty e
+
+(** Does variable [x] occur free in [e]? *)
+let occurs x e = Ident.Set.mem x (free_vars e)
+
+(* ------------------------------------------------------------------ *)
+(* The type of a well-typed expression                                 *)
+(* ------------------------------------------------------------------ *)
+
+exception Ill_typed of string
+
+(** [ty_of e] computes the type of [e], {e assuming} [e] is well-typed
+    (cf. GHC's [exprType]). Use {!Lint} to actually check typing. *)
+let rec ty_of e =
+  match e with
+  | Var v -> v.v_ty
+  | Lit l -> Literal.ty l
+  | Con (dc, phis, _) -> Types.apps (Types.Con dc.tycon) phis
+  | Prim (op, _) -> snd (Primop.signature op)
+  | App (f, _) -> (
+      match ty_of f with
+      | Types.Arrow (_, res) -> res
+      | t ->
+          raise
+            (Ill_typed
+               (Fmt.str "application head has non-function type %a" Types.pp t)))
+  | TyApp (f, phi) -> (
+      match ty_of f with
+      | Types.Forall (a, body) -> Types.subst1 a phi body
+      | t ->
+          raise
+            (Ill_typed
+               (Fmt.str "type application head has type %a" Types.pp t)))
+  | Lam (x, b) -> Types.Arrow (x.v_ty, ty_of b)
+  | TyLam (a, b) -> Types.Forall (a, ty_of b)
+  | Let (_, body) -> ty_of body
+  | Case (_, alts) -> (
+      match alts with
+      | [] -> raise (Ill_typed "empty case")
+      | a :: _ -> ty_of a.alt_rhs)
+  | Join (_, body) -> ty_of body
+  | Jump (_, _, _, ty) -> ty

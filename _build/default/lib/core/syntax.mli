@@ -1,0 +1,115 @@
+(** Abstract syntax of System F_J terms (Fig. 1 of the paper): System F
+    with datatypes, (recursive and strict) lets, case, and the paper's
+    two new constructs — join-point bindings and jumps. Join binders
+    are ordinary variables whose type is [forall a. sigmas -> forall
+    r. r], as in the GHC implementation (Sec. 7). *)
+
+(** A term-variable binder: identifier plus type. *)
+type var = { v_name : Ident.t; v_ty : Types.t }
+
+type expr =
+  | Var of var  (** Variable occurrence. *)
+  | Lit of Literal.t  (** Unboxed literal. *)
+  | Con of Datacon.t * Types.t list * expr list
+      (** Saturated constructor application [K phis es]. *)
+  | Prim of Primop.t * expr list  (** Saturated primitive operation. *)
+  | App of expr * expr
+  | TyApp of expr * Types.t
+  | Lam of var * expr
+  | TyLam of Ident.t * expr
+  | Let of bind * expr
+  | Case of expr * alt list
+  | Join of jbind * expr  (** [join jb in u]. *)
+  | Jump of var * Types.t list * expr list * Types.t
+      (** [jump j phis es tau] — [tau] is the claimed result type
+          (arbitrary: a jump never returns to its context). *)
+
+and bind =
+  | NonRec of var * expr
+  | Strict of var * expr
+      (** Demand-certified strict binding ([let!]): the rhs is
+          evaluated to WHNF before the body (see {!Demand}). *)
+  | Rec of (var * expr) list
+
+(** One join definition [j tyvars params = rhs]; [j_var]'s type is
+    always {!Types.join_point_ty} of the parameters. *)
+and join_defn = {
+  j_var : var;
+  j_tyvars : Ident.t list;
+  j_params : var list;
+  j_rhs : expr;
+}
+
+and jbind = JNonRec of join_defn | JRec of join_defn list
+
+and alt = { alt_pat : pat; alt_rhs : expr }
+
+and pat =
+  | PCon of Datacon.t * var list
+  | PLit of Literal.t
+  | PDefault
+
+(** {1 Smart constructors} *)
+
+val mk_var : string -> Types.t -> var
+val var_occ : var -> expr
+
+(** New unique, same name hint and type. *)
+val refresh_var : var -> var
+
+val var_equal : var -> var -> bool
+
+(** Curried application [f e1 ... en]. *)
+val apps : expr -> expr list -> expr
+
+val ty_apps : expr -> Types.t list -> expr
+val lams : var list -> expr -> expr
+val ty_lams : Ident.t list -> expr -> expr
+
+(** Decompose an application spine into head and arguments in order. *)
+val collect_args :
+  expr -> expr * [ `Ty of Types.t | `Val of expr ] list
+
+(** Strip leading value/type lambdas, in order. *)
+val collect_binders :
+  expr -> [ `Ty of Ident.t | `Val of var ] list * expr
+
+val join_defns : jbind -> join_defn list
+val bind_pairs : bind -> (var * expr) list
+val binders_of_bind : bind -> var list
+val binders_of_jbind : jbind -> var list
+val pat_binders : pat -> var list
+
+(** A fresh ⊥-typed join binder for the given parameters. *)
+val mk_join_var : string -> Ident.t list -> var list -> var
+
+(** {1 Predicates} *)
+
+(** Answers [A] of Fig. 1. *)
+val is_answer : expr -> bool
+
+(** Weak head normal forms (the [inline] axiom's values). *)
+val is_whnf : expr -> bool
+
+(** Expressions free to duplicate (variables, literals, nullary
+    constructors, type applications thereof). *)
+val is_trivial : expr -> bool
+
+(** {1 Measures and variables} *)
+
+(** Syntax-node count (inlining heuristics). *)
+val size : expr -> int
+
+(** Free term variables, including free labels. *)
+val free_vars : expr -> Ident.Set.t
+
+(** Free type variables. *)
+val free_ty_vars : expr -> Ident.Set.t
+
+val occurs : Ident.t -> expr -> bool
+
+exception Ill_typed of string
+
+(** The type of a {e well-typed} expression (cf. GHC's [exprType]);
+    raises {!Ill_typed} on broken terms — use {!Lint} to check. *)
+val ty_of : expr -> Types.t

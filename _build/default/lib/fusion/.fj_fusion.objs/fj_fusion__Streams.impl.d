@@ -1,0 +1,1 @@
+lib/fusion/streams.ml: Fj_core Fj_surface Fmt

@@ -1,0 +1,1 @@
+lib/fusion/streams.mli: Fj_core

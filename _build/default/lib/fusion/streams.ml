@@ -1,0 +1,248 @@
+(** Stream fusion in the object language (Sec. 5 of the paper).
+
+    A stream is a state plus a stepper function. Two competing [Step]
+    types:
+
+    - {b skipless} (Svenningsson's unfold/destroy):
+      [data Step s a = Done | Yield s a]. [filter] needs a {e
+      recursive} stepper, which — before join points — "breaks up the
+      chain of cases by putting a loop in the way", making pipelines
+      containing [filter] unfusible.
+    - {b skip-ful} (Coutts–Leshchinskiy–Stewart):
+      [data Step s a = Done | Skip s | Yield s a]. [filter]'s stepper
+      becomes non-recursive, so it fuses — but "it complicates
+      everything else": three cases instead of two everywhere, and
+      two-stream consumers like [zip] need buffering states.
+
+    The paper's claim: {e with recursive join points, the skipless
+    version fuses just fine} — contification turns [filter]'s loop into
+    a recursive join point, and the consumer's case commutes into it
+    ([jfloat]), so Yield/Done constructors cancel and the fused loop
+    allocates nothing per element. "Result: simpler code, less of it,
+    and faster to execute. It's a straight win."
+
+    Since our F_J (like the paper's) omits existential types, [Stream]
+    is parameterised by its state type, which composes fine under
+    Hindley–Milner inference. *)
+
+(** Skipless (unfold/destroy) combinators, in surface syntax. *)
+let skipless_source =
+  {|
+data Step s a = Done | Yield s a
+data Stream s a = MkStream s (s -> Step s a)
+
+-- enumFromTo as a stream
+def sFromTo lo hi =
+  MkStream lo (\s -> if s > hi then Done else Yield (s + 1) s)
+
+def sMap f str = case str of {
+  MkStream s0 next ->
+    MkStream s0 (\s -> case next s of {
+      Done -> Done;
+      Yield s2 x -> Yield s2 (f x)
+    })
+}
+
+-- The troublesome one: a RECURSIVE stepper.
+def sFilter p str = case str of {
+  MkStream s0 next ->
+    MkStream s0 (\s ->
+      let rec loop t = case next t of {
+        Done -> Done;
+        Yield t2 x -> if p x then Yield t2 x else loop t2
+      } in loop s)
+}
+
+def sTake n str = case str of {
+  MkStream s0 next ->
+    MkStream (n, s0) (\st -> case st of {
+      (k, s) ->
+        if k <= 0 then Done
+        else case next s of {
+          Done -> Done;
+          Yield s2 x -> Yield (k - 1, s2) x
+        }
+    })
+}
+
+def sZipWith f sa sb = case sa of {
+  MkStream a0 nexta -> case sb of {
+    MkStream b0 nextb ->
+      MkStream (a0, b0) (\st -> case st of {
+        (sa2, sb2) -> case nexta sa2 of {
+          Done -> Done;
+          Yield sa3 x -> case nextb sb2 of {
+            Done -> Done;
+            Yield sb3 y -> Yield (sa3, sb3) (f x y)
+          }
+        }
+      })
+  }
+}
+
+def sSum str = case str of {
+  MkStream s0 next ->
+    let rec go acc s = case next s of {
+      Done -> acc;
+      Yield s2 x -> go (acc + x) s2
+    } in go 0 s0
+}
+
+def sFoldl f z str = case str of {
+  MkStream s0 next ->
+    let rec go acc s = case next s of {
+      Done -> acc;
+      Yield s2 x -> go (f acc x) s2
+    } in go z s0
+}
+
+def sLength str = case str of {
+  MkStream s0 next ->
+    let rec go acc s = case next s of {
+      Done -> acc;
+      Yield s2 x -> go (acc + 1) s2
+    } in go 0 s0
+}
+
+def sToList str = case str of {
+  MkStream s0 next ->
+    let rec go s = case next s of {
+      Done -> Nil;
+      Yield s2 x -> Cons x (go s2)
+    } in go s0
+}
+
+def sFromList xs =
+  MkStream xs (\ys -> case ys of {
+    Nil -> Done;
+    Cons x rest -> Yield rest x
+  })
+|}
+
+(** Skip-ful combinators (Coutts et al.), in surface syntax. *)
+let skipful_source =
+  {|
+data Step3 s a = Done3 | Skip3 s | Yield3 s a
+data Stream3 s a = MkStream3 s (s -> Step3 s a)
+
+def tFromTo lo hi =
+  MkStream3 lo (\s -> if s > hi then Done3 else Yield3 (s + 1) s)
+
+def tMap f str = case str of {
+  MkStream3 s0 next ->
+    MkStream3 s0 (\s -> case next s of {
+      Done3 -> Done3;
+      Skip3 s2 -> Skip3 s2;
+      Yield3 s2 x -> Yield3 s2 (f x)
+    })
+}
+
+-- filter is NON-recursive here: that is the whole point of Skip.
+def tFilter p str = case str of {
+  MkStream3 s0 next ->
+    MkStream3 s0 (\s -> case next s of {
+      Done3 -> Done3;
+      Skip3 s2 -> Skip3 s2;
+      Yield3 s2 x -> if p x then Yield3 s2 x else Skip3 s2
+    })
+}
+
+def tSum str = case str of {
+  MkStream3 s0 next ->
+    let rec go acc s = case next s of {
+      Done3 -> acc;
+      Skip3 s2 -> go acc s2;
+      Yield3 s2 x -> go (acc + x) s2
+    } in go 0 s0
+}
+
+def tLength str = case str of {
+  MkStream3 s0 next ->
+    let rec go acc s = case next s of {
+      Done3 -> acc;
+      Skip3 s2 -> go acc s2;
+      Yield3 s2 x -> go (acc + 1) s2
+    } in go 0 s0
+}
+
+-- zip with Skip needs a one-element buffer in the state: "functions
+-- like zip that consume two lists become more complicated and less
+-- efficient."
+def tZipWith f sa sb = case sa of {
+  MkStream3 a0 nexta -> case sb of {
+    MkStream3 b0 nextb ->
+      MkStream3 ((a0, b0), Nothing) (\st -> case st of {
+        (ss, buf) -> case ss of {
+          (sa2, sb2) -> case buf of {
+            Nothing -> case nexta sa2 of {
+              Done3 -> Done3;
+              Skip3 sa3 -> Skip3 ((sa3, sb2), Nothing);
+              Yield3 sa3 x -> Skip3 ((sa3, sb2), Just x)
+            };
+            Just x -> case nextb sb2 of {
+              Done3 -> Done3;
+              Skip3 sb3 -> Skip3 ((sa2, sb3), Just x);
+              Yield3 sb3 y -> Yield3 ((sa2, sb3), Nothing) (f x y)
+            }
+          }
+        }
+      })
+  }
+}
+
+def tToList str = case str of {
+  MkStream3 s0 next ->
+    let rec go s = case next s of {
+      Done3 -> Nil;
+      Skip3 s2 -> go s2;
+      Yield3 s2 x -> Cons x (go s2)
+    } in go s0
+}
+|}
+
+(** Both libraries, for programs that compare representations. *)
+let source = skipless_source ^ "\n" ^ skipful_source
+
+(** Compile a pipeline expression (given as the body of [main]) against
+    the stream library and the standard prelude. *)
+let compile_pipeline (main_body : string) :
+    Fj_core.Datacon.env * Fj_core.Syntax.expr =
+  Fj_surface.Prelude.compile (source ^ "\ndef main = " ^ main_body ^ "\n")
+
+(* ------------------------------------------------------------------ *)
+(* Canonical pipelines (used by tests, benches and examples)            *)
+(* ------------------------------------------------------------------ *)
+
+(** sum . map (times 3) . filter odd over [1..n] — skipless streams. *)
+let sum_map_filter_skipless n =
+  Fmt.str "sSum (sMap (\\x -> x * 3) (sFilter odd (sFromTo 1 %d)))" n
+
+(** Same pipeline, skip-ful streams. *)
+let sum_map_filter_skipful n =
+  Fmt.str "tSum (tMap (\\x -> x * 3) (tFilter odd (tFromTo 1 %d)))" n
+
+(** Same pipeline on plain lists (no fusion possible). *)
+let sum_map_filter_lists n =
+  Fmt.str "sum (map (\\x -> x * 3) (filter odd (enumFromTo 1 %d)))" n
+
+(** Dot product via zipWith: where Skip hurts. *)
+let dot_product_skipless n =
+  Fmt.str
+    "sSum (sZipWith (\\x y -> x * y) (sFromTo 1 %d) (sMap (\\x -> x + 1) \
+     (sFromTo 1 %d)))"
+    n n
+
+let dot_product_skipful n =
+  Fmt.str
+    "tSum (tZipWith (\\x y -> x * y) (tFromTo 1 %d) (tMap (\\x -> x + 1) \
+     (tFromTo 1 %d)))"
+    n n
+
+(** Filter-heavy pipeline: two filters in a row. *)
+let double_filter_skipless n =
+  Fmt.str
+    "sSum (sFilter (\\x -> x %% 3 /= 0) (sFilter odd (sFromTo 1 %d)))" n
+
+let double_filter_skipful n =
+  Fmt.str
+    "tSum (tFilter (\\x -> x %% 3 /= 0) (tFilter odd (tFromTo 1 %d)))" n

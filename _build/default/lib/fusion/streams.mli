@@ -1,0 +1,27 @@
+(** Stream fusion in the object language (Sec. 5): skipless
+    (unfold/destroy) and skip-ful combinator libraries in surface
+    syntax, plus the canonical benchmark pipelines. *)
+
+(** Skipless combinators: [Step s a = Done | Yield s a]; [sFilter] has
+    a recursive stepper (the join-point test case). *)
+val skipless_source : string
+
+(** Skip-ful combinators: [Step3 s a = Done3 | Skip3 s | Yield3 s a];
+    [tFilter] is non-recursive, [tZipWith] needs a buffered state. *)
+val skipful_source : string
+
+(** Both libraries concatenated. *)
+val source : string
+
+(** Compile a pipeline (the body of [main]) against both stream
+    libraries and the prelude. *)
+val compile_pipeline :
+  string -> Fj_core.Datacon.env * Fj_core.Syntax.expr
+
+val sum_map_filter_skipless : int -> string
+val sum_map_filter_skipful : int -> string
+val sum_map_filter_lists : int -> string
+val dot_product_skipless : int -> string
+val dot_product_skipful : int -> string
+val double_filter_skipless : int -> string
+val double_filter_skipful : int -> string

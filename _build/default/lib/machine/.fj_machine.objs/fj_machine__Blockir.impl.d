@@ -1,0 +1,1 @@
+lib/machine/blockir.ml: Fj_core Fmt List

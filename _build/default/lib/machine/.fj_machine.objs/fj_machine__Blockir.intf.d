@@ -1,0 +1,1 @@
+lib/machine/blockir.mli: Fj_core Format

@@ -1,0 +1,1 @@
+lib/machine/bmachine.ml: Array Blockir Fj_core Fmt Ident List String

@@ -1,0 +1,1 @@
+lib/machine/bmachine.mli: Blockir Fj_core Format

@@ -1,0 +1,1 @@
+lib/machine/lower.ml: Blockir Fj_core Fmt Ident List String Syntax

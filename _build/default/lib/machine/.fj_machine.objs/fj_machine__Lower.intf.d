@@ -1,0 +1,1 @@
+lib/machine/lower.mli: Blockir Fj_core

@@ -1,0 +1,136 @@
+(** A low-level block intermediate representation.
+
+    This is the "C compiler" end of the paper's story (Sec. 2–3): code
+    is organised into procedures whose bodies are trees of instructions
+    with {e labelled blocks}; transferring control to a block is
+    [Goto] — "adjust the stack and jump" — with {b no allocation},
+    whereas calling a function goes through a heap-allocated closure.
+
+    Lowering (see {!Lower}) maps F_J join points to blocks and jumps to
+    gotos; [let]-bound functions become closures. Running the same
+    program optimised with and without join points on {!Bmachine} makes
+    the codegen claim measurable: the join-point version executes gotos
+    where the baseline allocates and calls.
+
+    The block machine is call-by-value; benchmark programs compared
+    against the call-by-need {!Fj_core.Eval} are total and
+    evaluation-order independent (the paper notes everything applies
+    equally to a call-by-value language, Sec. 10). *)
+
+module Ident = Fj_core.Ident
+
+type label = Ident.t
+(** Block labels, distinct from variables. *)
+
+type atom =
+  | AVar of Ident.t
+  | ALit of Fj_core.Literal.t
+
+type rhs =
+  | RAtom of atom
+  | RPrim of Fj_core.Primop.t * atom list
+  | RAllocCon of string * int * atom list
+      (** Constructor name, tag, fields — allocates [1 + n] words
+          ([0] for nullary constructors, which are static). *)
+  | RAllocClos of Ident.t * atom list
+      (** Code pointer + captured environment — allocates. *)
+  | RProj of atom * int  (** Field projection from a constructor. *)
+
+type pat = PTag of string * Ident.t list | PLit of Fj_core.Literal.t | PAny
+
+type block_expr =
+  | Let of Ident.t * rhs * block_expr
+  | LetRecClos of (Ident.t * Ident.t * atom list) list * block_expr
+      (** Mutually recursive closure allocation: (binder, code, captures);
+          captures may mention the binders (patched after allocation). *)
+  | LetBlock of bool * (label * Ident.t list * block_expr) list * block_expr
+      (** Labelled blocks (recursive if the flag is set) — F_J join
+          points. {b Allocates nothing.} *)
+  | Case of atom * (pat * block_expr) list
+  | Goto of label * atom list  (** Jump: adjust the stack and go. *)
+  | Return of atom
+  | TailApply of atom * atom list  (** Tail call through a closure. *)
+  | Apply of Ident.t * atom * atom list * block_expr
+      (** [x = f(args); continue]: non-tail call, pushes a frame. *)
+
+type code = {
+  code_name : Ident.t;
+  params : Ident.t list;  (** Excluding the closure itself. *)
+  captures : Ident.t list;  (** Environment slots. *)
+  body : block_expr;
+}
+
+type program = {
+  codes : code Ident.Map.t;
+  main : block_expr;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let pp_atom ppf = function
+  | AVar x -> Ident.pp ppf x
+  | ALit l -> Fj_core.Literal.pp ppf l
+
+let pp_atoms = Fmt.(list ~sep:comma pp_atom)
+
+let pp_rhs ppf = function
+  | RAtom a -> pp_atom ppf a
+  | RPrim (op, args) ->
+      Fmt.pf ppf "%a(%a)" Fj_core.Primop.pp op pp_atoms args
+  | RAllocCon (c, tag, fields) ->
+      Fmt.pf ppf "alloc %s#%d(%a)" c tag pp_atoms fields
+  | RAllocClos (code, caps) ->
+      Fmt.pf ppf "closure %a[%a]" Ident.pp code pp_atoms caps
+  | RProj (a, i) -> Fmt.pf ppf "%a.%d" pp_atom a i
+
+let rec pp_block_expr ppf = function
+  | Let (x, r, k) ->
+      Fmt.pf ppf "@[<v>%a = %a@,%a@]" Ident.pp x pp_rhs r pp_block_expr k
+  | LetRecClos (cs, k) ->
+      Fmt.pf ppf "@[<v>rec closures {%a}@,%a@]"
+        Fmt.(
+          list ~sep:semi (fun ppf (x, c, caps) ->
+              Fmt.pf ppf "%a = closure %a[%a]" Ident.pp x Ident.pp c pp_atoms
+                caps))
+        cs pp_block_expr k
+  | LetBlock (recursive, blocks, k) ->
+      Fmt.pf ppf "@[<v>%s {@;<0 2>@[<v>%a@]@,}@,%a@]"
+        (if recursive then "blocks rec" else "blocks")
+        Fmt.(
+          list ~sep:cut (fun ppf (l, ps, b) ->
+              Fmt.pf ppf "@[<v 2>%a(%a):@ %a@]" Ident.pp l
+                (list ~sep:comma Ident.pp) ps pp_block_expr b))
+        blocks pp_block_expr k
+  | Case (a, alts) ->
+      Fmt.pf ppf "@[<v 2>case %a:@ %a@]" pp_atom a
+        Fmt.(
+          list ~sep:cut (fun ppf (p, b) ->
+              let pp_pat ppf = function
+                | PTag (c, xs) ->
+                    Fmt.pf ppf "%s(%a)" c (list ~sep:comma Ident.pp) xs
+                | PLit l -> Fj_core.Literal.pp ppf l
+                | PAny -> Fmt.string ppf "_"
+              in
+              Fmt.pf ppf "@[<v 2>%a ->@ %a@]" pp_pat p pp_block_expr b))
+        alts
+  | Goto (l, args) -> Fmt.pf ppf "goto %a(%a)" Ident.pp l pp_atoms args
+  | Return a -> Fmt.pf ppf "return %a" pp_atom a
+  | TailApply (f, args) -> Fmt.pf ppf "tailcall %a(%a)" pp_atom f pp_atoms args
+  | Apply (x, f, args, k) ->
+      Fmt.pf ppf "@[<v>%a = call %a(%a)@,%a@]" Ident.pp x pp_atom f pp_atoms
+        args pp_block_expr k
+
+let pp_code ppf c =
+  Fmt.pf ppf "@[<v 2>code %a(%a)[%a]:@ %a@]" Ident.pp c.code_name
+    Fmt.(list ~sep:comma Ident.pp)
+    c.params
+    Fmt.(list ~sep:comma Ident.pp)
+    c.captures pp_block_expr c.body
+
+let pp_program ppf p =
+  Fmt.pf ppf "@[<v>%a@,@[<v 2>main:@ %a@]@]"
+    Fmt.(list ~sep:cut pp_code)
+    (List.map snd (Ident.Map.bindings p.codes))
+    pp_block_expr p.main

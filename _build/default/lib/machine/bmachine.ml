@@ -1,0 +1,278 @@
+(** An executor for the block IR, with instruction and allocation
+    counters.
+
+    The operational costs match the story the paper tells about
+    compiled code:
+
+    - [Goto] (a lowered {e jump}) costs one instruction and {b zero
+      allocation} — it binds the block parameters and transfers
+      control;
+    - [Apply]/[TailApply] (lowered {e calls}) go through closures,
+      which had to be allocated; non-tail calls additionally push a
+      frame on the call stack;
+    - constructors and closures allocate [1 + n] words ([n] fields;
+      nullary constructors are static and free).
+
+    The machine uses eval/apply for over- and under-saturated calls
+    (partial applications allocate a PAP). *)
+
+open Blockir
+module Literal = Fj_core.Literal
+module Primop = Fj_core.Primop
+
+type stats = {
+  mutable instrs : int;
+  mutable objects : int;
+  mutable words : int;
+  mutable gotos : int;
+  mutable calls : int;
+  mutable max_stack : int;
+}
+
+let fresh_stats () =
+  { instrs = 0; objects = 0; words = 0; gotos = 0; calls = 0; max_stack = 0 }
+
+let pp_stats ppf s =
+  Fmt.pf ppf "instrs=%d allocs=%d words=%d gotos=%d calls=%d max_stack=%d"
+    s.instrs s.objects s.words s.gotos s.calls s.max_stack
+
+type value =
+  | VLit of Literal.t
+  | VCon of string * int * value array
+  | VClos of clos
+  | VPap of clos * value list
+
+and clos = {
+  clos_code : code;
+  clos_env : value array;  (** Mutable for recursive closure patching. *)
+}
+
+and blockdef = {
+  b_params : Ident.t list;
+  b_body : block_expr;
+  mutable b_env : env;
+}
+
+and env = { vars : value Ident.Map.t; blocks : blockdef Ident.Map.t }
+
+exception Stuck of string
+exception Out_of_fuel
+
+let stuck fmt = Fmt.kstr (fun m -> raise (Stuck m)) fmt
+
+let empty_env = { vars = Ident.Map.empty; blocks = Ident.Map.empty }
+
+type frame = { fr_var : Ident.t; fr_cont : block_expr; fr_env : env }
+
+let rec pp_value ppf = function
+  | VLit l -> Literal.pp ppf l
+  | VCon (c, _, [||]) -> Fmt.string ppf c
+  | VCon (c, _, fields) ->
+      Fmt.pf ppf "(%s%a)" c
+        Fmt.(array ~sep:nop (fun ppf v -> Fmt.pf ppf " %a" pp_value v))
+        fields
+  | VClos _ | VPap _ -> Fmt.string ppf "<fun>"
+
+(** Run a program. [fuel] bounds the instruction count. *)
+let run ?(fuel = max_int) (p : program) : value * stats =
+  let stats = fresh_stats () in
+  let alloc words =
+    if words > 0 then begin
+      stats.objects <- stats.objects + 1;
+      stats.words <- stats.words + words
+    end
+  in
+  let lookup env x =
+    match Ident.Map.find_opt x env.vars with
+    | Some v -> v
+    | None -> stuck "unbound machine variable %a" Ident.pp x
+  in
+  let atom env = function
+    | ALit l -> VLit l
+    | AVar x -> lookup env x
+  in
+  let bind env x v = { env with vars = Ident.Map.add x v env.vars } in
+  let eval_rhs env = function
+    | RAtom a -> atom env a
+    | RPrim (op, args) -> (
+        let vals = List.map (atom env) args in
+        let lits =
+          List.filter_map (function VLit l -> Some l | _ -> None) vals
+        in
+        if List.length lits <> List.length vals then
+          stuck "primop %s applied to non-literal" (Primop.name op)
+        else
+          match Primop.fold_lit op lits with
+          | Some l -> VLit l
+          | None -> (
+              match Primop.fold_bool op lits with
+              | Some b ->
+                  let name = if b then "True" else "False" in
+                  let tag = if b then 1 else 0 in
+                  VCon (name, tag, [||])
+              | None -> stuck "primop %s is stuck" (Primop.name op)))
+    | RAllocCon (c, tag, fields) ->
+        let vs = Array.of_list (List.map (atom env) fields) in
+        if Array.length vs > 0 then alloc (1 + Array.length vs);
+        VCon (c, tag, vs)
+    | RAllocClos (code_name, caps) -> (
+        match Ident.Map.find_opt code_name p.codes with
+        | None -> stuck "unknown code %a" Ident.pp code_name
+        | Some code ->
+            let envv = Array.of_list (List.map (atom env) caps) in
+            alloc (1 + Array.length envv);
+            VClos { clos_code = code; clos_env = envv })
+    | RProj (a, i) -> (
+        match atom env a with
+        | VCon (_, _, fields) when i < Array.length fields -> fields.(i)
+        | _ -> stuck "bad projection")
+  in
+  (* Enter a closure's code with exactly the right number of args. *)
+  let enter (c : clos) (args : value list) : env * block_expr =
+    let code = c.clos_code in
+    let env =
+      List.fold_left2 bind
+        (List.fold_left2 bind empty_env code.captures
+           (Array.to_list c.clos_env))
+        code.params args
+    in
+    (env, code.body)
+  in
+  let fuel = ref fuel in
+  let rec exec env (e : block_expr) (stack : frame list) : value =
+    stats.instrs <- stats.instrs + 1;
+    decr fuel;
+    if !fuel <= 0 then raise Out_of_fuel;
+    if List.length stack > stats.max_stack then
+      stats.max_stack <- List.length stack;
+    match e with
+    | Let (x, r, k) -> exec (bind env x (eval_rhs env r)) k stack
+    | LetRecClos (cs, k) ->
+        (* Allocate first, then patch captures. *)
+        let items =
+          List.map
+            (fun (x, code_name, caps) ->
+              match Ident.Map.find_opt code_name p.codes with
+              | None -> stuck "unknown code %a" Ident.pp code_name
+              | Some code ->
+                  let envv = Array.make (List.length code.captures) (VLit (Literal.Int 0)) in
+                  alloc (1 + Array.length envv);
+                  (x, code, caps, envv))
+            cs
+        in
+        let env' =
+          List.fold_left
+            (fun env (x, code, _, envv) ->
+              bind env x (VClos { clos_code = code; clos_env = envv }))
+            env items
+        in
+        List.iter
+          (fun (_, _, caps, envv) ->
+            List.iteri (fun i a -> envv.(i) <- atom env' a) caps)
+          items;
+        exec env' k stack
+    | LetBlock (recursive, blocks, k) ->
+        let defs =
+          List.map
+            (fun (l, ps, b) ->
+              (l, { b_params = ps; b_body = b; b_env = env }))
+            blocks
+        in
+        let env' =
+          {
+            env with
+            blocks =
+              List.fold_left
+                (fun m (l, d) -> Ident.Map.add l d m)
+                env.blocks defs;
+          }
+        in
+        if recursive then List.iter (fun (_, d) -> d.b_env <- env') defs;
+        exec env' k stack
+    | Case (a, alts) -> (
+        let v = atom env a in
+        let matches (pat, _) =
+          match (pat, v) with
+          | PTag (c, _), VCon (c', _, _) -> String.equal c c'
+          | PLit l, VLit l' -> Literal.equal l l'
+          | PAny, _ -> true
+          | _ -> false
+        in
+        match List.find_opt matches alts with
+        | None -> stuck "no matching machine case alternative"
+        | Some (pat, body) ->
+            let env' =
+              match (pat, v) with
+              | PTag (_, xs), VCon (_, _, fields) ->
+                  List.fold_left2 bind env xs (Array.to_list fields)
+              | _ -> env
+            in
+            exec env' body stack)
+    | Goto (l, args) -> (
+        stats.gotos <- stats.gotos + 1;
+        match Ident.Map.find_opt l env.blocks with
+        | None -> stuck "goto to unknown block %a" Ident.pp l
+        | Some d ->
+            let vals = List.map (atom env) args in
+            let env' = List.fold_left2 bind d.b_env d.b_params vals in
+            exec env' d.b_body stack)
+    | Return a -> ret (atom env a) stack
+    | TailApply (f, args) ->
+        stats.calls <- stats.calls + 1;
+        apply (atom env f) (List.map (atom env) args) stack
+    | Apply (x, f, args, k) ->
+        stats.calls <- stats.calls + 1;
+        apply (atom env f)
+          (List.map (atom env) args)
+          ({ fr_var = x; fr_cont = k; fr_env = env } :: stack)
+  and ret v stack =
+    match stack with
+    | [] -> v
+    | fr :: rest -> exec (bind fr.fr_env fr.fr_var v) fr.fr_cont rest
+  and apply f args stack =
+    match f with
+    | VClos c ->
+        let arity = List.length c.clos_code.params in
+        let n = List.length args in
+        if n = arity then
+          let env, body = enter c args in
+          exec env body stack
+        else if n < arity then begin
+          alloc (1 + n);
+          ret (VPap (c, args)) stack
+        end
+        else begin
+          (* Over-saturated: call with [arity] args, then apply the
+             result to the remainder. *)
+          let now = List.filteri (fun i _ -> i < arity) args in
+          let later = List.filteri (fun i _ -> i >= arity) args in
+          let env', body = enter c now in
+          let x = Ident.fresh "over" in
+          let later_ids = List.map (fun _ -> Ident.fresh "a") later in
+          let fenv = List.fold_left2 bind empty_env later_ids later in
+          exec env' body
+            ({
+               fr_var = x;
+               fr_cont =
+                 TailApply (AVar x, List.map (fun y -> AVar y) later_ids);
+               fr_env = fenv;
+             }
+            :: stack)
+        end
+    | VPap (c, prev) -> apply (VClos c) (prev @ args) stack
+    | _ -> stuck "applying a non-function value"
+  in
+  let v = exec empty_env p.main [] in
+  (v, stats)
+
+(* ------------------------------------------------------------------ *)
+(* Observation (mirrors {!Fj_core.Eval.tree})                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec tree_of_value (v : value) : Fj_core.Eval.tree =
+  match v with
+  | VLit l -> Fj_core.Eval.TLit l
+  | VCon (c, _, fields) ->
+      Fj_core.Eval.TCon
+        (c, List.map tree_of_value (Array.to_list fields))
+  | VClos _ | VPap _ -> Fj_core.Eval.TFun

@@ -1,0 +1,26 @@
+(** Executor for the block IR with instruction/allocation counters:
+    [Goto] binds parameters and transfers — zero allocation; calls go
+    through heap-allocated closures (eval/apply, PAPs). *)
+
+type stats = {
+  mutable instrs : int;
+  mutable objects : int;
+  mutable words : int;
+  mutable gotos : int;
+  mutable calls : int;
+  mutable max_stack : int;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+type value
+
+exception Stuck of string
+exception Out_of_fuel
+
+val run : ?fuel:int -> Blockir.program -> value * stats
+
+val pp_value : Format.formatter -> value -> unit
+
+(** First-order view, comparable with the core evaluator's. *)
+val tree_of_value : value -> Fj_core.Eval.tree

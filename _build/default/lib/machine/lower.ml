@@ -1,0 +1,214 @@
+(** Lowering System F_J to the block IR ({!Blockir}).
+
+    This is the code-generation story of Sec. 2–3 made executable:
+
+    - a [join] binding lowers to {e labelled blocks} ([LetBlock]) — no
+      allocation, no closure;
+    - a [jump] lowers to [Goto] — "adjust the stack and jump";
+    - a [let]-bound function lowers to a heap-allocated closure
+      ([RAllocClos]); calls go through it;
+    - types are fully erased.
+
+    A [jump] in a non-tail position simply ignores the pending
+    continuation block — which is exactly the context-discarding
+    semantics of Fig. 3.
+
+    The lowering is closure-converting: each lambda becomes a top-level
+    [code] whose environment slots are its free variables. Evaluation
+    is call-by-value (see {!Blockir}); recursive [let]s must bind
+    lambdas (which elaborated and optimised programs satisfy). *)
+
+open Fj_core
+open Syntax
+open Blockir
+
+exception Unsupported of string
+
+type st = { mutable codes : code Ident.Map.t }
+
+type ret =
+  | Tail  (** End with [Return]/[TailApply]. *)
+  | Block of label  (** End with [Goto label [result]]. *)
+
+let finish ret (a : atom) : block_expr =
+  match ret with Tail -> Return a | Block l -> Goto (l, [ a ])
+
+(* Strip type binders/arguments: the block IR is untyped. *)
+let rec erase_ty_head e =
+  match e with
+  | TyLam (_, b) -> erase_ty_head b
+  | _ -> e
+
+(* Collect the value parameters of a (type-erased) lambda chain. *)
+let collect_lam_params e =
+  let rec go acc e =
+    match e with
+    | Lam (x, b) -> go (x.v_name :: acc) b
+    | TyLam (_, b) -> go acc b
+    | _ -> (List.rev acc, e)
+  in
+  go [] e
+
+let is_lambda e =
+  match erase_ty_head e with Lam _ -> true | _ -> false
+
+let rec lower_program (e : expr) : program =
+  let st = { codes = Ident.Map.empty } in
+  let main = lower st Tail e in
+  { codes = st.codes; main }
+
+(* Lower [e] so that its value is delivered according to [ret]. *)
+and lower (st : st) (ret : ret) (e : expr) : block_expr =
+  match e with
+  | Var v -> finish ret (AVar v.v_name)
+  | Lit l -> finish ret (ALit l)
+  | Con (dc, _, args) ->
+      atomize_list st args (fun atoms ->
+          let x = Ident.fresh (String.lowercase_ascii dc.name) in
+          Let (x, RAllocCon (dc.name, dc.tag, atoms), finish ret (AVar x)))
+  | Prim (op, args) ->
+      atomize_list st args (fun atoms ->
+          let x = Ident.fresh "p" in
+          Let (x, RPrim (op, atoms), finish ret (AVar x)))
+  | Lam _ | TyLam _ ->
+      let x = Ident.fresh "clos" in
+      alloc_closure st x e (finish ret (AVar x))
+  | App _ | TyApp _ -> (
+      let head, args = collect_args e in
+      let vargs =
+        List.filter_map (function `Val a -> Some a | `Ty _ -> None) args
+      in
+      match (head, vargs) with
+      | _, [] -> lower st ret head
+      | _ ->
+          atomize st head (fun f ->
+              atomize_list st vargs (fun atoms ->
+                  match ret with
+                  | Tail -> TailApply (f, atoms)
+                  | Block l ->
+                      let x = Ident.fresh "r" in
+                      Apply (x, f, atoms, Goto (l, [ AVar x ])))))
+  | Let ((NonRec (x, rhs) | Strict (x, rhs)), body) ->
+      (* The block machine is call-by-value: strict and lazy bindings
+         lower identically. *)
+      if is_lambda rhs then
+        alloc_closure st x.v_name rhs (lower st ret body)
+      else
+        atomize st rhs (fun a ->
+            Let (x.v_name, RAtom a, lower st ret body))
+  | Let (Rec pairs, body) ->
+      let closures =
+        List.map
+          (fun ((x : var), rhs) ->
+            if not (is_lambda rhs) then
+              raise
+                (Unsupported
+                   (Fmt.str "recursive non-lambda binding %a" Ident.pp
+                      x.v_name));
+            let code_name, captures = make_code st rhs in
+            (x.v_name, code_name, List.map (fun c -> AVar c) captures))
+          pairs
+      in
+      LetRecClos (closures, lower st ret body)
+  | Case (scrut, alts) ->
+      atomize st scrut (fun a ->
+          Case
+            ( a,
+              List.map
+                (fun { alt_pat; alt_rhs } ->
+                  let p =
+                    match alt_pat with
+                    | Syntax.PCon (dc, xs) ->
+                        PTag (dc.name, List.map (fun (x : var) -> x.v_name) xs)
+                    | Syntax.PLit l -> PLit l
+                    | Syntax.PDefault -> PAny
+                  in
+                  (p, lower st ret alt_rhs))
+                alts ))
+  | Join (jb, body) ->
+      let recursive = match jb with JNonRec _ -> false | JRec _ -> true in
+      let blocks =
+        List.map
+          (fun (d : join_defn) ->
+            ( d.j_var.v_name,
+              List.map (fun (p : var) -> p.v_name) d.j_params,
+              lower st ret d.j_rhs ))
+          (join_defns jb)
+      in
+      LetBlock (recursive, blocks, lower st ret body)
+  | Jump (j, _, args, _) ->
+      (* The pending continuation (if any) is deliberately ignored: a
+         jump discards its evaluation context. *)
+      atomize_list st args (fun atoms -> Goto (j.v_name, atoms))
+
+(* Evaluate [e] to an atom, then continue. Control constructs
+   materialise a continuation block. *)
+and atomize (st : st) (e : expr) (k : atom -> block_expr) : block_expr =
+  match e with
+  | Var v -> k (AVar v.v_name)
+  | Lit l -> k (ALit l)
+  | TyApp (f, _) -> atomize st f k
+  | Con (dc, _, args) ->
+      atomize_list st args (fun atoms ->
+          let x = Ident.fresh (String.lowercase_ascii dc.name) in
+          Let (x, RAllocCon (dc.name, dc.tag, atoms), k (AVar x)))
+  | Prim (op, args) ->
+      atomize_list st args (fun atoms ->
+          let x = Ident.fresh "p" in
+          Let (x, RPrim (op, atoms), k (AVar x)))
+  | Lam _ | TyLam _ ->
+      let x = Ident.fresh "clos" in
+      alloc_closure st x e (k (AVar x))
+  | App _ -> (
+      let head, args = collect_args e in
+      let vargs =
+        List.filter_map (function `Val a -> Some a | `Ty _ -> None) args
+      in
+      match vargs with
+      | [] -> atomize st head k
+      | _ ->
+          atomize st head (fun f ->
+              atomize_list st vargs (fun atoms ->
+                  let x = Ident.fresh "r" in
+                  Apply (x, f, atoms, k (AVar x)))))
+  | Let ((NonRec (x, rhs) | Strict (x, rhs)), body) ->
+      if is_lambda rhs then alloc_closure st x.v_name rhs (atomize st body k)
+      else
+        atomize st rhs (fun a -> Let (x.v_name, RAtom a, atomize st body k))
+  | Let (Rec _, _) | Case _ | Join _ | Jump _ ->
+      (* Materialise the continuation as a block, then lower [e] in
+         block-return mode. A jump inside [e] will bypass the block —
+         context discarding for free. *)
+      let l = Ident.fresh "k" in
+      let x = Ident.fresh "v" in
+      LetBlock (false, [ (l, [ x ], k (AVar x)) ], lower st (Block l) e)
+
+and atomize_list st (es : expr list) (k : atom list -> block_expr) :
+    block_expr =
+  match es with
+  | [] -> k []
+  | e :: rest ->
+      atomize st e (fun a -> atomize_list st rest (fun atoms -> k (a :: atoms)))
+
+(* Create a top-level code for lambda [e]; returns its name and the
+   capture list (free variables of [e]). *)
+and make_code st (e : expr) : Ident.t * Ident.t list =
+  let params, body = collect_lam_params e in
+  let captures = Ident.Set.elements (Syntax.free_vars e) in
+  let code_name = Ident.fresh "code" in
+  let body' = lower st Tail body in
+  st.codes <-
+    Ident.Map.add code_name
+      { code_name; params; captures; body = body' }
+      st.codes;
+  (code_name, captures)
+
+and alloc_closure st (x : Ident.t) (lam : expr) (k : block_expr) : block_expr =
+  match erase_ty_head lam with
+  | Lam _ ->
+      let code_name, captures = make_code st lam in
+      Let (x, RAllocClos (code_name, List.map (fun c -> AVar c) captures), k)
+  | other ->
+      (* A type lambda over a non-lambda (e.g. a polymorphic constant):
+         evaluate the body now (call-by-value). *)
+      atomize st other (fun a -> Let (x, RAtom a, k))

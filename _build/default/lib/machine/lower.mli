@@ -1,0 +1,7 @@
+(** Lowering F_J to the block IR: closure conversion, with join points
+    becoming labelled blocks and jumps becoming gotos (the Sec. 2–3
+    code-generation story). Call-by-value; see {!Blockir}. *)
+
+exception Unsupported of string
+
+val lower_program : Fj_core.Syntax.expr -> Blockir.program

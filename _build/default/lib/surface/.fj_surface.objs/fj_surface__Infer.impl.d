@@ -1,0 +1,1 @@
+lib/surface/infer.ml: Ast Datacon Fj_core Fmt Ident List Literal Parser Primop String Syntax Types

@@ -1,0 +1,1 @@
+lib/surface/infer.mli: Ast Fj_core

@@ -1,0 +1,1 @@
+lib/surface/lexer.ml: Ast Buffer Fmt List String

@@ -1,0 +1,1 @@
+lib/surface/prelude.ml: Fj_core Infer

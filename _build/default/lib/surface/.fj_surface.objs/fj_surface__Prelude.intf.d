@@ -1,0 +1,1 @@
+lib/surface/prelude.mli: Fj_core

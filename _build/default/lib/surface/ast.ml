@@ -1,0 +1,99 @@
+(** Abstract syntax of the surface language.
+
+    The surface language plays the role Haskell plays for GHC: a small,
+    Hindley–Milner-typed functional language with datatype declarations,
+    lambdas, (recursive) lets, case expressions and integer/char/string
+    literals. It has {e no} join points and {e no} jumps — join points
+    are inferred by contification and created by the simplifier, exactly
+    as in the paper.
+
+    Concrete syntax, by example:
+
+    {v
+    data Step s a = Done | Yield s a
+
+    def map f xs = case xs of {
+      Nil -> Nil;
+      Cons x rest -> Cons (f x) (map f rest)
+    }
+
+    def main = sum (map (\x -> x * 2) (enumFromTo 1 100))
+    v} *)
+
+type pos = { line : int; col : int }
+
+let pp_pos ppf p = Fmt.pf ppf "line %d, column %d" p.line p.col
+
+(** Binary operators (desugared to primops / Bool cases). *)
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And  (** Short-circuit; desugars to [if]. *)
+  | Or  (** Short-circuit; desugars to [if]. *)
+  | Cons  (** [x : xs]; desugars to the [Cons] constructor. *)
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Ne -> "/="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+  | Cons -> ":"
+
+type expr = {
+  it : expr_desc;
+  pos : pos;
+}
+
+and expr_desc =
+  | EVar of string  (** Variable or previously-defined function. *)
+  | ECon of string  (** Data constructor (possibly partially applied). *)
+  | EInt of int
+  | EChar of char
+  | EStr of string
+  | EApp of expr * expr
+  | ELam of string list * expr  (** [\x y -> e] *)
+  | ELet of { recursive : bool; name : string; params : string list; rhs : expr; body : expr }
+      (** [let f x y = rhs in body]; [let rec] for recursion. *)
+  | ECase of expr * (pat * expr) list
+  | EIf of expr * expr * expr
+  | EBinop of binop * expr * expr
+  | ENeg of expr  (** Unary minus. *)
+  | EList of expr list  (** [[e1, e2, ...]] sugar. *)
+  | ETuple of expr * expr  (** [(a, b)] — the [Pair] datatype. *)
+
+and pat =
+  | PCon of string * string list  (** [Cons x xs] — flat constructor pattern. *)
+  | PInt of int
+  | PChar of char
+  | PWild  (** [_] *)
+  | PTuple of string * string  (** [(a, b)] pattern. *)
+
+(** Surface types, in [data] declarations. *)
+type sty =
+  | SVar of string  (** type variable *)
+  | SCon of string * sty list  (** applied type constructor *)
+  | SArrow of sty * sty
+
+type decl =
+  | DData of { name : string; tyvars : string list; cons : (string * sty list) list; pos : pos }
+  | DDef of { name : string; params : string list; rhs : expr; pos : pos }
+
+type program = decl list

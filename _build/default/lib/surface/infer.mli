@@ -1,0 +1,25 @@
+(** Hindley–Milner inference and elaboration to System F_J: top-level
+    defs are generalized into [/\a] binders; occurrences become type
+    applications; local lets are monomorphic. The output contains no
+    join points — those are inferred later by contification. *)
+
+exception Type_error of string * Ast.pos
+
+type checked = {
+  env : Fj_core.Datacon.env;
+  defs : (string * Fj_core.Syntax.var * Fj_core.Syntax.expr) list;
+  main : Fj_core.Syntax.expr;
+}
+
+(** Typecheck and elaborate a parsed program (requires a [main]). *)
+val check_program : ?datacons:Fj_core.Datacon.env -> Ast.program -> checked
+
+(** Link into one closed core expression (lets around [main]). *)
+val link : checked -> Fj_core.Syntax.expr
+
+(** Parse + check + link. Returns the datatype environment (including
+    source [data] declarations) and the closed program. *)
+val compile :
+  ?datacons:Fj_core.Datacon.env ->
+  string ->
+  Fj_core.Datacon.env * Fj_core.Syntax.expr

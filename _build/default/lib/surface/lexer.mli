@@ -1,0 +1,31 @@
+(** Hand-written lexer for the surface language. *)
+
+type token =
+  | INT of int
+  | CHAR of char
+  | STRING of string
+  | LIDENT of string
+  | UIDENT of string
+  | KW of string
+  | OP of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | BACKSLASH
+  | ARROW
+  | EQUALS
+  | UNDERSCORE
+  | EOF
+
+val pp_token : Format.formatter -> token -> unit
+
+exception Lex_error of string * Ast.pos
+
+(** Tokenise a whole source string (comments and whitespace skipped);
+    always ends with [EOF]. *)
+val tokenize : string -> (token * Ast.pos) list

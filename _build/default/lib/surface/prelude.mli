@@ -1,0 +1,12 @@
+(** The standard prelude, written in the surface language: list and
+    arithmetic combinators (map, filter, folds, find/any — the paper's
+    Sec. 5 examples verbatim). *)
+
+(** The prelude source text. *)
+val source : string
+
+(** Compile the prelude followed by the given program. *)
+val compile :
+  ?datacons:Fj_core.Datacon.env ->
+  string ->
+  Fj_core.Datacon.env * Fj_core.Syntax.expr

@@ -1,0 +1,1 @@
+test/test_axioms.ml: Alcotest Axioms Builder Fj_core List Literal Option Pretty Syntax Types Util

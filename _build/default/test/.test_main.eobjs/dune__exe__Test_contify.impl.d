@@ -1,0 +1,1 @@
+test/test_contify.ml: Alcotest Builder Contify Fj_core Ident List Syntax Types Util

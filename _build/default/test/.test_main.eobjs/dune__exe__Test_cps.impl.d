@@ -1,0 +1,1 @@
+test/test_cps.ml: Alcotest Builder Cps Cse Datacon Erase Fj_core Fmt Lint List Pretty Rules Syntax Types Util

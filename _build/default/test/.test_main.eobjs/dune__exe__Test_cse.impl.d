@@ -1,0 +1,1 @@
+test/test_cse.ml: Alcotest Builder Cse Eval Fj_core Ident List Pretty Primop Simplify Syntax Types Util

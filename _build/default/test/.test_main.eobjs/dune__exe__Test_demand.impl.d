@@ -1,0 +1,1 @@
+test/test_demand.ml: Alcotest Builder Demand Eval Fj_core Fj_surface Fmt Ident Lint List Pipeline Pretty Simplify Syntax Types Util

@@ -1,0 +1,1 @@
+test/test_demote.ml: Alcotest Builder Demote Erase Eval Fj_core Fmt Ident List Pretty Syntax Types Util

@@ -1,0 +1,1 @@
+test/test_erase.ml: Alcotest Axioms Builder Contify Erase Eval Fj_core Fj_surface Fmt Lint List Pipeline Pretty Syntax Types Util

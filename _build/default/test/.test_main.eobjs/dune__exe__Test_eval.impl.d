@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Builder Eval Fj_core Fmt List Literal Syntax Types Util

@@ -1,0 +1,1 @@
+test/test_float.ml: Alcotest Builder Contify Fj_core Float_in Float_out List Pretty Syntax Types Util

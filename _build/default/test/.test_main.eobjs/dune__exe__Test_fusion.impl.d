@@ -1,0 +1,1 @@
+test/test_fusion.ml: Alcotest Eval Fj_core Fj_fusion Fmt Pipeline Util

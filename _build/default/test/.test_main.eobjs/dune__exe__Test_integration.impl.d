@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Bench_programs Erase Eval Filename Fj_core Fj_machine Fj_surface Fun Lint List Pipeline String Sys Util

@@ -1,0 +1,1 @@
+test/test_lint.ml: Alcotest Builder Datacon Fj_core Ident List Syntax Types Util

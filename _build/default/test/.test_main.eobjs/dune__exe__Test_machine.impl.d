@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Builder Eval Fj_core Fj_machine Fj_surface Fmt List Pipeline Syntax Types Util

@@ -1,0 +1,1 @@
+test/test_occur.ml: Alcotest Builder Fj_core Ident Occur Syntax Types Util

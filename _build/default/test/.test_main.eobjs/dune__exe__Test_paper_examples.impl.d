@@ -1,0 +1,1 @@
+test/test_paper_examples.ml: Alcotest Builder Contify Eval Fj_core Fmt List Simplify Syntax Types Util

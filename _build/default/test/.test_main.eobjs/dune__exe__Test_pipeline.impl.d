@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Eval Fj_core Fj_surface Fmt Ident List Option Pipeline Rules String Syntax Types Util

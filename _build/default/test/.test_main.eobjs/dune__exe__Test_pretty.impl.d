@@ -1,0 +1,1 @@
+test/test_pretty.ml: Alcotest Builder Fj_core List Pretty String Subst Syntax Types Util

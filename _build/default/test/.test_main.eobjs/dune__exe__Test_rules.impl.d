@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest Builder Fj_core Ident List Literal Pretty Rules Syntax Types Util

@@ -1,0 +1,1 @@
+test/test_sexp.ml: Alcotest Builder Fj_core Fj_fusion Fj_surface Ident List Pipeline Pretty Sexp Syntax Types Util

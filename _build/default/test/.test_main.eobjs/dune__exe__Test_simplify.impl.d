@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest Builder Contify Eval Fj_core Fmt List Literal Pretty Simplify String Syntax Types Util

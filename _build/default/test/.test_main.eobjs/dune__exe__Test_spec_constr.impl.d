@@ -1,0 +1,1 @@
+test/test_spec_constr.ml: Alcotest Builder Eval Fj_core Fj_fusion Fmt List Pipeline Pretty Simplify Spec_constr Syntax Types Util

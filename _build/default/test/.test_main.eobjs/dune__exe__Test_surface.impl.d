@@ -1,0 +1,1 @@
+test/test_surface.ml: Alcotest Eval Fj_core Fj_surface Fmt Lint String Util

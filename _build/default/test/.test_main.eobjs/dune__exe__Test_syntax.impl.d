@@ -1,0 +1,1 @@
+test/test_syntax.ml: Alcotest Builder Fj_core Ident List Pretty Subst Syntax Types Util

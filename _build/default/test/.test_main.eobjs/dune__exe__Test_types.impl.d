@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest Fj_core Ident List String Types Util

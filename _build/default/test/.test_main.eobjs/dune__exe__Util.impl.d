@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Datacon Eval Fj_core Fmt Lint Pretty Syntax Types

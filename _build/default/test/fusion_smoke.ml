@@ -1,0 +1,31 @@
+(* Does the skipless pipeline actually fuse with join points? Compare
+   per-element allocation across representations and modes. *)
+open Fj_core
+
+let measure name src =
+  let denv, core = Fj_fusion.Streams.compile_pipeline src in
+  (match Lint.lint_result denv core with
+  | Ok _ -> ()
+  | Error err ->
+      Fmt.pr "%s LINT FAIL: %a@." name Lint.pp_error err;
+      exit 1);
+  let t0, _ = Eval.run_deep core in
+  List.iter
+    (fun mode ->
+      let cfg =
+        Pipeline.default_config ~mode ~datacons:denv ~inline_threshold:300 ()
+      in
+      let e = Pipeline.run cfg core in
+      let t, s = Eval.run_deep e in
+      assert (Eval.equal_tree t0 t);
+      Fmt.pr "%-28s %-12s: %a (%a)@." name (Pipeline.mode_name mode)
+        Eval.pp_tree t Eval.pp_stats s)
+    [ Pipeline.Baseline; Pipeline.Join_points ]
+
+let () =
+  measure "skipless n=100" (Fj_fusion.Streams.sum_map_filter_skipless 100);
+  measure "skipless n=200" (Fj_fusion.Streams.sum_map_filter_skipless 200);
+  measure "skipful n=100" (Fj_fusion.Streams.sum_map_filter_skipful 100);
+  measure "skipful n=200" (Fj_fusion.Streams.sum_map_filter_skipful 200);
+  measure "lists n=100" (Fj_fusion.Streams.sum_map_filter_lists 100);
+  Fmt.pr "fusion smoke OK@."

@@ -1,0 +1,22 @@
+(* Lower optimized programs to the block machine, run, compare results
+   with the core evaluator, and contrast goto-vs-closure costs. *)
+open Fj_core
+
+let () =
+  let src = {|
+def main = sum (map (\x -> x * 2) (filter odd (enumFromTo 1 100)))
+|} in
+  let denv, core = Fj_surface.Prelude.compile src in
+  let t0, _ = Eval.run_deep core in
+  List.iter
+    (fun mode ->
+      let cfg = Pipeline.default_config ~mode ~datacons:denv () in
+      let e = Pipeline.run cfg core in
+      let prog = Fj_machine.Lower.lower_program e in
+      let v, s = Fj_machine.Bmachine.run prog in
+      let t = Fj_machine.Bmachine.tree_of_value v in
+      Fmt.pr "%-12s machine: %a (%a)@." (Pipeline.mode_name mode)
+        Eval.pp_tree t Fj_machine.Bmachine.pp_stats s;
+      assert (Eval.equal_tree t0 t))
+    [ Pipeline.Baseline; Pipeline.Join_points ];
+  Fmt.pr "machine smoke OK@."

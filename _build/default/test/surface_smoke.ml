@@ -1,0 +1,27 @@
+(* Surface language smoke test: compile, lint, run, optimise, compare. *)
+open Fj_core
+
+let () =
+  let src =
+    {|
+def main = sum (map (\x -> x * 2) (filter odd (enumFromTo 1 20)))
+|}
+  in
+  let denv, core = Fj_surface.Prelude.compile src in
+  (match Lint.lint_result denv core with
+  | Ok ty -> Fmt.pr "lints at %a@." Types.pp ty
+  | Error err ->
+      Fmt.pr "LINT FAIL: %a@." Lint.pp_error err;
+      exit 1);
+  let t0, s0 = Eval.run_deep core in
+  Fmt.pr "unopt: %a (%a)@." Eval.pp_tree t0 Eval.pp_stats s0;
+  List.iter
+    (fun mode ->
+      let cfg = Pipeline.default_config ~mode ~datacons:denv ~lint_every_pass:true () in
+      let e = Pipeline.run cfg core in
+      let t, s = Eval.run_deep e in
+      Fmt.pr "%-12s: %a (%a)@." (Pipeline.mode_name mode) Eval.pp_tree t
+        Eval.pp_stats s;
+      assert (Eval.equal_tree t0 t))
+    [ Pipeline.Baseline; Pipeline.Join_points; Pipeline.No_cc ];
+  Fmt.pr "surface smoke OK@."

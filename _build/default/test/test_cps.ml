@@ -1,0 +1,174 @@
+(** Tests for {!Fj_core.Cps} — the Sec. 8 comparison: the CPS transform
+    is meaning-preserving and type-correct, and the paper's two
+    "harder in CPS" claims (CSE, rule matching) hold measurably. *)
+
+open Fj_core
+open Syntax
+open Util
+module B = Builder
+
+let cps_ok e =
+  let _ = lints e in
+  let e' = Cps.transform e in
+  (match Lint.lint_result Datacon.builtins e' with
+  | Ok _ -> ()
+  | Error err ->
+      Alcotest.failf "CPS output does not lint: %a@.%a" Lint.pp_error err
+        Pretty.pp e');
+  same_result e e';
+  e'
+
+let preserves_arithmetic () =
+  ignore (cps_ok (B.add (B.mul (B.int 6) (B.int 7)) (B.int 0)))
+
+let preserves_functions () =
+  ignore
+    (cps_ok
+       (B.app
+          (B.lam "x" Types.int (fun x -> B.add x (B.int 1)))
+          (B.int 41)))
+
+let preserves_case () =
+  ignore
+    (cps_ok
+       (B.case (B.just Types.int (B.int 5))
+          [
+            B.alt_con "Just" [ Types.int ] [ "x" ] (fun xs -> List.hd xs);
+            B.alt_con "Nothing" [ Types.int ] [] (fun _ -> B.int 0);
+          ]))
+
+let preserves_lets () =
+  ignore
+    (cps_ok
+       (B.let_ "a" (B.int 10) (fun a ->
+            B.let_ "b" (B.add a (B.int 5)) (fun b -> B.mul a b))))
+
+let preserves_recursion () =
+  ignore
+    (cps_ok
+       (B.letrec1 "fact"
+          (Types.Arrow (Types.int, Types.int))
+          (fun fact ->
+            B.lam "n" Types.int (fun n ->
+                B.if_ (B.le n (B.int 1)) (B.int 1)
+                  (B.mul n (B.app fact (B.sub n (B.int 1))))))
+          (fun fact -> B.app fact (B.int 6))))
+
+let preserves_higher_order () =
+  ignore
+    (cps_ok
+       (B.app
+          (B.app
+             (B.lam "f" (Types.Arrow (Types.int, Types.int)) (fun f ->
+                  B.lam "x" Types.int (fun x -> B.app f (B.app f x))))
+             (B.lam "y" Types.int (fun y -> B.add y (B.int 3))))
+          (B.int 1)))
+
+let rejects_join_points () =
+  let e =
+    B.join1 "j" [ ("x", Types.int) ]
+      (fun xs -> List.hd xs)
+      (fun jmp -> jmp [ B.int 1 ] Types.int)
+  in
+  match Cps.transform e with
+  | exception Cps.Unsupported _ -> ()
+  | _ -> Alcotest.fail "join points must be erased before CPS"
+
+let erase_then_cps () =
+  (* The full chain: F_J with joins -> erase -> CPS, same value. *)
+  let e =
+    B.join1 "j" [ ("x", Types.int) ]
+      (fun xs -> B.add (List.hd xs) (B.int 1))
+      (fun jmp -> jmp [ B.int 41 ] Types.int)
+  in
+  let erased = Erase.erase e in
+  let cpsd = cps_ok erased in
+  same_result e cpsd
+
+(* The paper's CSE claim: [let a = g x in f a (g x)] shares in direct
+   style; the same program CPS-transformed has no repeated subterm for
+   CSE to find. *)
+let cse_direct_vs_cps () =
+  let i2i = Types.Arrow (Types.int, Types.int) in
+  let prog =
+    B.app
+      (B.app
+         (B.lam "f" (Types.arrows [ Types.int; Types.int ] Types.int)
+            (fun f ->
+              B.lam "g" i2i (fun g ->
+                  B.let_ "a" (B.app g (B.int 7)) (fun a ->
+                      B.app2 f a (B.app g (B.int 7))))))
+         (B.lam "p" Types.int (fun p ->
+              B.lam "q" Types.int (fun q -> B.add p q))))
+      (B.lam "y" Types.int (fun y -> B.mul y y))
+  in
+  let count_shared e =
+    let before = Cse.stats.Cse.shared in
+    ignore (Cse.run e);
+    Cse.stats.Cse.shared - before
+  in
+  let direct_shared = count_shared prog in
+  let cpsd = cps_ok prog in
+  let cps_shared = count_shared cpsd in
+  Alcotest.(check bool) "direct style shares the g call" true
+    (direct_shared >= 1);
+  Alcotest.(check int) "CPS hides the common sub-expression" 0 cps_shared
+
+(* The paper's RULES claim: [stream (unstream s)] is a visible redex in
+   direct style; after CPS the nesting is smeared across continuations
+   and the same rule cannot fire. *)
+let rules_direct_vs_cps () =
+  let ilist = B.list_ty Types.int in
+  let stream_v = mk_var "stream" (Types.Arrow (ilist, ilist)) in
+  let unstream_v = mk_var "unstream" (Types.Arrow (ilist, ilist)) in
+  let s_hole = mk_var "s" ilist in
+  let rule =
+    Rules.rule ~name:"stream/unstream" ~term_holes:[ s_hole ] ~ty_holes:[]
+      ~lhs:(App (Var stream_v, App (Var unstream_v, Var s_hole)))
+      ~rhs:(Var s_hole)
+  in
+  (* Close the program over stream/unstream (identity functions),
+     binding exactly the rule's head variables. *)
+  let prog body =
+    B.app
+      (B.app
+         (Lam (stream_v, Lam (unstream_v, body)))
+         (B.lam "xs" ilist (fun xs -> xs)))
+      (B.lam "ys" ilist (fun ys -> ys))
+  in
+  let direct = App (Var stream_v, App (Var unstream_v, B.int_list [ 1 ])) in
+  let _, fired_direct = Rules.rewrite [ rule ] direct in
+  Alcotest.(check int) "fires in direct style" 1 (List.length fired_direct);
+  (* CPS the closed program containing the redex. *)
+  let closed = prog direct in
+  let _ = lints closed in
+  let cpsd = Cps.transform closed in
+  let _, fired_cps = Rules.rewrite [ rule ] cpsd in
+  Alcotest.(check int) "cannot fire after CPS" 0 (List.length fired_cps)
+
+let administrative_blowup () =
+  let e =
+    B.let_ "a" (B.add (B.int 1) (B.int 2)) (fun a ->
+        B.mul a (B.add a (B.int 3)))
+  in
+  let cpsd = cps_ok e in
+  Alcotest.(check bool)
+    (Fmt.str "CPS introduces lambdas (%d > %d)" (Cps.count_lams cpsd)
+       (Cps.count_lams e))
+    true
+    (Cps.count_lams cpsd > Cps.count_lams e)
+
+let tests =
+  [
+    test "preserves arithmetic" preserves_arithmetic;
+    test "preserves functions" preserves_functions;
+    test "preserves case" preserves_case;
+    test "preserves lets" preserves_lets;
+    test "preserves recursion" preserves_recursion;
+    test "preserves higher-order code" preserves_higher_order;
+    test "rejects join points (erase first)" rejects_join_points;
+    test "erase then CPS round trip" erase_then_cps;
+    test "CSE: easy direct, blocked by CPS (Sec. 8)" cse_direct_vs_cps;
+    test "RULES: fire direct, blocked by CPS (Sec. 8)" rules_direct_vs_cps;
+    test "administrative lambda blow-up" administrative_blowup;
+  ]

@@ -1,0 +1,118 @@
+(** Tests for {!Fj_core.Demote} — de-contification (the right-to-left
+    [contify] axiom), directly. *)
+
+open Fj_core
+open Syntax
+open Util
+module B = Builder
+
+let demote_ok e =
+  let _ = lints e in
+  let e' = Demote.demote e in
+  Alcotest.(check bool) "join-free" true (Erase.is_join_free e');
+  let _ = lints e' in
+  same_result e e';
+  e'
+
+let simple_join () =
+  let e =
+    B.join1 "j"
+      [ ("x", Types.int) ]
+      (fun xs -> B.add (List.hd xs) (B.int 1))
+      (fun jmp -> jmp [ B.int 41 ] Types.int)
+  in
+  match demote_ok e with
+  | Let (NonRec (f, Lam _), _) ->
+      (* The binder's type becomes an honest function type. *)
+      Alcotest.check ty_testable "function type"
+        (Types.Arrow (Types.int, Types.int))
+        f.v_ty
+  | e' -> Alcotest.failf "expected a let of a lambda: %a" Pretty.pp e'
+
+let recursive_join () =
+  let e =
+    B.joinrec1 "loop"
+      [ ("n", Types.int); ("acc", Types.int) ]
+      (fun jmp xs ->
+        match xs with
+        | [ n; acc ] ->
+            B.if_ (B.le n (B.int 0)) acc
+              (jmp [ B.sub n (B.int 1); B.add acc n ] Types.int)
+        | _ -> assert false)
+      (fun jmp -> jmp [ B.int 10; B.int 0 ] Types.int)
+  in
+  match demote_ok e with
+  | Let (Rec [ (f, _) ], _) ->
+      Alcotest.check ty_testable "function type"
+        (Types.arrows [ Types.int; Types.int ] Types.int)
+        f.v_ty
+  | e' -> Alcotest.failf "expected a letrec: %a" Pretty.pp e'
+
+let nested_joins () =
+  (* A join whose rhs jumps to an outer join: demote bottom-up turns
+     both into ordinary calls. *)
+  let x1 = mk_var "x" Types.int in
+  let outer = mk_join_var "out" [] [ x1 ] in
+  let outer_defn =
+    { j_var = outer; j_tyvars = []; j_params = [ x1 ]; j_rhs = B.add (Var x1) (B.int 1) }
+  in
+  let x2 = mk_var "y" Types.int in
+  let inner = mk_join_var "inn" [] [ x2 ] in
+  let inner_defn =
+    {
+      j_var = inner;
+      j_tyvars = [];
+      j_params = [ x2 ];
+      j_rhs = Jump (outer, [], [ B.mul (Var x2) (B.int 2) ], Types.int);
+    }
+  in
+  let e =
+    Join
+      ( JNonRec outer_defn,
+        Join (JNonRec inner_defn, Jump (inner, [], [ B.int 3 ], Types.int)) )
+  in
+  let e' = demote_ok e in
+  let t, _ = run e' in
+  Alcotest.(check string) "3*2+1" "7" (Fmt.str "%a" Eval.pp_tree t)
+
+let polymorphic_join () =
+  let a = Ident.fresh "a" in
+  let x = mk_var "x" (Types.Var a) in
+  let jv = mk_join_var "j" [ a ] [ x ] in
+  let defn =
+    { j_var = jv; j_tyvars = [ a ]; j_params = [ x ]; j_rhs = B.int 7 }
+  in
+  let e =
+    Join (JNonRec defn, Jump (jv, [ Types.bool ], [ B.true_ ], Types.int))
+  in
+  let e' = demote_ok e in
+  let t, _ = run e' in
+  Alcotest.(check string) "constant" "7" (Fmt.str "%a" Eval.pp_tree t)
+
+let join_inside_jump_argument () =
+  (* Regression: a join nested inside a jump's argument must be demoted
+     too (found by the property suite). *)
+  let x = mk_var "x" Types.int in
+  let jv = mk_join_var "j" [] [ x ] in
+  let defn =
+    { j_var = jv; j_tyvars = []; j_params = [ x ]; j_rhs = B.mul (Var x) (Var x) }
+  in
+  let arg =
+    B.join1 "k"
+      [ ("y", Types.int) ]
+      (fun ys -> B.add (List.hd ys) (B.int 1))
+      (fun jmp -> jmp [ B.int 4 ] Types.int)
+  in
+  let e = Join (JNonRec defn, Jump (jv, [], [ arg ], Types.int)) in
+  let e' = demote_ok e in
+  let t, _ = run e' in
+  Alcotest.(check string) "(4+1)^2" "25" (Fmt.str "%a" Eval.pp_tree t)
+
+let tests =
+  [
+    test "simple join becomes a function" simple_join;
+    test "recursive join becomes a letrec" recursive_join;
+    test "nested joins demote bottom-up" nested_joins;
+    test "polymorphic join demotes" polymorphic_join;
+    test "join inside a jump argument (regression)" join_inside_jump_argument;
+  ]

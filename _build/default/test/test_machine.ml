@@ -1,0 +1,157 @@
+(** Tests for {!Fj_machine} — lowering F_J to the block IR and running
+    it: agreement with the core evaluator, and the Sec. 3 cost claims
+    (jumps are gotos, no allocation; baseline functions are closures). *)
+
+open Fj_core
+open Syntax
+open Util
+module B = Builder
+module M = Fj_machine.Bmachine
+module L = Fj_machine.Lower
+
+let machine_run e =
+  let prog = L.lower_program e in
+  match M.run ~fuel:5_000_000 prog with
+  | v, s -> (M.tree_of_value v, s)
+  | exception M.Stuck m -> Alcotest.failf "machine stuck: %s" m
+
+(* The block machine is call-by-value; compare against the core
+   evaluator only on total, laziness-independent programs. *)
+let agrees e =
+  let t_core, _ = run e in
+  let t_mach, _ = machine_run e in
+  Alcotest.check tree_testable "machine agrees with evaluator" t_core t_mach
+
+let literals_and_prims () =
+  agrees (B.add (B.mul (B.int 6) (B.int 7)) (B.int 0));
+  agrees (B.lt (B.int 1) (B.int 2))
+
+let constructors_and_cases () =
+  agrees
+    (B.case (B.just Types.int (B.int 5))
+       [
+         B.alt_con "Just" [ Types.int ] [ "x" ] (fun xs -> List.hd xs);
+         B.alt_con "Nothing" [ Types.int ] [] (fun _ -> B.int 0);
+       ]);
+  agrees (B.int_list [ 1; 2; 3 ])
+
+let closures_and_calls () =
+  agrees
+    (B.let_ "f"
+       (B.lam "x" Types.int (fun x -> B.add x (B.int 1)))
+       (fun f -> B.app f (B.int 41)))
+
+let partial_application () =
+  (* Under-saturated call produces a PAP; a later call completes it. *)
+  agrees
+    (B.let_ "add2"
+       (B.lam "x" Types.int (fun x -> B.lam "y" Types.int (fun y -> B.add x y)))
+       (fun add2 ->
+         B.let_ "inc" (B.app add2 (B.int 1)) (fun inc ->
+             B.app inc (B.int 41))))
+
+let oversaturated_call () =
+  (* A call with more args than the head's manifest arity. *)
+  agrees
+    (B.let_ "konst"
+       (B.lam "x" Types.int (fun x ->
+            B.lam "y" Types.int (fun _ -> B.lam "z" Types.int (fun _ -> x))))
+       (fun k -> B.app3 k (B.int 7) (B.int 8) (B.int 9)))
+
+let recursion () =
+  agrees
+    (B.letrec1 "fact"
+       (Types.Arrow (Types.int, Types.int))
+       (fun fact ->
+         B.lam "n" Types.int (fun n ->
+             B.if_ (B.le n (B.int 1)) (B.int 1)
+               (B.mul n (B.app fact (B.sub n (B.int 1))))))
+       (fun fact -> B.app fact (B.int 6)))
+
+let joins_are_gotos () =
+  let e =
+    B.joinrec1 "loop"
+      [ ("n", Types.int); ("acc", Types.int) ]
+      (fun jmp xs ->
+        match xs with
+        | [ n; acc ] ->
+            B.if_ (B.le n (B.int 0)) acc
+              (jmp [ B.sub n (B.int 1); B.add acc n ] Types.int)
+        | _ -> assert false)
+      (fun jmp -> jmp [ B.int 50; B.int 0 ] Types.int)
+  in
+  let t, s = machine_run e in
+  Alcotest.(check string) "sum" "1275" (Fmt.str "%a" Eval.pp_tree t);
+  Alcotest.(check int) "no allocation" 0 s.M.words;
+  Alcotest.(check int) "no calls" 0 s.M.calls;
+  Alcotest.(check bool) "gotos happened" true (s.M.gotos > 50)
+
+let letbound_functions_allocate () =
+  let e =
+    B.let_ "f"
+      (B.lam "x" Types.int (fun x -> B.add x (B.int 1)))
+      (fun f -> B.app f (B.int 1))
+  in
+  let _, s = machine_run e in
+  Alcotest.(check bool) "closure allocated" true (s.M.words > 0);
+  Alcotest.(check int) "one call" 1 s.M.calls
+
+let non_tail_jump_discards () =
+  (* A jump whose context includes a pending continuation block: the
+     goto must bypass it (the jump rule). *)
+  let x = mk_var "x" Types.int in
+  let jv = mk_join_var "j" [] [ x ] in
+  let defn = { j_var = jv; j_tyvars = []; j_params = [ x ]; j_rhs = Var x } in
+  let e =
+    Join
+      ( JNonRec defn,
+        Case
+          ( Jump (jv, [], [ B.int 2 ], Types.int),
+            [ { alt_pat = PDefault; alt_rhs = B.int 99 } ] ) )
+  in
+  let t, _ = machine_run e in
+  Alcotest.(check string) "discarded case" "2" (Fmt.str "%a" Eval.pp_tree t)
+
+let surface_program_roundtrip () =
+  let denv, core =
+    Fj_surface.Prelude.compile
+      "def main = sum (map (\\x -> x * x) (enumFromTo 1 10))"
+  in
+  let t_core, _ = run core in
+  List.iter
+    (fun mode ->
+      let cfg = Pipeline.default_config ~mode ~datacons:denv () in
+      let opt = Pipeline.run cfg core in
+      let t_mach, _ = machine_run opt in
+      Alcotest.check tree_testable
+        (Pipeline.mode_name mode ^ " lowering agrees")
+        t_core t_mach)
+    [ Pipeline.Baseline; Pipeline.Join_points ]
+
+let tail_calls_do_not_grow_stack () =
+  (* A contified tail loop must run in constant stack on the machine. *)
+  let e =
+    B.joinrec1 "loop"
+      [ ("n", Types.int) ]
+      (fun jmp xs ->
+        let n = List.hd xs in
+        B.if_ (B.le n (B.int 0)) (B.int 0) (jmp [ B.sub n (B.int 1) ] Types.int))
+      (fun jmp -> jmp [ B.int 10_000 ] Types.int)
+  in
+  let _, s = machine_run e in
+  Alcotest.(check bool) "constant stack" true (s.M.max_stack <= 1)
+
+let tests =
+  [
+    test "literals and primops" literals_and_prims;
+    test "constructors and cases" constructors_and_cases;
+    test "closures and calls" closures_and_calls;
+    test "partial application (PAP)" partial_application;
+    test "over-saturated calls" oversaturated_call;
+    test "recursion" recursion;
+    test "joins lower to gotos, zero alloc (Sec. 3)" joins_are_gotos;
+    test "let-bound functions allocate closures" letbound_functions_allocate;
+    test "non-tail jump discards its context" non_tail_jump_discards;
+    test "lowered pipelines agree with evaluator" surface_program_roundtrip;
+    test "tail jumps run in constant stack" tail_calls_do_not_grow_stack;
+  ]

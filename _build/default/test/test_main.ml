@@ -1,0 +1,30 @@
+(* The alcotest entry point: all suites. *)
+let () =
+  Alcotest.run "fj"
+    [
+      ("types", Test_types.tests);
+      ("syntax", Test_syntax.tests);
+      ("pretty", Test_pretty.tests);
+      ("lint", Test_lint.tests);
+      ("eval", Test_eval.tests);
+      ("axioms", Test_axioms.tests);
+      ("occur", Test_occur.tests);
+      ("contify", Test_contify.tests);
+      ("simplify", Test_simplify.tests);
+      ("float", Test_float.tests);
+      ("erase", Test_erase.tests);
+      ("demote", Test_demote.tests);
+      ("rules", Test_rules.tests);
+      ("surface", Test_surface.tests);
+      ("machine", Test_machine.tests);
+      ("fusion", Test_fusion.tests);
+      ("demand", Test_demand.tests);
+      ("cse", Test_cse.tests);
+      ("cps", Test_cps.tests);
+      ("sexp", Test_sexp.tests);
+      ("spec-constr", Test_spec_constr.tests);
+      ("paper-examples", Test_paper_examples.tests);
+      ("pipeline", Test_pipeline.tests);
+      ("integration", Test_integration.tests);
+      ("properties", Test_qcheck.tests);
+    ]

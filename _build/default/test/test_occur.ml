@@ -1,0 +1,142 @@
+(** Tests for {!Fj_core.Occur} — the occurrence/tail-call analysis of
+    Sec. 4 ("a free-variable analysis that also tracks whether each
+    free variable has appeared only in the holes of tail contexts"). *)
+
+open Fj_core
+open Syntax
+open Util
+module B = Builder
+
+let info_of e (x : var) = Occur.lookup (Occur.of_expr e) x
+
+let dead_and_once () =
+  let x = mk_var "x" Types.int in
+  let e = B.add (Var x) (B.int 1) in
+  let i = info_of e x in
+  Alcotest.(check int) "once" 1 i.count;
+  let y = mk_var "y" Types.int in
+  Alcotest.(check int) "dead" 0 (info_of e y).count
+
+let counts_add_up () =
+  let x = mk_var "x" Types.int in
+  let e = B.add (Var x) (B.mul (Var x) (Var x)) in
+  Alcotest.(check int) "three" 3 (info_of e x).count
+
+let under_lambda_flag () =
+  let x = mk_var "x" Types.int in
+  let e = B.lam "y" Types.int (fun _ -> Var x) in
+  let i = info_of e x in
+  Alcotest.(check bool) "under lambda" true i.under_lam;
+  Alcotest.(check bool) "not a tail call" false i.all_tail
+
+let tail_call_direct () =
+  (* f x — a saturated call in tail position. *)
+  let f = mk_var "f" (Types.Arrow (Types.int, Types.int)) in
+  let e = App (Var f, B.int 1) in
+  let i = info_of e f in
+  Alcotest.(check bool) "tail" true i.all_tail;
+  (match i.shape with
+  | Some s ->
+      Alcotest.(check int) "no ty args" 0 s.Occur.n_ty;
+      Alcotest.(check int) "one val arg" 1 s.Occur.n_val
+  | None -> Alcotest.fail "expected a shape")
+
+let tail_through_case_branches () =
+  let f = mk_var "f" (Types.Arrow (Types.int, Types.int)) in
+  let e =
+    B.if_ B.true_ (App (Var f, B.int 1)) (App (Var f, B.int 2))
+  in
+  Alcotest.(check bool) "both branches tail" true (info_of e f).all_tail
+
+let scrutinee_not_tail () =
+  let f = mk_var "f" (Types.Arrow (Types.int, Types.int)) in
+  let e =
+    B.case
+      (App (Var f, B.int 1))
+      [ B.alt_default (B.int 0) ]
+  in
+  Alcotest.(check bool) "scrutinee call is not tail" false
+    (info_of e f).all_tail
+
+let argument_not_tail () =
+  let f = mk_var "f" (Types.Arrow (Types.int, Types.int)) in
+  let g = mk_var "g" (Types.Arrow (Types.int, Types.int)) in
+  let e = App (Var g, App (Var f, B.int 1)) in
+  Alcotest.(check bool) "argument call is not tail" false
+    (info_of e f).all_tail;
+  (* The head g IS a tail call. *)
+  Alcotest.(check bool) "head is tail" true (info_of e g).all_tail
+
+let let_body_is_tail () =
+  let f = mk_var "f" (Types.Arrow (Types.int, Types.int)) in
+  let e = B.let_ "z" (B.int 1) (fun _ -> App (Var f, B.int 2)) in
+  Alcotest.(check bool) "let body tail" true (info_of e f).all_tail
+
+let let_rhs_not_tail () =
+  let f = mk_var "f" (Types.Arrow (Types.int, Types.int)) in
+  let e = B.let_ "z" (App (Var f, B.int 1)) (fun z -> z) in
+  Alcotest.(check bool) "let rhs not tail" false (info_of e f).all_tail
+
+let inconsistent_arity_not_tail () =
+  let f =
+    mk_var "f" (Types.Arrow (Types.int, Types.Arrow (Types.int, Types.int)))
+  in
+  let e =
+    B.if_ B.true_
+      (App (Var f, B.int 1))
+      (App (App (Var f, B.int 1), B.int 2))
+  in
+  Alcotest.(check bool) "mixed arity rejected" false (info_of e f).all_tail
+
+let naked_use_not_call () =
+  let f = mk_var "f" (Types.Arrow (Types.int, Types.int)) in
+  let e = B.if_ B.true_ (App (Var f, B.int 1)) (B.app (B.lam "g" (Types.Arrow (Types.int, Types.int)) (fun g -> B.app g (B.int 2))) (Var f)) in
+  (* Second occurrence passes f as an argument (shape 0/0): shapes
+     disagree, so not all-tail. *)
+  Alcotest.(check bool) "escaping use blocks" false (info_of e f).all_tail
+
+let join_rhs_is_tail_context () =
+  let f = mk_var "f" (Types.Arrow (Types.int, Types.int)) in
+  let e =
+    B.join1 "j"
+      [ ("x", Types.int) ]
+      (fun _ -> App (Var f, B.int 1))
+      (fun jmp -> jmp [ B.int 0 ] Types.int)
+  in
+  Alcotest.(check bool) "call in join rhs is tail" true (info_of e f).all_tail
+
+let binder_info_recorded () =
+  let e =
+    B.let_ "x" (B.int 1) (fun x -> B.add x x)
+  in
+  let _, binders = Occur.with_binder_info e in
+  (* Exactly one binder recorded, with two occurrences. *)
+  Alcotest.(check int) "one binder" 1 (Ident.Map.cardinal binders);
+  let _, i = Ident.Map.choose binders in
+  Alcotest.(check int) "two occurrences" 2 i.Occur.count
+
+let once_safely () =
+  let e = B.let_ "x" (B.int 1) (fun x -> B.add x (B.int 2)) in
+  let _, binders = Occur.with_binder_info e in
+  let x, _ = Ident.Map.choose binders in
+  let m = Ident.Map.map (fun i -> i) binders in
+  Alcotest.(check bool) "once safe" true
+    (Occur.occurs_once_safely m { v_name = x; v_ty = Types.int })
+
+let tests =
+  [
+    test "dead and once" dead_and_once;
+    test "counts add up" counts_add_up;
+    test "under-lambda flag" under_lambda_flag;
+    test "direct tail call" tail_call_direct;
+    test "tail through case branches" tail_through_case_branches;
+    test "scrutinee is not tail" scrutinee_not_tail;
+    test "argument is not tail, head is" argument_not_tail;
+    test "let body is tail" let_body_is_tail;
+    test "let rhs is not tail" let_rhs_not_tail;
+    test "inconsistent arities rejected" inconsistent_arity_not_tail;
+    test "escaping use blocks tail-ness" naked_use_not_call;
+    test "join rhs is a tail context" join_rhs_is_tail_context;
+    test "binder info is recorded" binder_info_recorded;
+    test "occurs-once-safely" once_safely;
+  ]

@@ -1,0 +1,114 @@
+(** Tests for {!Fj_core.Rules} — user rewrite rules (GHC RULES), with
+    the paper's stream/unstream rule as the flagship example (Sec. 8). *)
+
+open Fj_core
+open Syntax
+open Util
+module B = Builder
+
+(* A toy stream/unstream pair operating on Int lists (identity
+   functions at runtime, as the real ones are at the representation
+   level). *)
+let mk_stream_world () =
+  let ilist = B.list_ty Types.int in
+  let stream_v = mk_var "stream" (Types.Arrow (ilist, ilist)) in
+  let unstream_v = mk_var "unstream" (Types.Arrow (ilist, ilist)) in
+  let s_hole = mk_var "s" ilist in
+  let rule =
+    Rules.rule ~name:"stream/unstream" ~term_holes:[ s_hole ] ~ty_holes:[]
+      ~lhs:(App (Var stream_v, App (Var unstream_v, Var s_hole)))
+      ~rhs:(Var s_hole)
+  in
+  (stream_v, unstream_v, rule)
+
+let fires_on_redex () =
+  let stream_v, unstream_v, rule = mk_stream_world () in
+  let xs = mk_var "xs" (B.list_ty Types.int) in
+  let e = App (Var stream_v, App (Var unstream_v, Var xs)) in
+  let e', fired = Rules.rewrite [ rule ] e in
+  Alcotest.(check (list string)) "fired once" [ "stream/unstream" ] fired;
+  match e' with
+  | Var v -> Alcotest.(check bool) "rewrote to the hole" true (var_equal v xs)
+  | _ -> Alcotest.failf "unexpected result %a" Pretty.pp e'
+
+let no_fire_on_partial () =
+  let stream_v, _, rule = mk_stream_world () in
+  let xs = mk_var "xs" (B.list_ty Types.int) in
+  let e = App (Var stream_v, Var xs) in
+  let _, fired = Rules.rewrite [ rule ] e in
+  Alcotest.(check (list string)) "did not fire" [] fired
+
+let fires_nested () =
+  let stream_v, unstream_v, rule = mk_stream_world () in
+  let xs = mk_var "xs" (B.list_ty Types.int) in
+  (* stream (unstream (stream (unstream xs))) — fires twice (bottom-up
+     then again at the top). *)
+  let e =
+    App
+      ( Var stream_v,
+        App
+          ( Var unstream_v,
+            App (Var stream_v, App (Var unstream_v, Var xs)) ) )
+  in
+  let e', fired = Rules.rewrite [ rule ] e in
+  Alcotest.(check int) "fired twice" 2 (List.length fired);
+  match e' with
+  | Var v -> Alcotest.(check bool) "fully collapsed" true (var_equal v xs)
+  | _ -> Alcotest.failf "unexpected result %a" Pretty.pp e'
+
+let repeated_holes_consistent () =
+  (* rule: double x x => x; must NOT fire on double 1 2. *)
+  let d = mk_var "double" (Types.arrows [ Types.int; Types.int ] Types.int) in
+  let h = mk_var "h" Types.int in
+  let rule =
+    Rules.rule ~name:"collapse" ~term_holes:[ h ] ~ty_holes:[]
+      ~lhs:(B.app2 (Var d) (Var h) (Var h))
+      ~rhs:(Var h)
+  in
+  let _, fired1 = Rules.rewrite [ rule ] (B.app2 (Var d) (B.int 1) (B.int 1)) in
+  Alcotest.(check int) "fires on equal" 1 (List.length fired1);
+  let _, fired2 = Rules.rewrite [ rule ] (B.app2 (Var d) (B.int 1) (B.int 2)) in
+  Alcotest.(check int) "refuses unequal" 0 (List.length fired2)
+
+let type_holes_match () =
+  (* forall a s. idmap @a s => s *)
+  let a = Ident.fresh "a" in
+  let f =
+    mk_var "idmap"
+      (Types.Forall (a, Types.Arrow (Types.Var a, Types.Var a)))
+  in
+  let h = mk_var "h" (Types.Var a) in
+  let rule =
+    Rules.rule ~name:"idmap" ~term_holes:[ h ] ~ty_holes:[ a ]
+      ~lhs:(App (TyApp (Var f, Types.Var a), Var h))
+      ~rhs:(Var h)
+  in
+  let e = App (TyApp (Var f, Types.int), B.int 7) in
+  let e', fired = Rules.rewrite [ rule ] e in
+  Alcotest.(check int) "fired" 1 (List.length fired);
+  match e' with
+  | Lit (Literal.Int 7) -> ()
+  | _ -> Alcotest.failf "unexpected result %a" Pretty.pp e'
+
+let rewrites_under_binders () =
+  let stream_v, unstream_v, rule = mk_stream_world () in
+  let e =
+    B.lam "xs" (B.list_ty Types.int) (fun xs ->
+        App (Var stream_v, App (Var unstream_v, xs)))
+  in
+  let e', fired = Rules.rewrite [ rule ] e in
+  Alcotest.(check int) "fired under lambda" 1 (List.length fired);
+  match e' with
+  | Lam (x, Var v) ->
+      Alcotest.(check bool) "eta-identity" true (var_equal x v)
+  | _ -> Alcotest.failf "unexpected result %a" Pretty.pp e'
+
+let tests =
+  [
+    test "stream/unstream fires" fires_on_redex;
+    test "no fire on partial match" no_fire_on_partial;
+    test "fires on nested redexes" fires_nested;
+    test "repeated holes must match consistently" repeated_holes_consistent;
+    test "type holes" type_holes_match;
+    test "rewrites under binders" rewrites_under_binders;
+  ]

@@ -1,0 +1,133 @@
+(** Tests for {!Fj_core.Sexp} — the IR serialisation: exact round
+    trips (uniques preserved), error handling, and interaction with the
+    rest of the toolchain (a reloaded program still lints, runs and
+    optimises identically). *)
+
+open Fj_core
+open Util
+module B = Builder
+
+let roundtrip e =
+  let s = Sexp.write e in
+  let e' = Sexp.read dc s in
+  (* Exact: the printed Core must be identical, uniques included. *)
+  Alcotest.(check string) "identical after round trip" (Pretty.to_string e)
+    (Pretty.to_string e');
+  e'
+
+let literals () =
+  ignore (roundtrip (B.int 42));
+  ignore (roundtrip (B.int (-7)));
+  ignore (roundtrip (B.char 'x'));
+  ignore (roundtrip (B.str "hello \"world\"\n"))
+
+let data_and_prims () =
+  ignore (roundtrip (B.int_list [ 1; 2; 3 ]));
+  ignore (roundtrip (B.add (B.mul (B.int 2) (B.int 3)) (B.int 4)));
+  ignore (roundtrip (B.pair Types.int Types.bool (B.int 1) B.true_))
+
+let functions_and_lets () =
+  ignore (roundtrip (B.lam "x" Types.int (fun x -> B.add x (B.int 1))));
+  ignore
+    (roundtrip
+       (B.let_ "a" (B.int 1) (fun a ->
+            B.letrec1 "f"
+              (Types.Arrow (Types.int, Types.int))
+              (fun f -> B.lam "n" Types.int (fun n -> B.app f (B.add n a)))
+              (fun f -> B.app f (B.int 0)))))
+
+let polymorphism () =
+  ignore (roundtrip (B.tlam "a" (fun a -> B.lam "x" a (fun x -> x))));
+  ignore
+    (roundtrip
+       (B.tyapp (B.tlam "a" (fun a -> B.lam "x" a (fun x -> x))) Types.int))
+
+let join_points () =
+  ignore
+    (roundtrip
+       (B.join1 "j"
+          [ ("x", Types.int) ]
+          (fun xs -> B.add (List.hd xs) (B.int 1))
+          (fun jmp -> jmp [ B.int 41 ] Types.int)));
+  ignore
+    (roundtrip
+       (B.joinrec1 "loop"
+          [ ("n", Types.int) ]
+          (fun jmp xs ->
+            B.if_
+              (B.le (List.hd xs) (B.int 0))
+              (B.int 0)
+              (jmp [ B.sub (List.hd xs) (B.int 1) ] Types.int))
+          (fun jmp -> jmp [ B.int 3 ] Types.int)))
+
+let strict_bindings () =
+  let x = Syntax.mk_var "x" Types.int in
+  ignore
+    (roundtrip
+       (Syntax.Let (Syntax.Strict (x, B.add (B.int 1) (B.int 2)), Syntax.Var x)))
+
+let whole_program () =
+  let denv, core =
+    Fj_surface.Prelude.compile
+      "def main = sum (map (\\x -> x * 2) (filter odd (enumFromTo 1 20)))"
+  in
+  let s = Sexp.write core in
+  let core' = Sexp.read denv s in
+  (* Reloaded: lints, runs and optimises exactly like the original. *)
+  let _ = lints ~env:denv core' in
+  same_result core core';
+  let cfg =
+    Pipeline.default_config ~mode:Pipeline.Join_points ~datacons:denv ()
+  in
+  same_result (Pipeline.run cfg core) (Pipeline.run cfg core')
+
+let optimised_program () =
+  (* Serialising post-optimisation Core (with joins and strict lets). *)
+  let denv, core =
+    Fj_fusion.Streams.compile_pipeline
+      (Fj_fusion.Streams.sum_map_filter_skipless 30)
+  in
+  let cfg =
+    Pipeline.default_config ~mode:Pipeline.Join_points ~datacons:denv
+      ~inline_threshold:300 ()
+  in
+  let opt = Pipeline.run cfg core in
+  let opt' = Sexp.read denv (Sexp.write opt) in
+  let _ = lints ~env:denv opt' in
+  same_result opt opt'
+
+let fresh_uniques_safe () =
+  (* After reading, newly allocated uniques must not collide with the
+     loaded ones. *)
+  let e = B.lam "x" Types.int (fun x -> x) in
+  let e' = Sexp.read dc (Sexp.write e) in
+  let max_id =
+    Ident.Set.fold
+      (fun i acc -> max acc (Ident.id i))
+      (Syntax.free_vars e') 0
+  in
+  let fresh = Ident.fresh "probe" in
+  Alcotest.(check bool) "fresh above loaded" true (Ident.id fresh > max_id)
+
+let parse_errors () =
+  let bad = [ "("; ")"; "(var)"; "(lam x)"; "(con Unknown () )"; "" ] in
+  List.iter
+    (fun src ->
+      match Sexp.read dc src with
+      | exception Sexp.Parse_error _ -> ()
+      | _ -> Alcotest.failf "expected a parse error for %S" src)
+    bad
+
+let tests =
+  [
+    test "literals round trip" literals;
+    test "data and primops round trip" data_and_prims;
+    test "functions and lets round trip" functions_and_lets;
+    test "polymorphism round trips" polymorphism;
+    test "join points round trip" join_points;
+    test "strict bindings round trip" strict_bindings;
+    test "whole programs round trip and re-optimise" whole_program;
+    test "optimised core round trips" optimised_program;
+    test "fresh uniques stay disjoint" fresh_uniques_safe;
+    test "parse errors are reported" parse_errors;
+  ]

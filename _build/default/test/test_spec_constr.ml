@@ -1,0 +1,178 @@
+(** Tests for {!Fj_core.Spec_constr} — call-pattern specialisation of
+    recursive join points (the Sec. 9 stream-fusion ingredient). *)
+
+open Fj_core
+open Syntax
+open Util
+module B = Builder
+
+let spec e =
+  let _ = lints e in
+  let e' = Spec_constr.run e in
+  let _ = lints e' in
+  same_result e e';
+  e'
+
+(* join rec go (st : Pair Int Int) = case st of (a,b) ->
+     if a > 5 then b else jump go (MkPair (a+1) (b+a))
+   in jump go (MkPair 0 0) *)
+let pair_loop () =
+  let pair_ty = B.pair_ty Types.int Types.int in
+  let st = mk_var "st" pair_ty in
+  let jv = mk_join_var "go" [] [ st ] in
+  let jump args = Jump (jv, [], args, Types.int) in
+  let rhs =
+    B.case (Var st)
+      [
+        B.alt_con "MkPair" [ Types.int; Types.int ] [ "a"; "b" ] (fun bs ->
+            match bs with
+            | [ a; b ] ->
+                B.if_ (B.gt a (B.int 5)) b
+                  (jump [ B.pair Types.int Types.int (B.add a (B.int 1)) (B.add b a) ])
+            | _ -> assert false);
+      ]
+  in
+  let defn = { j_var = jv; j_tyvars = []; j_params = [ st ]; j_rhs = rhs } in
+  Join (JRec [ defn ], jump [ B.pair Types.int Types.int (B.int 0) (B.int 0) ])
+
+let specialises_pair_state () =
+  let e = pair_loop () in
+  let e' = spec e in
+  (* The loop must now have two Int parameters. *)
+  (match e' with
+  | Join (JRec [ d ], _) ->
+      Alcotest.(check int) "two parameters" 2 (List.length d.j_params);
+      List.iter
+        (fun (p : var) ->
+          Alcotest.check ty_testable "Int param" Types.int p.v_ty)
+        d.j_params
+  | _ -> Alcotest.failf "unexpected shape: %a" Pretty.pp e');
+  (* After a simplifier round the rebuilt pair cancels: zero alloc. *)
+  let e'' = Simplify.simplify (Simplify.default_config ()) e' in
+  let _, s = run e'' in
+  Alcotest.(check int) "no allocation" 0 s.Eval.words
+
+let mixed_constructors_block () =
+  (* Jumps passing different constructors must not specialise. *)
+  let m_ty = B.maybe_ty Types.int in
+  let st = mk_var "st" m_ty in
+  let jv = mk_join_var "go" [] [ st ] in
+  let jump args = Jump (jv, [], args, Types.int) in
+  let rhs =
+    B.case (Var st)
+      [
+        B.alt_con "Just" [ Types.int ] [ "x" ] (fun xs ->
+            B.if_ (B.gt (List.hd xs) (B.int 3)) (List.hd xs)
+              (jump [ B.nothing Types.int ]));
+        B.alt_con "Nothing" [ Types.int ] [] (fun _ ->
+            jump [ B.just Types.int (B.int 9) ]);
+      ]
+  in
+  let defn = { j_var = jv; j_tyvars = []; j_params = [ st ]; j_rhs = rhs } in
+  let e = Join (JRec [ defn ], jump [ B.just Types.int (B.int 0) ]) in
+  let e' = spec e in
+  match e' with
+  | Join (JRec [ d ], _) ->
+      Alcotest.(check int) "parameter untouched" 1 (List.length d.j_params)
+  | _ -> Alcotest.failf "unexpected shape: %a" Pretty.pp e'
+
+let opaque_argument_blocks () =
+  (* A jump passing an opaque variable (no visible constructor) blocks
+     specialisation. *)
+  let pair_ty = B.pair_ty Types.int Types.int in
+  let e =
+    B.lam "p0" pair_ty (fun p0 ->
+        let st = mk_var "st" pair_ty in
+        let jv = mk_join_var "go" [] [ st ] in
+        let jump args = Jump (jv, [], args, Types.int) in
+        let rhs =
+          B.case (Var st)
+            [
+              B.alt_con "MkPair" [ Types.int; Types.int ] [ "a"; "b" ]
+                (fun bs -> B.add (List.hd bs) (List.nth bs 1));
+            ]
+        in
+        let defn =
+          { j_var = jv; j_tyvars = []; j_params = [ st ]; j_rhs = rhs }
+        in
+        Join (JRec [ defn ], jump [ p0 ]))
+  in
+  let e' = spec e in
+  match e' with
+  | Lam (_, Join (JRec [ d ], _)) ->
+      Alcotest.(check int) "parameter untouched" 1 (List.length d.j_params)
+  | _ -> Alcotest.failf "unexpected shape: %a" Pretty.pp e'
+
+let looks_through_let_bound_cons () =
+  (* jump go st where let st = MkPair a b is in scope: the binding is
+     looked through. *)
+  let pair_ty = B.pair_ty Types.int Types.int in
+  let st_p = mk_var "st" pair_ty in
+  let jv = mk_join_var "go" [] [ st_p ] in
+  let jump args = Jump (jv, [], args, Types.int) in
+  let rhs =
+    B.case (Var st_p)
+      [
+        B.alt_con "MkPair" [ Types.int; Types.int ] [ "a"; "b" ] (fun bs ->
+            match bs with
+            | [ a; b ] ->
+                B.if_ (B.gt a (B.int 3)) b
+                  (B.let_ "next"
+                     (B.pair Types.int Types.int (B.add a (B.int 1)) b)
+                     (fun next -> jump [ next ]))
+            | _ -> assert false);
+      ]
+  in
+  let defn = { j_var = jv; j_tyvars = []; j_params = [ st_p ]; j_rhs = rhs } in
+  let e =
+    Join (JRec [ defn ], jump [ B.pair Types.int Types.int (B.int 0) (B.int 7) ])
+  in
+  let e' = spec e in
+  match e' with
+  | Join (JRec [ d ], _) ->
+      Alcotest.(check int) "specialised through let" 2
+        (List.length d.j_params)
+  | _ -> Alcotest.failf "unexpected shape: %a" Pretty.pp e'
+
+let end_to_end_zip_state_gone () =
+  (* The full pipeline on a fused zip: zero allocation. *)
+  let denv, core =
+    Fj_fusion.Streams.compile_pipeline
+      (Fj_fusion.Streams.dot_product_skipless 50)
+  in
+  let cfg =
+    Pipeline.default_config ~mode:Pipeline.Join_points ~datacons:denv
+      ~inline_threshold:300 ()
+  in
+  let e = Pipeline.run cfg core in
+  let _ = lints ~env:denv e in
+  let t0, _ = run core in
+  let t, s = run e in
+  Alcotest.check tree_testable "same result" t0 t;
+  Alcotest.(check int) "pair state specialised away" 0 s.Eval.words
+
+let without_spec_constr_pairs_remain () =
+  let denv, core =
+    Fj_fusion.Streams.compile_pipeline
+      (Fj_fusion.Streams.dot_product_skipless 50)
+  in
+  let cfg =
+    Pipeline.default_config ~mode:Pipeline.Join_points ~spec_constr:false
+      ~datacons:denv ~inline_threshold:300 ()
+  in
+  let e = Pipeline.run cfg core in
+  let _, s = run e in
+  Alcotest.(check bool)
+    (Fmt.str "pairs allocate without SpecConstr (%d > 0)" s.Eval.words)
+    true (s.Eval.words > 0)
+
+let tests =
+  [
+    test "specialises pair-state loops" specialises_pair_state;
+    test "mixed constructors block" mixed_constructors_block;
+    test "opaque arguments block" opaque_argument_blocks;
+    test "looks through let-bound constructors" looks_through_let_bound_cons;
+    test "end-to-end: fused zip allocates nothing" end_to_end_zip_state_gone;
+    test "ablation: pairs remain without SpecConstr"
+      without_spec_constr_pairs_remain;
+  ]

@@ -1,0 +1,130 @@
+(** Unit tests for {!Fj_core.Types}: substitution, alpha-equivalence,
+    instantiation, and the join-point type constructor. *)
+
+open Fj_core
+open Util
+
+let a () = Ident.fresh "a"
+let b () = Ident.fresh "b"
+
+let alpha_equal_forall () =
+  let x = a () and y = b () in
+  let t1 = Types.Forall (x, Types.Arrow (Types.Var x, Types.Var x)) in
+  let t2 = Types.Forall (y, Types.Arrow (Types.Var y, Types.Var y)) in
+  Alcotest.(check bool) "alpha-equal foralls" true (Types.equal t1 t2)
+
+let alpha_distinguishes_structure () =
+  let x = a () and y = b () in
+  let t1 = Types.Forall (x, Types.Forall (y, Types.Arrow (Types.Var x, Types.Var y))) in
+  let t2 = Types.Forall (x, Types.Forall (y, Types.Arrow (Types.Var y, Types.Var x))) in
+  Alcotest.(check bool) "binder order matters" false (Types.equal t1 t2)
+
+let free_vs_bound () =
+  let x = a () in
+  let free = Types.Arrow (Types.Var x, Types.int) in
+  Alcotest.(check bool) "free var is free" true (Types.occurs x free);
+  let bound = Types.Forall (x, Types.Arrow (Types.Var x, Types.int)) in
+  Alcotest.(check bool) "bound var is not free" false (Types.occurs x bound)
+
+let subst_avoids_capture () =
+  let x = a () and y = b () in
+  (* (forall y. x -> y){y/x} must not capture: result is
+     forall y'. y -> y'. *)
+  let t = Types.Forall (y, Types.Arrow (Types.Var x, Types.Var y)) in
+  let t' = Types.subst1 x (Types.Var y) t in
+  match t' with
+  | Types.Forall (y', Types.Arrow (Types.Var fy, Types.Var vy')) ->
+      Alcotest.(check bool) "free y survives" true (Ident.equal fy y);
+      Alcotest.(check bool) "binder renamed apart" false (Ident.equal y' y);
+      Alcotest.(check bool) "bound occurrence follows binder" true
+        (Ident.equal vy' y')
+  | _ -> Alcotest.failf "unexpected shape: %a" Types.pp t'
+
+let subst_identity_on_closed () =
+  let t = Types.Arrow (Types.int, Types.apps (Types.Con "List") [ Types.bool ]) in
+  Alcotest.check ty_testable "closed type unchanged"
+    t
+    (Types.subst1 (a ()) Types.int t)
+
+let instantiate_peels () =
+  let x = a () and y = b () in
+  let t =
+    Types.foralls [ x; y ] (Types.Arrow (Types.Var x, Types.Var y))
+  in
+  let t' = Types.instantiate t [ Types.int; Types.bool ] in
+  Alcotest.check ty_testable "instantiated"
+    (Types.Arrow (Types.int, Types.bool))
+    t'
+
+let instantiate_too_many () =
+  Alcotest.check_raises "not a forall"
+    (Invalid_argument "Types.instantiate: not a forall") (fun () ->
+      ignore (Types.instantiate Types.int [ Types.int ]))
+
+let split_roundtrip () =
+  let x = a () in
+  let t =
+    Types.foralls [ x ]
+      (Types.arrows [ Types.int; Types.bool ] (Types.Var x))
+  in
+  let vars, body = Types.split_foralls t in
+  Alcotest.(check int) "one quantifier" 1 (List.length vars);
+  let args, res = Types.split_arrows body in
+  Alcotest.(check int) "two arrows" 2 (List.length args);
+  Alcotest.check ty_testable "result is the var" (Types.Var (List.hd vars)) res
+
+let bottom_is_bottom () =
+  Alcotest.(check bool) "fresh bottom recognised" true
+    (Types.is_bottom (Types.bottom ()));
+  Alcotest.(check bool) "Int is not bottom" false (Types.is_bottom Types.int);
+  (* forall a. a -> a is not bottom *)
+  let x = a () in
+  Alcotest.(check bool) "identity type is not bottom" false
+    (Types.is_bottom (Types.Forall (x, Types.Arrow (Types.Var x, Types.Var x))))
+
+let join_point_ty_shape () =
+  let x = a () in
+  let t = Types.join_point_ty [ x ] [ Types.Var x; Types.int ] in
+  let vars, body = Types.split_foralls t in
+  Alcotest.(check int) "one quantifier before args" 1 (List.length vars);
+  let args, res = Types.split_arrows body in
+  Alcotest.(check int) "two value args" 2 (List.length args);
+  Alcotest.(check bool) "returns bottom" true (Types.is_bottom res)
+
+let equal_bottoms () =
+  Alcotest.(check bool) "two fresh bottoms are alpha-equal" true
+    (Types.equal (Types.bottom ()) (Types.bottom ()))
+
+let pp_roundtrip_shapes () =
+  (* The printer should parenthesise correctly (spot checks). *)
+  let x = a () in
+  let t =
+    Types.Arrow
+      (Types.Arrow (Types.int, Types.bool), Types.apps (Types.Con "List") [ Types.Var x ])
+  in
+  let s = Types.to_string t in
+  Alcotest.(check bool) "nested arrow parenthesised" true
+    (String.length s > 0 && String.contains s '(')
+
+let free_vars_app () =
+  let x = a () and y = b () in
+  let t = Types.apps (Types.Con "Pair") [ Types.Var x; Types.Var y ] in
+  Alcotest.(check int) "two free vars" 2
+    (Ident.Set.cardinal (Types.free_vars t))
+
+let tests =
+  [
+    test "alpha-equal foralls" alpha_equal_forall;
+    test "alpha distinguishes structure" alpha_distinguishes_structure;
+    test "free vs bound" free_vs_bound;
+    test "subst avoids capture" subst_avoids_capture;
+    test "subst identity on closed" subst_identity_on_closed;
+    test "instantiate peels quantifiers" instantiate_peels;
+    test "instantiate of non-forall raises" instantiate_too_many;
+    test "split/rebuild roundtrip" split_roundtrip;
+    test "bottom recognition" bottom_is_bottom;
+    test "join point type shape" join_point_ty_shape;
+    test "bottoms are alpha-equal" equal_bottoms;
+    test "printer parenthesises" pp_roundtrip_shapes;
+    test "free vars of application" free_vars_app;
+  ]

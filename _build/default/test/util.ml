@@ -1,0 +1,58 @@
+(** Shared helpers for the test suites. *)
+
+open Fj_core
+
+let dc = Datacon.builtins
+
+(** Assert that [e] lints (in the builtin datatype env unless given)
+    and return its type. *)
+let lints ?(env = dc) e =
+  match Lint.lint_result env e with
+  | Ok ty -> ty
+  | Error err ->
+      Alcotest.failf "expected the term to lint, got: %a@.term: %a"
+        Lint.pp_error err Pretty.pp e
+
+(** Assert that [e] does NOT lint. *)
+let fails_lint ?(env = dc) e =
+  match Lint.lint_result env e with
+  | Ok ty ->
+      Alcotest.failf "expected a lint failure, got type %a@.term: %a" Types.pp
+        ty Pretty.pp e
+  | Error _ -> ()
+
+(** Run to a deep value tree (call-by-need). *)
+let run ?(fuel = 2_000_000) e =
+  match Eval.run_deep ~fuel e with
+  | t, s -> (t, s)
+  | exception Eval.Stuck m -> Alcotest.failf "evaluation stuck: %s" m
+  | exception Eval.Out_of_fuel -> Alcotest.failf "evaluation ran out of fuel"
+
+(** Assert both expressions evaluate to the same (deep) value. *)
+let same_result ?fuel a b =
+  let ta, _ = run ?fuel a in
+  let tb, _ = run ?fuel b in
+  if not (Eval.equal_tree ta tb) then
+    Alcotest.failf "results differ: %a vs %a@.left: %a@.right: %a"
+      Eval.pp_tree ta Eval.pp_tree tb Pretty.pp a Pretty.pp b
+
+(** Assert the result tree of [e] equals the expected rendering. *)
+let result_is ?fuel expected e =
+  let t, _ = run ?fuel e in
+  let got = Fmt.str "%a" Eval.pp_tree t in
+  Alcotest.(check string) "result" expected got
+
+let tree_testable =
+  Alcotest.testable Eval.pp_tree Eval.equal_tree
+
+let ty_testable = Alcotest.testable Types.pp Types.equal
+
+let test name f = Alcotest.test_case name `Quick f
+
+(** Quick alias: an optimisation preserves lint and meaning. *)
+let preserves ?(env = dc) name (pass : Syntax.expr -> Syntax.expr) e =
+  ignore name;
+  let _ = lints ~env e in
+  let e' = pass e in
+  let _ = lints ~env e' in
+  same_result e e'
