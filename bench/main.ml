@@ -30,13 +30,23 @@ type measurement = {
   base_steps : int;
   join_steps : int;
   delta_pct : float;  (** (join - base) / base * 100, the Table 1 metric. *)
+  base_report : Pipeline.report;  (** Optimizer telemetry, baseline. *)
+  join_report : Pipeline.report;  (** Optimizer telemetry, join points. *)
 }
 
-let optimize mode denv core =
-  let cfg =
-    Pipeline.default_config ~mode ~datacons:denv ~inline_threshold:300 ()
-  in
-  Pipeline.run cfg core
+let opt_config mode denv =
+  Pipeline.default_config ~mode ~datacons:denv ~inline_threshold:300 ()
+
+let optimize mode denv core = Pipeline.run (opt_config mode denv) core
+
+let optimize_report mode denv core =
+  Pipeline.run_report (opt_config mode denv) core
+
+(* Pull the few headline numbers out of a pipeline trace. *)
+let report_ms r =
+  List.fold_left
+    (fun acc (p : Pipeline.pass_record) -> acc +. p.duration_ms)
+    0.0 (Pipeline.passes r)
 
 let measure (prog : Bench_programs.program) : measurement =
   let denv, core = Bench_programs.compile prog in
@@ -50,8 +60,8 @@ let measure (prog : Bench_programs.program) : measurement =
     (t, s)
   in
   let t0, _ = run core in
-  let base = optimize Pipeline.Baseline denv core in
-  let joins = optimize Pipeline.Join_points denv core in
+  let base, base_report = optimize_report Pipeline.Baseline denv core in
+  let joins, join_report = optimize_report Pipeline.Join_points denv core in
   let tb, sb = run base in
   let tj, sj = run joins in
   if not (Eval.equal_tree t0 tb && Eval.equal_tree t0 tj) then begin
@@ -70,6 +80,8 @@ let measure (prog : Bench_programs.program) : measurement =
     base_steps = sb.steps;
     join_steps = sj.steps;
     delta_pct;
+    base_report;
+    join_report;
   }
 
 let geomean deltas =
@@ -116,6 +128,23 @@ let table1_group (group : string) (progs : Bench_programs.program list) =
   | Some g -> Fmt.pr "%-22s %a@." "Geo. Mean" pp_delta g
   | None -> Fmt.pr "%-22s %38s@." "Geo. Mean" "n/a");
   ms
+
+(* The optimizer-side telemetry behind Table 1: how long each pipeline
+   ran and how much rewriting it did (whole-run tick totals). *)
+let telemetry_table (ms : measurement list) =
+  Fmt.pr "@.%s@." (String.make 76 '-');
+  Fmt.pr "Optimizer telemetry %18s %10s %8s %8s %8s@." "base ms" "join ms"
+    "ticks" "contify" "c-o-c";
+  Fmt.pr "%s@." (String.make 76 '-');
+  List.iter
+    (fun m ->
+      Fmt.pr "%-22s %15.2f %10.2f %8d %8d %8d@." m.prog.name
+        (report_ms m.base_report) (report_ms m.join_report)
+        (Pipeline.total_ticks m.join_report)
+        (Pipeline.contified m.join_report)
+        (try List.assoc "case_of_case" (Pipeline.ticks m.join_report)
+         with Not_found -> 0))
+    ms
 
 (* ------------------------------------------------------------------ *)
 (* Sec. 5: stream fusion ablation                                      *)
@@ -226,11 +255,7 @@ let cps_table () =
               B.lam "q" Types.int (fun q -> B.add p q))))
       (B.lam "y" Types.int (fun y -> B.mul y y))
   in
-  let shared e =
-    let before = Cse.stats.Cse.shared in
-    ignore (Cse.run e);
-    Cse.stats.Cse.shared - before
-  in
+  let shared e = snd (Cse.run_counted e) in
   let cpsd = Cps.transform prog in
   Fmt.pr "%-44s %10s %10s@." "f (g x) (g x), CSE opportunities found"
     "direct" "CPS";
@@ -308,9 +333,10 @@ let () =
   Fmt.pr "System F_J benchmark harness — reproducing PLDI'17 Table 1@.";
   Fmt.pr "(allocation words counted by the Fig. 3 abstract machine;@.";
   Fmt.pr " Allocs column = (join-points - baseline) / baseline)@.";
-  let _ = table1_group "spectral" Bench_programs.spectral in
-  let _ = table1_group "real" Bench_programs.real in
-  let _ = table1_group "shootout" Bench_programs.shootout in
+  let m1 = table1_group "spectral" Bench_programs.spectral in
+  let m2 = table1_group "real" Bench_programs.real in
+  let m3 = table1_group "shootout" Bench_programs.shootout in
+  telemetry_table (m1 @ m2 @ m3);
   fusion_table 400;
   machine_table ();
   cc_ablation ();

@@ -7,9 +7,13 @@
       optimisation mode with [--mode]); prints the result and the
       abstract machine's allocation statistics;
     - [fjc dump FILE]   — print the optimised Core (the paper's
-      "Core dumps" users pore over, Sec. 8);
+      "Core dumps" users pore over, Sec. 8); [--report] adds the
+      per-pass trace and the simplifier-tick table;
+    - [fjc trace FILE]  — optimise and write the structured JSON trace
+      of the whole pipeline ([--out -] for stdout);
     - [fjc stats FILE]  — run under every compiler configuration and
-      tabulate allocations side by side;
+      tabulate allocations side by side ([--json] for machine-readable
+      rows);
     - [fjc erase FILE]  — optimise, erase join points (Thm. 5), Lint
       the resulting System F term and print it;
     - [fjc lower FILE]  — lower to the block IR and print it, or run it
@@ -148,7 +152,10 @@ let dump_cmd =
     Arg.(value & flag & info [ "O0"; "unoptimised" ] ~doc:"Dump the input core.")
   in
   let report_flag =
-    Arg.(value & flag & info [ "report" ] ~doc:"Show per-pass sizes.")
+    Arg.(
+      value & flag
+      & info [ "report" ]
+          ~doc:"Show the per-pass trace and the simplifier-tick table.")
   in
   Cmd.v (Cmd.info "dump" ~doc)
     Term.(
@@ -156,34 +163,128 @@ let dump_cmd =
       $ unopt_flag $ report_flag)
 
 (* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let doc = "Optimise and emit the structured JSON trace of the pipeline." in
+  let run file no_prelude mode iters out =
+    let l = load ~no_prelude file in
+    let cfg =
+      Pipeline.default_config ~mode ~iterations:iters ~datacons:l.denv
+        ~inline_threshold:300 ()
+    in
+    let _, r = Pipeline.run_report cfg l.core in
+    let json = Pipeline.report_to_json r in
+    if out = "-" then begin
+      print_endline json;
+      0
+    end
+    else
+      match open_out out with
+      | exception Sys_error m ->
+          Fmt.epr "fjc: cannot write trace: %s@." m;
+          1
+      | oc ->
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () ->
+              output_string oc json;
+              output_char oc '\n');
+          Fmt.pr "fjc: wrote %s@." out;
+          0
+  in
+  let out_flag =
+    Arg.(
+      value
+      & opt string "trace.json"
+      & info [ "out"; "o" ] ~docv:"PATH"
+          ~doc:"Where to write the trace; $(b,-) for stdout.")
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const run $ file_arg $ no_prelude_flag $ mode_flag $ iters_flag
+      $ out_flag)
+
+(* ------------------------------------------------------------------ *)
 (* stats                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let stats_cmd =
   let doc = "Compare allocation under every compiler configuration." in
-  let run file no_prelude iters =
+  let run file no_prelude iters json =
     let l = load ~no_prelude file in
     let t0, s0 = Eval.run_deep l.core in
-    Fmt.pr "%-28s %10s %10s %8s %8s@." "configuration" "words" "objects"
-      "steps" "jumps";
-    Fmt.pr "%-28s %10d %10d %8d %8d@." "unoptimised" s0.Eval.words
-      s0.Eval.objects s0.Eval.steps s0.Eval.jumps;
+    let rows = ref [] in
+    let row name (s : Eval.stats) extra =
+      if json then
+        rows :=
+          Telemetry.Json.(
+            Obj
+              ([
+                 ("configuration", Str name);
+                 ("words", Int s.Eval.words);
+                 ("objects", Int s.Eval.objects);
+                 ("steps", Int s.Eval.steps);
+                 ("jumps", Int s.Eval.jumps);
+               ]
+              @ extra))
+          :: !rows
+      else
+        Fmt.pr "%-28s %10d %10d %8d %8d@." name s.Eval.words s.Eval.objects
+          s.Eval.steps s.Eval.jumps
+    in
+    if not json then
+      Fmt.pr "%-28s %10s %10s %8s %8s@." "configuration" "words" "objects"
+        "steps" "jumps";
+    row "unoptimised" s0 [];
     List.iter
       (fun mode ->
-        let e = optimized mode iters l in
+        let cfg =
+          Pipeline.default_config ~mode ~iterations:iters ~datacons:l.denv
+            ~inline_threshold:300 ()
+        in
+        let e, r = Pipeline.run_report cfg l.core in
         let t, s = Eval.run_deep e in
-        if not (Eval.equal_tree t0 t) then begin
-          Fmt.epr "fjc: RESULT MISMATCH under %s@." (Pipeline.mode_name mode);
-          exit 2
-        end;
-        Fmt.pr "%-28s %10d %10d %8d %8d@." (Pipeline.mode_name mode)
-          s.Eval.words s.Eval.objects s.Eval.steps s.Eval.jumps)
+        (match Eval.tree_mismatch t0 t with
+        | None -> ()
+        | Some where ->
+            (* Which configuration diverged, where the results first
+               disagree, and both trees in full — enough to reproduce
+               the miscompilation without rerunning. *)
+            Fmt.epr "fjc: RESULT MISMATCH under %s@."
+              (Pipeline.mode_name mode);
+            Fmt.epr "  %s@." where;
+            Fmt.epr "  unoptimised: %a@." Eval.pp_tree t0;
+            Fmt.epr "  %-12s %a@."
+              (Pipeline.mode_name mode ^ ":")
+              Eval.pp_tree t;
+            exit 2);
+        row (Pipeline.mode_name mode) s
+          [
+            ("total_ticks", Telemetry.Json.Int (Pipeline.total_ticks r));
+            ("contified", Telemetry.Json.Int (Pipeline.contified r));
+          ])
       [ Pipeline.Baseline; Pipeline.Join_points; Pipeline.No_cc ];
-    Fmt.pr "result: %a@." Eval.pp_tree t0;
+    if json then
+      print_endline
+        (Telemetry.Json.to_string
+           (Telemetry.Json.Obj
+              [
+                ("file", Telemetry.Json.Str file);
+                ("result", Telemetry.Json.Str (Fmt.str "%a" Eval.pp_tree t0));
+                ("rows", Telemetry.Json.Arr (List.rev !rows));
+              ]))
+    else Fmt.pr "result: %a@." Eval.pp_tree t0;
     0
   in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit machine-readable JSON rows on stdout.")
+  in
   Cmd.v (Cmd.info "stats" ~doc)
-    Term.(const run $ file_arg $ no_prelude_flag $ iters_flag)
+    Term.(const run $ file_arg $ no_prelude_flag $ iters_flag $ json_flag)
 
 (* ------------------------------------------------------------------ *)
 (* erase                                                               *)
@@ -301,4 +402,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ check_cmd; run_cmd; dump_cmd; stats_cmd; erase_cmd; lower_cmd; cps_cmd; sexp_cmd ]))
+          [ check_cmd; run_cmd; dump_cmd; trace_cmd; stats_cmd; erase_cmd;
+            lower_cmd; cps_cmd; sexp_cmd ]))

@@ -69,8 +69,8 @@ def main =
   let cfg =
     Pipeline.default_config ~mode:Pipeline.Join_points ~datacons:denv ()
   in
-  let opt = Pipeline.run cfg core in
+  let opt, report = Pipeline.run_report cfg core in
   show "after the pipeline: a recursive join point, zero allocation" opt;
   let t, s = Eval.run_deep opt in
   Fmt.pr "@.result = %a   (%a)@." Eval.pp_tree t Eval.pp_stats s;
-  Fmt.pr "contified bindings so far this process: %d@." Contify.stats.contified
+  Fmt.pr "contified bindings this run: %d@." (Pipeline.contified report)

@@ -39,6 +39,7 @@ let rec go (e : expr) : expr =
       if occurs x.v_name body then Let (NonRec (x, go rhs), body)
       else begin
         changed := true;
+        Telemetry.tick Telemetry.Drop;
         body
       end
   | Let (Strict (x, rhs), body) ->
@@ -49,6 +50,7 @@ let rec go (e : expr) : expr =
       if occurs x.v_name body then Let (Strict (x, rhs), body)
       else if ok_for_speculation rhs then begin
         changed := true;
+        Telemetry.tick Telemetry.Drop;
         body
       end
       else Let (Strict (x, rhs), body)
@@ -64,6 +66,7 @@ let rec go (e : expr) : expr =
       in
       if dead then begin
         changed := true;
+        Telemetry.tick Telemetry.Drop;
         body
       end
       else Let (Rec pairs, body)
@@ -77,6 +80,7 @@ let rec go (e : expr) : expr =
       if usage.count = 0 then begin
         (* jdrop *)
         changed := true;
+        Telemetry.tick Telemetry.Jdrop;
         body
       end
       else if usage.count = 1 then begin
@@ -84,6 +88,8 @@ let rec go (e : expr) : expr =
         | Some body' ->
             (* jinline + jdrop *)
             changed := true;
+            Telemetry.tick Telemetry.Jinline;
+            Telemetry.tick Telemetry.Jdrop;
             go body'
         | None -> Join (JNonRec d, body)
       end
@@ -102,6 +108,7 @@ let rec go (e : expr) : expr =
       in
       if dead then begin
         changed := true;
+        Telemetry.tick Telemetry.Jdrop;
         body
       end
       else Join (JRec ds, body)

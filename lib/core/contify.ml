@@ -24,12 +24,11 @@
 
 open Syntax
 
-type stats = { mutable contified : int; mutable groups : int }
-
-let stats = { contified = 0; groups = 0 }
-let reset_stats () =
-  stats.contified <- 0;
-  stats.groups <- 0
+(* Contification counts are reported per-invocation through
+   {!Telemetry} ([Contified] / [Contified_group] ticks into whatever
+   collector the caller installed) — the old process-global mutable
+   [stats] record made repeated or interleaved pipeline runs
+   cross-contaminate each other's counts. *)
 
 (* Strip exactly [n_ty] type binders then [n_val] value binders from an
    expression; [None] if the binder prefix does not match. *)
@@ -188,7 +187,7 @@ let rec contify (e : expr) : expr =
                 | Some ty -> body_ty_matches defn.j_rhs ty
                 | None -> false
               then begin
-                stats.contified <- stats.contified + 1;
+                Telemetry.tick Telemetry.Contified;
                 let targets = Ident.Map.singleton x.v_name (jvar, shape) in
                 Join (JNonRec defn, rewrite_calls targets body)
               end
@@ -317,7 +316,20 @@ let rec contify (e : expr) : expr =
           else
             match try_with_shapes chosen with
             | Some e' ->
-                stats.groups <- stats.groups + 1;
-                stats.contified <- stats.contified + List.length pairs;
+                Telemetry.tick Telemetry.Contified_group;
+                Telemetry.tick ~n:(List.length pairs) Telemetry.Contified;
                 e'
             | None -> fallback ()))
+
+(** [contify] under a private collector; returns the term and this
+    invocation's contified-binding count. The ticks are re-emitted into
+    the enclosing collector (if any) so a surrounding pipeline run
+    still observes them. *)
+let contify_counted (e : expr) : expr * int =
+  let c = Telemetry.create () in
+  let e' = Telemetry.with_counters c (fun () -> contify e) in
+  let n = Telemetry.get c Telemetry.Contified in
+  let groups = Telemetry.get c Telemetry.Contified_group in
+  if n > 0 then Telemetry.tick ~n Telemetry.Contified;
+  if groups > 0 then Telemetry.tick ~n:groups Telemetry.Contified_group;
+  (e', n)

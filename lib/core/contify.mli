@@ -1,12 +1,11 @@
 (** Contification: inferring join points from tail-called let bindings
-    (Sec. 4, Fig. 5 of the paper). *)
+    (Sec. 4, Fig. 5 of the paper).
 
-type stats = { mutable contified : int; mutable groups : int }
-
-(** Running counters of contified bindings / recursive groups. *)
-val stats : stats
-
-val reset_stats : unit -> unit
+    Contified-binding counts are reported per-invocation via
+    {!Telemetry} ([Contified] and [Contified_group] ticks); install a
+    collector with {!Telemetry.with_counters} around the call — or use
+    {!contify_counted} — to read them. There is deliberately no global
+    mutable counter any more. *)
 
 (** One bottom-up pass turning every eligible [let] into a [join]:
     every occurrence must be a saturated tail call of consistent shape,
@@ -14,3 +13,8 @@ val reset_stats : unit -> unit
     body must have the scope's type (the Fig. 5 proviso). Idempotent,
     typing- and meaning-preserving. *)
 val contify : Syntax.expr -> Syntax.expr
+
+(** [contify] plus this invocation's count of contified bindings — a
+    convenience for callers that are not running under a pipeline
+    telemetry collector. *)
+val contify_counted : Syntax.expr -> Syntax.expr * int

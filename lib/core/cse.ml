@@ -28,9 +28,9 @@
 
 open Syntax
 
-type stats = { mutable shared : int }
-
-let stats = { shared = 0 }
+(* Sharing counts are reported per-invocation via Telemetry
+   ([Cse_shared] ticks); see [run_counted] for a self-contained
+   wrapper. *)
 
 (* A scope-safe key: the printed form mentions binder uniques, so two
    prints are equal only if the expressions are syntactically equal up
@@ -64,7 +64,7 @@ let lookup env e =
 let rec cse_expr (env : env) (e : expr) : expr =
   match lookup env e with
   | Some x ->
-      stats.shared <- stats.shared + 1;
+      Telemetry.tick Telemetry.Cse_shared;
       Var x
   | None -> (
       match e with
@@ -105,3 +105,13 @@ let rec cse_expr (env : env) (e : expr) : expr =
 
 (** Run CSE over a whole program. *)
 let run (e : expr) : expr = cse_expr empty e
+
+(** [run] plus this invocation's count of shared occurrences. Forwards
+    the ticks to any enclosing collector so pipeline totals still see
+    them. *)
+let run_counted (e : expr) : expr * int =
+  let c = Telemetry.create () in
+  let e' = Telemetry.with_counters c (fun () -> run e) in
+  let n = Telemetry.get c Telemetry.Cse_shared in
+  if n > 0 then Telemetry.tick ~n Telemetry.Cse_shared;
+  (e', n)

@@ -1,9 +1,10 @@
 (** Common sub-expression elimination — the Sec. 8 direct-style
     argument made concrete. Only work-reducing sharing is performed. *)
 
-type stats = { mutable shared : int }
-
-val stats : stats
-
-(** Run CSE over a whole program. *)
+(** Run CSE over a whole program. Each shared occurrence fires a
+    {!Telemetry.Cse_shared} tick. *)
 val run : Syntax.expr -> Syntax.expr
+
+(** [run] plus this invocation's count of shared occurrences — for
+    callers not running under a pipeline telemetry collector. *)
+val run_counted : Syntax.expr -> Syntax.expr * int

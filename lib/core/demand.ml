@@ -167,9 +167,8 @@ and fix_masks (fenv : fenv) (defs : (var * var list * expr) list) :
 (* Strictification                                                     *)
 (* ------------------------------------------------------------------ *)
 
-type stats = { mutable strict_lets : int; mutable strict_args : int }
-
-let stats = { strict_lets = 0; strict_args = 0 }
+(* Strictification counts are reported per-invocation via Telemetry
+   ([Strict_let] / [Strict_arg] ticks). *)
 
 (* Is it worth (and sound by demand) forcing this argument early? WHNFs
    and trivial expressions gain nothing. *)
@@ -184,7 +183,7 @@ let strictify_args (mask : bool list) (es : expr list)
     List.map2
       (fun strict e ->
         if strict && worth_forcing e then begin
-          stats.strict_args <- stats.strict_args + 1;
+          Telemetry.tick Telemetry.Strict_arg;
           let ty = match ty_of e with t -> t | exception _ -> Types.unit in
           let t = mk_var "s" ty in
           wraps := (fun body -> Let (Strict (t, e), body)) :: !wraps;
@@ -231,7 +230,7 @@ let rec strictify_expr (fenv : fenv) (e : expr) : expr =
       (* Demanded lazy bindings become strict bindings. *)
       if worth_forcing rhs && Ident.Set.mem x.v_name (strict_vars fenv_body body)
       then begin
-        stats.strict_lets <- stats.strict_lets + 1;
+        Telemetry.tick Telemetry.Strict_let;
         Let (Strict (x, rhs), body)
       end
       else Let (NonRec (x, rhs), body)

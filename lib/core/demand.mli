@@ -12,11 +12,9 @@ val strict_vars : fenv -> Syntax.expr -> Ident.Set.t
 (** Which of [params] are strictly demanded by [body]. *)
 val strict_params : fenv -> Syntax.var list -> Syntax.expr -> bool list
 
-type stats = { mutable strict_lets : int; mutable strict_args : int }
-
-val stats : stats
-
 (** Turn demanded lazy lets into strict bindings and force the strict
     arguments of jumps and saturated known calls (fixpoint masks for
-    recursive groups). Typing- and meaning-preserving. *)
+    recursive groups). Typing- and meaning-preserving. Each
+    strictified let / argument fires a {!Telemetry.Strict_let} /
+    {!Telemetry.Strict_arg} tick. *)
 val strictify : Syntax.expr -> Syntax.expr

@@ -503,6 +503,33 @@ let rec equal_tree a b =
   | TFun, TFun -> true
   | _ -> false
 
+(* Where do two trees first disagree? A path like "root.1.0" plus a
+   one-line description of the disagreement — [None] when equal. *)
+let tree_mismatch a b =
+  let describe = function
+    | TLit l -> Fmt.str "%a" Literal.pp l
+    | TCon (c, args) -> Fmt.str "%s/%d" c (List.length args)
+    | TFun -> "<fun>"
+  in
+  let rec go path a b =
+    match (a, b) with
+    | TLit l, TLit l' when Literal.equal l l' -> None
+    | TFun, TFun -> None
+    | TCon (c, xs), TCon (c', ys)
+      when String.equal c c' && List.length xs = List.length ys ->
+        let rec first i = function
+          | [], [] -> None
+          | x :: xs, y :: ys -> (
+              match go (Fmt.str "%s.%d" path i) x y with
+              | Some _ as m -> m
+              | None -> first (i + 1) (xs, ys))
+          | _ -> assert false
+        in
+        first 0 (xs, ys)
+    | _ -> Some (Fmt.str "at %s: %s vs %s" path (describe a) (describe b))
+  in
+  go "root" a b
+
 let rec pp_tree ppf = function
   | TLit l -> Literal.pp ppf l
   | TFun -> Fmt.string ppf "<fun>"

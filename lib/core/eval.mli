@@ -41,6 +41,11 @@ type tree = TLit of Literal.t | TCon of string * tree list | TFun
 val force_deep : ?depth:int -> ?fuel:int -> value -> tree
 
 val equal_tree : tree -> tree -> bool
+
+(** Where two trees first disagree: a path from the root (e.g.
+    ["at root.1.0: Cons/2 vs Nil/0"]); [None] when equal. *)
+val tree_mismatch : tree -> tree -> string option
+
 val pp_tree : Format.formatter -> tree -> unit
 
 (** Evaluate and deep-force a closed expression. The statistics do not

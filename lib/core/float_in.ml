@@ -21,6 +21,10 @@ open Syntax
 
 let changed = ref false
 
+let moved () =
+  changed := true;
+  Telemetry.tick Telemetry.Float_in_moved
+
 (* Number of sink targets in [body] that mention [x]: used to require a
    unique home. *)
 let rec sink (x : var) rhs body : expr option =
@@ -30,10 +34,10 @@ let rec sink (x : var) rhs body : expr option =
       let in_scrut = free_in scrut in
       let live_alts = List.filter (fun a -> free_in a.alt_rhs) alts in
       if in_scrut && live_alts = [] then (
-        changed := true;
+        moved ();
         Some (Case (push x rhs scrut, alts)))
       else if (not in_scrut) && List.length live_alts = 1 then (
-        changed := true;
+        moved ();
         Some
           (Case
              ( scrut,
@@ -69,15 +73,15 @@ let rec sink (x : var) rhs body : expr option =
       in
       if head_is_x then None
       else if free_in f && not (free_in a) then (
-        changed := true;
+        moved ();
         Some (App (push x rhs f, a)))
       else if free_in a && not (free_in f) then (
-        changed := true;
+        moved ();
         Some (App (f, push x rhs a)))
       else None
   | TyApp (f, t) ->
       if free_in f then (
-        changed := true;
+        moved ();
         Some (TyApp (push x rhs f, t)))
       else None
   | _ -> None

@@ -15,6 +15,10 @@ open Syntax
 
 let changed = ref false
 
+let moved floats =
+  changed := true;
+  Telemetry.tick ~n:(List.length floats) Telemetry.Float_out_moved
+
 (* Collect consecutive non-recursive lets at the top of [e] whose
    right-hand sides do not mention any variable in [blocked]; return
    them (outermost first) and the stripped body. Join bindings stop the
@@ -44,7 +48,7 @@ let rec float_out (e : expr) : expr =
       match split_floatable blocked b with
       | [], _ -> Lam (x, b)
       | floats, body' ->
-          changed := true;
+          moved floats;
           wrap_floats floats (Lam (x, body')))
   | TyLam (a, b) -> (
       let b = float_out b in
@@ -64,7 +68,7 @@ let rec float_out (e : expr) : expr =
       match split b with
       | [], _ -> TyLam (a, b)
       | floats, body' ->
-          changed := true;
+          moved floats;
           wrap_floats floats (TyLam (a, body')))
   | Let (NonRec (x, rhs), body) ->
       Let (NonRec (x, float_out rhs), float_out body)

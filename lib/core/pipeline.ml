@@ -61,18 +61,86 @@ let default_config ?(mode = Join_points) ?(iterations = 3)
 
 exception Pass_broke_lint of string * Lint.error
 
-type report = {
-  mutable trail : (string * int) list;  (** (pass, size after), reversed. *)
-  mutable contified : int;
+(** One pass execution in the trace: what ran, how long it took, what
+    it did to the term, and which ticks it fired. *)
+type pass_record = {
+  pass : string;  (** e.g. ["simplify (0)"]. *)
+  duration_ms : float;
+  lint_ms : float;  (** 0 unless [lint_every_pass]. *)
+  size_before : int;
+  size_after : int;
+  joins_after : int;  (** Join-point definitions after the pass. *)
+  ticks : (string * int) list;  (** Ticks fired {e by this pass}. *)
 }
 
-let fresh_report () = { trail = []; contified = 0 }
+type report = {
+  mode : string;
+  input_size : int;
+  mutable output_size : int;
+  mutable total_ms : float;
+  mutable passes_rev : pass_record list;  (** Built newest-first. *)
+  counters : Telemetry.counters;  (** Whole-run tick totals. *)
+}
+
+let fresh_report mode e =
+  {
+    mode = mode_name mode;
+    input_size = size e;
+    output_size = size e;
+    total_ms = 0.0;
+    passes_rev = [];
+    counters = Telemetry.create ();
+  }
+
+let passes r = List.rev r.passes_rev
+let trail r = List.map (fun p -> (p.pass, p.size_after)) (passes r)
+let ticks r = Telemetry.nonzero r.counters
+let total_ticks r = Telemetry.total r.counters
+let contified r = Telemetry.get r.counters Telemetry.Contified
 
 let pp_report ppf r =
-  Fmt.pf ppf "@[<v>%a@]"
-    Fmt.(
-      list ~sep:cut (fun ppf (p, n) -> Fmt.pf ppf "%-28s size %d" p n))
-    (List.rev r.trail)
+  Fmt.pf ppf "@[<v>";
+  List.iter
+    (fun p ->
+      Fmt.pf ppf "%-28s %8.3f ms   size %5d -> %5d   joins %3d@," p.pass
+        p.duration_ms p.size_before p.size_after p.joins_after)
+    (passes r);
+  Fmt.pf ppf "%-28s %8.3f ms   size %5d -> %5d@," "TOTAL" r.total_ms
+    r.input_size r.output_size;
+  Telemetry.pp_table ppf r.counters;
+  Fmt.pf ppf "@]"
+
+let ticks_json l =
+  Telemetry.Json.Obj (List.map (fun (k, v) -> (k, Telemetry.Json.Int v)) l)
+
+let pass_record_json (p : pass_record) =
+  Telemetry.Json.(
+    Obj
+      [
+        ("name", Str p.pass);
+        ("duration_ms", Float p.duration_ms);
+        ("lint_ms", Float p.lint_ms);
+        ("size_before", Int p.size_before);
+        ("size_after", Int p.size_after);
+        ("joins_after", Int p.joins_after);
+        ("ticks", ticks_json p.ticks);
+      ])
+
+let report_json (r : report) =
+  Telemetry.Json.(
+    Obj
+      [
+        ("mode", Str r.mode);
+        ("input_size", Int r.input_size);
+        ("output_size", Int r.output_size);
+        ("total_ms", Float r.total_ms);
+        ("total_ticks", Int (total_ticks r));
+        ("contified", Int (contified r));
+        ("ticks", ticks_json (ticks r));
+        ("passes", Arr (List.map pass_record_json (passes r)));
+      ])
+
+let report_to_json r = Telemetry.Json.to_string (report_json r)
 
 let simplify_config (c : config) : Simplify.config =
   {
@@ -83,71 +151,109 @@ let simplify_config (c : config) : Simplify.config =
     datacons = c.datacons;
   }
 
-(** Run the configured pipeline. Returns the optimised term and a
-    report of the passes run. *)
+(** Run the configured pipeline. Returns the optimised term and the
+    structured trace of the passes run. *)
 let run_report (c : config) (e : expr) : expr * report =
-  let report = fresh_report () in
-  let check pass e =
-    report.trail <- (pass, size e) :: report.trail;
-    if c.lint_every_pass then begin
-      match Lint.lint_result c.datacons e with
-      | Ok _ -> ()
-      | Error err -> raise (Pass_broke_lint (pass, err))
-    end;
+  let report = fresh_report c.mode e in
+  let t_run0 = Telemetry.now_ms () in
+  (* Time + size + tick-delta accounting around one pass. The optional
+     Lint check is timed separately so the trace distinguishes forensic
+     overhead from optimisation work. *)
+  let step pass f e =
+    let size_before = size e in
+    let snap = Telemetry.snapshot report.counters in
+    let t0 = Telemetry.now_ms () in
+    let e' = f e in
+    let t1 = Telemetry.now_ms () in
+    let lint_ms =
+      if not c.lint_every_pass then 0.0
+      else begin
+        let lt0 = Telemetry.now_ms () in
+        (match Lint.lint_result c.datacons e' with
+        | Ok _ -> ()
+        | Error err -> raise (Pass_broke_lint (pass, err)));
+        Telemetry.now_ms () -. lt0
+      end
+    in
+    report.passes_rev <-
+      {
+        pass;
+        duration_ms = t1 -. t0;
+        lint_ms;
+        size_before;
+        size_after = size e';
+        joins_after = count_joins e';
+        ticks = Telemetry.delta_since snap report.counters;
+      }
+      :: report.passes_rev;
+    e'
+  in
+  let body () =
+    let scfg = simplify_config c in
+    let e = step "input" Fun.id e in
+    let rec rounds i e =
+      if i >= c.iterations then e
+      else
+        let e = step (Fmt.str "float-in (%d)" i) (fun e -> fst (Float_in.run e)) e in
+        let e =
+          if c.mode = Join_points then
+            step (Fmt.str "contify (%d)" i) Contify.contify e
+          else e
+        in
+        let e =
+          if c.rules = [] then e
+          else begin
+            let fired = ref [] in
+            let e' =
+              step (Fmt.str "rules (%d)" i)
+                (fun e ->
+                  let e', names = Rules.rewrite c.rules e in
+                  fired := names;
+                  if names <> [] then
+                    Telemetry.tick ~n:(List.length names) Telemetry.Rule_fired;
+                  e')
+                e
+            in
+            (* Keep the trace quiet when no rule fired; name the firing
+               rules when some did (the trail tests grep for these). *)
+            (match report.passes_rev with
+            | h :: t when !fired <> [] ->
+                report.passes_rev <-
+                  { h with
+                    pass =
+                      Fmt.str "rules (%d): %s" i (String.concat "," !fired)
+                  }
+                  :: t
+            | _ :: t -> report.passes_rev <- t
+            | [] -> ());
+            e'
+          end
+        in
+        let e =
+          if c.spec_constr && c.mode = Join_points then
+            step (Fmt.str "spec-constr (%d)" i) Spec_constr.run e
+          else e
+        in
+        let e =
+          if c.strictness then
+            step (Fmt.str "demand (%d)" i) Demand.strictify e
+          else e
+        in
+        let e =
+          step (Fmt.str "simplify (%d)" i)
+            (Simplify.simplify ~max_iters:6 scfg) e
+        in
+        let e = if c.cse then step (Fmt.str "cse (%d)" i) Cse.run e else e in
+        rounds (i + 1) e
+    in
+    let e = rounds 0 e in
+    let e = step "float-out" (fun e -> fst (Float_out.run e)) e in
+    let e = step "simplify (final)" (Simplify.simplify ~max_iters:4 scfg) e in
     e
   in
-  let scfg = simplify_config c in
-  let e = check "input" e in
-  let rec rounds i e =
-    if i >= c.iterations then e
-    else
-      let e, _ = Float_in.run e in
-      let e = check (Fmt.str "float-in (%d)" i) e in
-      let e =
-        if c.mode = Join_points then begin
-          let before = Contify.stats.contified in
-          let e = Contify.contify e in
-          report.contified <-
-            report.contified + (Contify.stats.contified - before);
-          check (Fmt.str "contify (%d)" i) e
-        end
-        else e
-      in
-      let e =
-        if c.rules = [] then e
-        else begin
-          let e, fired = Rules.rewrite c.rules e in
-          if fired <> [] then
-            report.trail <-
-              (Fmt.str "rules (%d): %s" i (String.concat "," fired), size e)
-              :: report.trail;
-          e
-        end
-      in
-      let e =
-        if c.spec_constr && c.mode = Join_points then
-          check (Fmt.str "spec-constr (%d)" i) (Spec_constr.run e)
-        else e
-      in
-      let e =
-        if c.strictness then begin
-          let e = Demand.strictify e in
-          check (Fmt.str "demand (%d)" i) e
-        end
-        else e
-      in
-      let e = Simplify.simplify ~max_iters:6 scfg e in
-      let e = check (Fmt.str "simplify (%d)" i) e in
-      let e =
-        if c.cse then check (Fmt.str "cse (%d)" i) (Cse.run e) else e
-      in
-      rounds (i + 1) e
-  in
-  let e = rounds 0 e in
-  let e, _ = Float_out.run e in
-  let e = check "float-out" e in
-  let e = Simplify.simplify ~max_iters:4 scfg e in
-  let e = check "simplify (final)" e in
+  let e = Telemetry.with_counters report.counters body in
+  report.output_size <- size e;
+  report.total_ms <- Telemetry.now_ms () -. t_run0;
   (e, report)
 
 let run c e = fst (run_report c e)

@@ -37,14 +37,46 @@ val default_config :
     breaks typing — the paper's "forensic" use of Core Lint (Sec. 7). *)
 exception Pass_broke_lint of string * Lint.error
 
-type report = {
-  mutable trail : (string * int) list;  (** (pass name, size after). *)
-  mutable contified : int;
+(** One pass execution in the trace. *)
+type pass_record = {
+  pass : string;
+  duration_ms : float;
+  lint_ms : float;  (** 0 unless [lint_every_pass]. *)
+  size_before : int;
+  size_after : int;
+  joins_after : int;
+  ticks : (string * int) list;  (** Ticks fired by this pass. *)
 }
 
+(** A structured trace of one pipeline run: per-pass timing, term
+    sizes, join-point counts, and simplifier-tick deltas, plus the
+    whole-run tick totals. *)
+type report
+
+(** Passes in execution order. *)
+val passes : report -> pass_record list
+
+(** (pass name, size after) in execution order — the legacy trail. *)
+val trail : report -> (string * int) list
+
+(** Whole-run nonzero tick counts, by tick name. *)
+val ticks : report -> (string * int) list
+
+val total_ticks : report -> int
+
+(** Bindings contified over the whole run. *)
+val contified : report -> int
+
+(** Per-pass table followed by the GHC-style "Total ticks" table. *)
 val pp_report : Format.formatter -> report -> unit
 
-(** Run the configured pipeline; also returns the pass report. *)
+(** The full trace as JSON: [{mode, input_size, output_size, total_ms,
+    total_ticks, contified, ticks: {name: count}, passes: [{name,
+    duration_ms, lint_ms, size_before, size_after, joins_after,
+    ticks}]}]. *)
+val report_to_json : report -> string
+
+(** Run the configured pipeline; also returns the structured trace. *)
 val run_report : config -> Syntax.expr -> Syntax.expr * report
 
 val run : config -> Syntax.expr -> Syntax.expr

@@ -102,7 +102,21 @@ let rec cont_res_ty env (k : cont) (hole_ty : Types.t) : Types.t =
 (* The simplifier                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let mark env = env.changed := true
+(* Record a change AND attribute it: every rewrite the simplifier
+   performs ticks a named counter (GHC's simplifier ticks). *)
+let mark env t =
+  env.changed := true;
+  Telemetry.tick t
+
+(* The [float]/[casefloat] axioms are implicit in the traversal: when a
+   binding is reached with a non-empty continuation, the context is
+   passed into its body. Not a {!mark} — the traversal always does
+   this; the tick merely attributes the commuting work. *)
+let tick_context_passed (_ : env) (k : cont) =
+  match k with
+  | Stop -> ()
+  | CCase _ -> Telemetry.tick Telemetry.Casefloat
+  | CApp _ | CTyApp _ -> Telemetry.tick Telemetry.Commute
 
 let rec simpl (env : env) (e : expr) (k : cont) : expr =
   match e with
@@ -127,12 +141,12 @@ let rec simpl (env : env) (e : expr) (k : cont) : expr =
       if List.length lits = List.length es then
         match Primop.fold_lit op lits with
         | Some l ->
-            mark env;
+            mark env Telemetry.Constant_fold;
             rebuild env (Lit l) k
         | None -> (
             match Primop.fold_bool op lits with
             | Some b ->
-                mark env;
+                mark env Telemetry.Constant_fold;
                 rebuild env (Con (Datacon.of_bool b, [], [])) k
             | None -> rebuild env (Prim (op, es)) k)
       else rebuild env (Prim (op, es)) k)
@@ -142,7 +156,7 @@ let rec simpl (env : env) (e : expr) (k : cont) : expr =
       match k with
       | CApp (aenv, arg, k') ->
           (* beta: bind the argument, continue into the body. *)
-          mark env;
+          mark env Telemetry.Beta;
           let arg' = simpl aenv arg Stop in
           bind_arg env x arg' (fun env' -> simpl env' body k')
       | _ ->
@@ -153,14 +167,17 @@ let rec simpl (env : env) (e : expr) (k : cont) : expr =
       match k with
       | CTyApp (t, k') ->
           (* beta_tau *)
-          mark env;
+          mark env Telemetry.Beta_tau;
           simpl { env with subst = Subst.add_type a t env.subst } body k'
       | _ ->
           let a', s = Subst.clone_tyvar env.subst a in
           let body' = simpl { env with subst = s } body Stop in
           rebuild env (TyLam (a', body')) k)
-  | Let (NonRec (x, rhs), body) -> simpl_nonrec env x rhs body k
+  | Let (NonRec (x, rhs), body) ->
+      tick_context_passed env k;
+      simpl_nonrec env x rhs body k
   | Let (Strict (x, rhs), body) ->
+      tick_context_passed env k;
       let rhs' = simpl env rhs Stop in
       if is_whnf rhs' || is_trivial rhs' then
         (* The demand is already satisfied: an ordinary binding now. *)
@@ -173,12 +190,13 @@ let rec simpl (env : env) (e : expr) (k : cont) : expr =
           (not (occurs x'.v_name body'))
           && Cleanup.ok_for_speculation rhs'
         then begin
-          mark env;
+          mark env Telemetry.Drop;
           body'
         end
         else Let (Strict (x', rhs'), body')
       end
   | Let (Rec pairs, body) ->
+      tick_context_passed env k;
       let xs = List.map fst pairs in
       let xs', s = Subst.clone_vars env.subst xs in
       let env' = { env with subst = s } in
@@ -198,7 +216,7 @@ let rec simpl (env : env) (e : expr) (k : cont) : expr =
                  pairs')
              (List.map fst pairs')
       then begin
-        mark env;
+        mark env Telemetry.Drop;
         body'
       end
       else Let (Rec pairs', body')
@@ -216,7 +234,7 @@ let rec simpl (env : env) (e : expr) (k : cont) : expr =
       let tau0 = Subst.subst_ty env.subst tau in
       (* abort: the continuation is discarded; the jump claims the type
          the continuation would have delivered. *)
-      if not (cont_is_stop k) then mark env;
+      if not (cont_is_stop k) then mark env Telemetry.Abort;
       let tau' = cont_res_ty env k tau0 in
       Jump (j', phis', es', tau')
 
@@ -242,11 +260,11 @@ and once_inlinable (info : Occur.info) (rhs' : expr) =
 and bind_arg env (x : var) (arg' : expr) (body_k : env -> expr) : expr =
   let info = usage_of env x in
   if info.count = 0 then begin
-    mark env;
+    mark env Telemetry.Drop;
     body_k env
   end
   else if is_trivial arg' || once_inlinable info arg' then begin
-    if not (is_trivial arg') then mark env;
+    if not (is_trivial arg') then mark env Telemetry.Pre_inline;
     body_k { env with subst = Subst.add_term x.v_name arg' env.subst }
   end
   else
@@ -266,7 +284,7 @@ and bind_arg env (x : var) (arg' : expr) (body_k : env -> expr) : expr =
         let body' = body_k env' in
         if occurs x'.v_name body' then Let (NonRec (x', arg''), body')
         else begin
-          mark env;
+          mark env Telemetry.Drop;
           body'
         end)
 
@@ -300,7 +318,7 @@ and anf_con env (e : expr) (k : env -> expr -> expr) : expr =
                 (fun b -> wraps (Let (NonRec (x, a), b)))
                 rest
       in
-      mark env;
+      mark env Telemetry.Anf_con;
       go env [] Fun.id args
   | _ -> k env e
 
@@ -308,14 +326,14 @@ and simpl_nonrec env (x : var) rhs body k =
   let info = usage_of env x in
   if info.count = 0 then begin
     (* drop (dead code): never simplify nor emit the rhs. *)
-    mark env;
+    mark env Telemetry.Drop;
     simpl env body k
   end
   else
     let rhs' = simpl env rhs Stop in
     if is_trivial rhs' || once_inlinable info rhs' then begin
       (* preInlineUnconditionally: substitute the simplified rhs. *)
-      if not (is_trivial rhs') then mark env;
+      if not (is_trivial rhs') then mark env Telemetry.Pre_inline;
       simpl { env with subst = Subst.add_term x.v_name rhs' env.subst } body k
     end
     else bind_emit env x rhs' (fun env' -> simpl env' body k)
@@ -338,7 +356,7 @@ and bind_emit env (x : var) (rhs' : expr) (body_k : env -> expr) : expr =
       let body' = body_k env' in
       if occurs x0.v_name body' then Let (NonRec (x0, rhs''), body')
       else begin
-        mark env;
+        mark env Telemetry.Drop;
         body'
       end)
 
@@ -351,16 +369,21 @@ and bind_emit env (x : var) (rhs' : expr) (body_k : env -> expr) : expr =
    right-hand side and the body. The join binder itself keeps its
    bottom-returning type. *)
 and simpl_join env jb body k =
-  if not env.cfg.join_points then
+  if not env.cfg.join_points then begin
     (* The baseline IR has no join points; demote defensively. *)
+    Telemetry.tick Telemetry.Demote;
     simpl env (Demote.demote_top (Join (jb, body))) k
-  else
+  end
+  else begin
+    (* jfloat: a non-empty continuation is about to be copied into the
+       right-hand side(s) (after being made duplicable). *)
+    if not (cont_is_stop k) then Telemetry.tick Telemetry.Jfloat;
     let wrap, kdup = mk_dupable env k in
     match jb with
     | JNonRec d ->
         let info = usage_of env d.j_var in
         if info.count = 0 then begin
-          mark env;
+          mark env Telemetry.Jdrop;
           wrap (simpl env body kdup)
         end
         else
@@ -369,7 +392,7 @@ and simpl_join env jb body k =
           if occurs d'.j_var.v_name body' then
             wrap (Join (JNonRec d', body'))
           else begin
-            mark env;
+            mark env Telemetry.Jdrop;
             wrap body'
           end
     | JRec ds ->
@@ -400,9 +423,10 @@ and simpl_join env jb body k =
         in
         if live then wrap (Join (JRec ds', body'))
         else begin
-          mark env;
+          mark env Telemetry.Jdrop;
           wrap body'
         end
+  end
 
 (* Simplify one non-recursive join definition under continuation [kdup];
    returns the new definition and the body environment with the label
@@ -472,7 +496,7 @@ and mk_dupable env (k : cont) : (expr -> expr) * cont =
 and share_alt env wraps pat (xs : var list) (rhs' : expr) : alt =
   if size rhs' <= env.cfg.dup_threshold then { alt_pat = pat; alt_rhs = rhs' }
   else begin
-    mark env;
+    mark env Telemetry.Share_alt;
     let res_ty =
       match ty_of rhs' with t -> t | exception _ -> Types.bottom ()
     in
@@ -545,7 +569,7 @@ and rebuild_case env scrut aenv alts k' =
           List.find_opt (fun a -> a.alt_pat = PDefault) alts )
       with
       | Some { alt_pat = PCon (_, xs); alt_rhs }, _ ->
-          mark env;
+          mark env Telemetry.Case_of_known;
           let rec bind_all env xs args =
             match (xs, args) with
             | [], [] -> simpl env alt_rhs k'
@@ -555,7 +579,7 @@ and rebuild_case env scrut aenv alts k' =
           in
           bind_all aenv xs args
       | None, Some { alt_rhs; _ } ->
-          mark env;
+          mark env Telemetry.Case_of_known;
           simpl aenv alt_rhs k'
       | _ ->
           (* No alternative can match: this is dead code, but we have no
@@ -570,7 +594,7 @@ and rebuild_case env scrut aenv alts k' =
           List.find_opt (fun a -> a.alt_pat = PDefault) alts )
       with
       | Some { alt_rhs; _ }, _ | None, Some { alt_rhs; _ } ->
-          mark env;
+          mark env Telemetry.Case_of_known;
           simpl aenv alt_rhs k'
       | _ -> rebuild_case_neutral env scrut aenv alts k')
   | _ -> rebuild_case_neutral env scrut aenv alts k'
@@ -580,12 +604,13 @@ and rebuild_case_neutral env scrut aenv alts k' =
   match (alts, scrut) with
   | [ { alt_pat = PDefault; alt_rhs } ], Var v
     when Ident.Map.mem v.v_name env.unf ->
-      mark env;
+      mark env Telemetry.Case_elim;
       simpl aenv alt_rhs k'
   | _ ->
       if env.cfg.case_of_case && not (cont_is_stop k') then begin
         (* The commuting conversion: push the (dupable) context into
            every branch. *)
+        Telemetry.tick Telemetry.Case_of_case;
         let wrap, kdup = mk_dupable env k' in
         let alts' = simpl_alts aenv alts kdup in
         wrap (Case (scrut, alts'))
@@ -614,7 +639,7 @@ and consider_inline env (v : var) (k : cont) : expr =
   | None -> rebuild env (Var v) k
   | Some u ->
       let splice () =
-        mark env;
+        mark env Telemetry.Inline;
         simpl { env with subst = Subst.empty } (Subst.freshen u) k
       in
       if is_trivial u then splice ()

@@ -28,9 +28,8 @@
 
 open Syntax
 
-type stats = { mutable specialised : int }
-
-let stats = { specialised = 0 }
+(* Specialised-group counts are reported per-invocation via Telemetry
+   ([Spec_constr] ticks). *)
 
 (* Constructor bindings in scope: variable unique -> constructor rhs.
    Used to look through [let x = K ... in ... jump j x ...]. *)
@@ -217,7 +216,7 @@ and try_specialise (cenv : cenv) (ds : join_defn list) (body : expr) :
   in
   if List.for_all (List.for_all Option.is_none) masks then None
   else begin
-    stats.specialised <- stats.specialised + 1;
+    Telemetry.tick Telemetry.Spec_constr;
     (* Build the new definitions and the rewriting specs. *)
     let items =
       List.map2

@@ -4,11 +4,8 @@
     position, the join point takes the fields instead and the
     constructor allocation disappears from the loop. *)
 
-type stats = { mutable specialised : int }
-
-val stats : stats
-
 (** Run one layer of specialisation over a whole program (pipeline
     rounds peel nested constructor layers). Typing- and
-    meaning-preserving. *)
+    meaning-preserving. Each specialised group fires a
+    {!Telemetry.Spec_constr} tick. *)
 val run : Syntax.expr -> Syntax.expr

@@ -175,6 +175,27 @@ let rec size e =
   | Jump (_, _, es, _) ->
       1 + List.fold_left (fun n e -> n + size e) 0 es
 
+(** Number of join-point definitions in the term (each member of a
+    recursive group counts once) — a telemetry measure. *)
+let rec count_joins e =
+  match e with
+  | Var _ | Lit _ -> 0
+  | Con (_, _, es) | Prim (_, es) | Jump (_, _, es, _) ->
+      List.fold_left (fun n e -> n + count_joins e) 0 es
+  | App (f, a) -> count_joins f + count_joins a
+  | TyApp (f, _) -> count_joins f
+  | Lam (_, b) | TyLam (_, b) -> count_joins b
+  | Let (b, body) ->
+      count_joins body
+      + List.fold_left (fun n (_, e) -> n + count_joins e) 0 (bind_pairs b)
+  | Case (scrut, alts) ->
+      count_joins scrut
+      + List.fold_left (fun n a -> n + count_joins a.alt_rhs) 0 alts
+  | Join (jb, body) ->
+      let ds = join_defns jb in
+      List.length ds + count_joins body
+      + List.fold_left (fun n d -> n + count_joins d.j_rhs) 0 ds
+
 (* ------------------------------------------------------------------ *)
 (* Free variables                                                      *)
 (* ------------------------------------------------------------------ *)

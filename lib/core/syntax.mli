@@ -100,6 +100,9 @@ val is_trivial : expr -> bool
 (** Syntax-node count (inlining heuristics). *)
 val size : expr -> int
 
+(** Number of join-point definitions in the term (telemetry). *)
+val count_joins : expr -> int
+
 (** Free term variables, including free labels. *)
 val free_vars : expr -> Ident.Set.t
 

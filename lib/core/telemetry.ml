@@ -1,0 +1,381 @@
+(** Compiler telemetry — see the interface for the design. *)
+
+type tick =
+  | Beta
+  | Beta_tau
+  | Inline
+  | Pre_inline
+  | Drop
+  | Jinline
+  | Jdrop
+  | Case_of_known
+  | Case_elim
+  | Casefloat
+  | Case_of_case
+  | Jfloat
+  | Abort
+  | Commute
+  | Constant_fold
+  | Share_alt
+  | Anf_con
+  | Demote
+  | Contified
+  | Contified_group
+  | Cse_shared
+  | Strict_let
+  | Strict_arg
+  | Spec_constr
+  | Float_in_moved
+  | Float_out_moved
+  | Rule_fired
+
+let tick_name = function
+  | Beta -> "beta"
+  | Beta_tau -> "beta_tau"
+  | Inline -> "inline"
+  | Pre_inline -> "pre_inline"
+  | Drop -> "drop"
+  | Jinline -> "jinline"
+  | Jdrop -> "jdrop"
+  | Case_of_known -> "case_of_known"
+  | Case_elim -> "case_elim"
+  | Casefloat -> "casefloat"
+  | Case_of_case -> "case_of_case"
+  | Jfloat -> "jfloat"
+  | Abort -> "abort"
+  | Commute -> "commute"
+  | Constant_fold -> "constant_fold"
+  | Share_alt -> "share_alt"
+  | Anf_con -> "anf_con"
+  | Demote -> "demote"
+  | Contified -> "contify"
+  | Contified_group -> "contify_group"
+  | Cse_shared -> "cse"
+  | Strict_let -> "demand_strict_let"
+  | Strict_arg -> "demand_strict_arg"
+  | Spec_constr -> "spec_constr"
+  | Float_in_moved -> "float_in"
+  | Float_out_moved -> "float_out"
+  | Rule_fired -> "rule_fired"
+
+let index = function
+  | Beta -> 0
+  | Beta_tau -> 1
+  | Inline -> 2
+  | Pre_inline -> 3
+  | Drop -> 4
+  | Jinline -> 5
+  | Jdrop -> 6
+  | Case_of_known -> 7
+  | Case_elim -> 8
+  | Casefloat -> 9
+  | Case_of_case -> 10
+  | Jfloat -> 11
+  | Abort -> 12
+  | Commute -> 13
+  | Constant_fold -> 14
+  | Share_alt -> 15
+  | Anf_con -> 16
+  | Demote -> 17
+  | Contified -> 18
+  | Contified_group -> 19
+  | Cse_shared -> 20
+  | Strict_let -> 21
+  | Strict_arg -> 22
+  | Spec_constr -> 23
+  | Float_in_moved -> 24
+  | Float_out_moved -> 25
+  | Rule_fired -> 26
+
+let all_ticks =
+  [
+    Beta; Beta_tau; Inline; Pre_inline; Drop; Jinline; Jdrop;
+    Case_of_known; Case_elim; Casefloat; Case_of_case; Jfloat; Abort;
+    Commute; Constant_fold; Share_alt; Anf_con; Demote; Contified;
+    Contified_group; Cse_shared; Strict_let; Strict_arg; Spec_constr;
+    Float_in_moved; Float_out_moved; Rule_fired;
+  ]
+
+let n_ticks = List.length all_ticks
+
+type counters = int array
+
+let create () : counters = Array.make n_ticks 0
+
+(* The innermost installed collector. Installation nests (the previous
+   collector is saved and restored), so a pass that runs a sub-pipeline
+   — e.g. a test driving two reports — cannot cross-contaminate. *)
+let current : counters option ref = ref None
+
+let with_counters c f =
+  let saved = !current in
+  current := Some c;
+  Fun.protect ~finally:(fun () -> current := saved) f
+
+let tick ?(n = 1) t =
+  match !current with
+  | None -> ()
+  | Some c ->
+      let i = index t in
+      c.(i) <- c.(i) + n
+
+let get (c : counters) t = c.(index t)
+let total (c : counters) = Array.fold_left ( + ) 0 c
+
+let nonzero (c : counters) =
+  List.filter_map
+    (fun t ->
+      let n = get c t in
+      if n > 0 then Some (tick_name t, n) else None)
+    all_ticks
+
+type snapshot = int array
+
+let snapshot (c : counters) : snapshot = Array.copy c
+
+let delta_since (s : snapshot) (c : counters) =
+  List.filter_map
+    (fun t ->
+      let i = index t in
+      let d = c.(i) - s.(i) in
+      if d > 0 then Some (tick_name t, d) else None)
+    all_ticks
+
+let pp_table ppf (c : counters) =
+  Fmt.pf ppf "@[<v>Total ticks: %d" (total c);
+  List.iter (fun (name, n) -> Fmt.pf ppf "@,%8d %s" n name) (nonzero c);
+  Fmt.pf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall clock clamped to be non-decreasing: the stdlib has no monotonic
+   clock and we avoid growing the dependency set, so a backwards NTP
+   step at worst makes one pass read as 0 ms. *)
+let last_ms = ref 0.0
+
+let now_ms () =
+  let t = Unix.gettimeofday () *. 1000.0 in
+  if t > !last_ms then last_ms := t;
+  !last_ms
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let escape_string b s =
+    Buffer.add_char b '"';
+    String.iter
+      (fun ch ->
+        match ch with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"'
+
+  let to_string (j : t) : string =
+    let b = Buffer.create 256 in
+    let rec go = function
+      | Null -> Buffer.add_string b "null"
+      | Bool true -> Buffer.add_string b "true"
+      | Bool false -> Buffer.add_string b "false"
+      | Int n -> Buffer.add_string b (string_of_int n)
+      | Float f ->
+          if Float.is_finite f then
+            (* %.17g round-trips but is noisy; ms precisions don't need
+               it. Ensure the result still reads back as a number. *)
+            Buffer.add_string b (Printf.sprintf "%.6g" f)
+          else Buffer.add_string b "null"
+      | Str s -> escape_string b s
+      | Arr xs ->
+          Buffer.add_char b '[';
+          List.iteri
+            (fun i x ->
+              if i > 0 then Buffer.add_char b ',';
+              go x)
+            xs;
+          Buffer.add_char b ']'
+      | Obj fields ->
+          Buffer.add_char b '{';
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then Buffer.add_char b ',';
+              escape_string b k;
+              Buffer.add_char b ':';
+              go v)
+            fields;
+          Buffer.add_char b '}'
+    in
+    go j;
+    Buffer.contents b
+
+  exception Bad of string
+
+  let parse (s : string) : (t, string) result =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' -> (
+            advance ();
+            match peek () with
+            | Some '"' -> Buffer.add_char b '"'; advance (); go ()
+            | Some '\\' -> Buffer.add_char b '\\'; advance (); go ()
+            | Some '/' -> Buffer.add_char b '/'; advance (); go ()
+            | Some 'n' -> Buffer.add_char b '\n'; advance (); go ()
+            | Some 'r' -> Buffer.add_char b '\r'; advance (); go ()
+            | Some 't' -> Buffer.add_char b '\t'; advance (); go ()
+            | Some 'b' -> Buffer.add_char b '\b'; advance (); go ()
+            | Some 'f' -> Buffer.add_char b '\012'; advance (); go ()
+            | Some 'u' ->
+                advance ();
+                if !pos + 4 > n then fail "bad \\u escape";
+                let hex = String.sub s !pos 4 in
+                (match int_of_string_opt ("0x" ^ hex) with
+                | None -> fail "bad \\u escape"
+                | Some code ->
+                    (* Keep it simple: BMP code points below 0x80 as a
+                       char, the rest replaced; traces are ASCII. *)
+                    if code < 0x80 then Buffer.add_char b (Char.chr code)
+                    else Buffer.add_char b '?');
+                pos := !pos + 4;
+                go ()
+            | _ -> fail "bad escape")
+        | Some c ->
+            Buffer.add_char b c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num_char s.[!pos] do
+        advance ()
+      done;
+      let tok = String.sub s start (!pos - start) in
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt tok with
+          | Some f -> Float f
+          | None -> fail "bad number")
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  List.rev ((k, v) :: acc)
+              | _ -> fail "expected ',' or '}'"
+            in
+            Obj (members [])
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            Arr []
+          end
+          else
+            let rec items acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  items (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List.rev (v :: acc)
+              | _ -> fail "expected ',' or ']'"
+            in
+            Arr (items [])
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Bad msg -> Error msg
+
+  let is_well_formed s = Result.is_ok (parse s)
+end

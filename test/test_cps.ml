@@ -102,11 +102,7 @@ let cse_direct_vs_cps () =
               B.lam "q" Types.int (fun q -> B.add p q))))
       (B.lam "y" Types.int (fun y -> B.mul y y))
   in
-  let count_shared e =
-    let before = Cse.stats.Cse.shared in
-    ignore (Cse.run e);
-    Cse.stats.Cse.shared - before
-  in
+  let count_shared e = snd (Cse.run_counted e) in
   let direct_shared = count_shared prog in
   let cpsd = cps_ok prog in
   let cps_shared = count_shared cpsd in

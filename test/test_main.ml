@@ -25,6 +25,7 @@ let () =
       ("spec-constr", Test_spec_constr.tests);
       ("paper-examples", Test_paper_examples.tests);
       ("pipeline", Test_pipeline.tests);
+      ("telemetry", Test_telemetry.tests);
       ("integration", Test_integration.tests);
       ("properties", Test_qcheck.tests);
     ]

@@ -47,7 +47,7 @@ let report_trail () =
     Pipeline.default_config ~mode:Pipeline.Join_points ~datacons:denv ()
   in
   let _, report = Pipeline.run_report cfg core in
-  let passes = List.map fst report.Pipeline.trail in
+  let passes = List.map fst (Pipeline.trail report) in
   let has prefix =
     List.exists
       (fun p -> String.length p >= String.length prefix
@@ -60,7 +60,7 @@ let report_trail () =
   Alcotest.(check bool) "ran simplify" true (has "simplify");
   Alcotest.(check bool) "ran float-out" true (has "float-out");
   Alcotest.(check bool) "contified something" true
-    (report.Pipeline.contified > 0)
+    (Pipeline.contified report > 0)
 
 let baseline_skips_contify () =
   let denv, core = compile "def main = sum (enumFromTo 1 10)" in
@@ -68,7 +68,7 @@ let baseline_skips_contify () =
     Pipeline.default_config ~mode:Pipeline.Baseline ~datacons:denv ()
   in
   let _, report = Pipeline.run_report cfg core in
-  let passes = List.map fst report.Pipeline.trail in
+  let passes = List.map fst (Pipeline.trail report) in
   Alcotest.(check bool) "no contify pass" false
     (List.exists
        (fun p -> String.length p >= 7 && String.sub p 0 7 = "contify")
@@ -164,7 +164,7 @@ def main = toUp (toDown 7) + toUp (toDown 35)
   let fired =
     List.exists
       (fun (p, _) -> String.length p >= 5 && String.sub p 0 5 = "rules")
-      report.Pipeline.trail
+      (Pipeline.trail report)
   in
   Alcotest.(check bool) "rule fired in the pipeline" true fired
 

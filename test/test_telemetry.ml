@@ -1,0 +1,157 @@
+(** Tests for {!Fj_core.Telemetry} and the structured pipeline trace:
+    tick collection, mode-sensitivity of the commuting-conversion
+    ticks, determinism, and the JSON emitter/parser. *)
+
+open Fj_core
+open Util
+
+let compile src = Fj_surface.Prelude.compile src
+
+(* A program whose optimisation is known to need case-of-case and
+   jfloat: a loop returning a boolean that is immediately scrutinised
+   (the Sec. 2 shape). *)
+let cc_src =
+  {|
+def main =
+  let rec go i acc =
+    if i > 50 then acc
+    else if odd i then go (i + 1) (acc + i)
+    else go (i + 1) acc
+  in go 1 0
+|}
+
+let report_for mode =
+  let denv, core = compile cc_src in
+  let cfg =
+    Pipeline.default_config ~mode ~datacons:denv ~inline_threshold:300 ()
+  in
+  snd (Pipeline.run_report cfg core)
+
+let tick_count r name =
+  match List.assoc_opt name (Pipeline.ticks r) with Some n -> n | None -> 0
+
+let basic_collection () =
+  let c = Telemetry.create () in
+  Telemetry.with_counters c (fun () ->
+      Telemetry.tick Telemetry.Beta;
+      Telemetry.tick ~n:3 Telemetry.Drop);
+  Alcotest.(check int) "beta" 1 (Telemetry.get c Telemetry.Beta);
+  Alcotest.(check int) "drop" 3 (Telemetry.get c Telemetry.Drop);
+  Alcotest.(check int) "total" 4 (Telemetry.total c);
+  (* No collector installed: ticks are dropped, not an error. *)
+  Telemetry.tick Telemetry.Beta;
+  Alcotest.(check int) "uninstalled tick dropped" 1
+    (Telemetry.get c Telemetry.Beta)
+
+let nested_collectors () =
+  (* An inner collector sees its own ticks; the outer resumes after. *)
+  let outer = Telemetry.create () in
+  let inner = Telemetry.create () in
+  Telemetry.with_counters outer (fun () ->
+      Telemetry.tick Telemetry.Beta;
+      Telemetry.with_counters inner (fun () -> Telemetry.tick Telemetry.Beta);
+      Telemetry.tick Telemetry.Beta);
+  Alcotest.(check int) "outer" 2 (Telemetry.get outer Telemetry.Beta);
+  Alcotest.(check int) "inner" 1 (Telemetry.get inner Telemetry.Beta)
+
+let cc_ticks_mode_sensitive () =
+  let j = report_for Pipeline.Join_points in
+  let n = report_for Pipeline.No_cc in
+  Alcotest.(check bool) "join-points fires case_of_case" true
+    (tick_count j "case_of_case" > 0);
+  Alcotest.(check bool) "join-points fires jfloat" true
+    (tick_count j "jfloat" > 0);
+  Alcotest.(check int) "no-cc never fires case_of_case" 0
+    (tick_count n "case_of_case");
+  Alcotest.(check int) "no-cc never fires jfloat" 0 (tick_count n "jfloat")
+
+let deterministic () =
+  let a = report_for Pipeline.Join_points in
+  let b = report_for Pipeline.Join_points in
+  Alcotest.(check (list (pair string int)))
+    "tick maps identical across runs" (Pipeline.ticks a) (Pipeline.ticks b);
+  Alcotest.(check (list (pair string int)))
+    "trails identical across runs" (Pipeline.trail a) (Pipeline.trail b)
+
+let json_roundtrip () =
+  let open Telemetry.Json in
+  let v =
+    Obj
+      [
+        ("s", Str "he \"said\"\n\t\\x");
+        ("i", Int (-42));
+        ("f", Float 1.5);
+        ("b", Bool true);
+        ("n", Null);
+        ("a", Arr [ Int 1; Str "two"; Obj [] ]);
+      ]
+  in
+  match parse (to_string v) with
+  | Ok v' ->
+      Alcotest.(check string) "roundtrip" (to_string v) (to_string v')
+  | Error m -> Alcotest.failf "emitted JSON does not parse: %s" m
+
+let report_json_well_formed () =
+  let r = report_for Pipeline.Join_points in
+  let json = Pipeline.report_to_json r in
+  Alcotest.(check bool) "report JSON parses" true
+    (Telemetry.Json.is_well_formed json);
+  match Telemetry.Json.parse json with
+  | Ok (Telemetry.Json.Obj fields) ->
+      List.iter
+        (fun k ->
+          Alcotest.(check bool)
+            (Fmt.str "field %s present" k)
+            true
+            (List.mem_assoc k fields))
+        [
+          "mode"; "input_size"; "output_size"; "total_ms"; "total_ticks";
+          "contified"; "ticks"; "passes";
+        ]
+  | Ok _ -> Alcotest.fail "report JSON is not an object"
+  | Error m -> Alcotest.failf "report JSON does not parse: %s" m
+
+let json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (Fmt.str "rejects %S" s) false
+        (Telemetry.Json.is_well_formed s))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "\"unterminated"; "{} trailing" ]
+
+let contify_counted_standalone () =
+  let denv, core = compile cc_src in
+  ignore denv;
+  let _, n = Contify.contify_counted core in
+  Alcotest.(check bool) "counts the contified loop" true (n > 0)
+
+let tree_mismatch_reporting () =
+  let open Eval in
+  let leaf n = TLit (Literal.Int n) in
+  let a = TCon ("Pair", [ leaf 1; TCon ("Cons", [ leaf 2; TCon ("Nil", []) ]) ]) in
+  let b = TCon ("Pair", [ leaf 1; TCon ("Cons", [ leaf 3; TCon ("Nil", []) ]) ]) in
+  Alcotest.(check (option string)) "equal trees" None (tree_mismatch a a);
+  (match tree_mismatch a b with
+  | Some msg ->
+      let prefix = "at root.1.0" in
+      Alcotest.(check bool)
+        (Fmt.str "path points into the tree (%s)" msg)
+        true
+        (String.length msg >= String.length prefix
+        && String.sub msg 0 (String.length prefix) = prefix)
+  | None -> Alcotest.fail "differing trees reported equal");
+  match tree_mismatch (TCon ("Nil", [])) TFun with
+  | Some _ -> ()
+  | None -> Alcotest.fail "constructor vs function reported equal"
+
+let tests =
+  [
+    test "tick collection and totals" basic_collection;
+    test "nested collectors" nested_collectors;
+    test "case-of-case/jfloat ticks are mode-sensitive" cc_ticks_mode_sensitive;
+    test "tick counts are deterministic" deterministic;
+    test "JSON emitter round-trips" json_roundtrip;
+    test "pipeline report JSON is well-formed" report_json_well_formed;
+    test "JSON parser rejects garbage" json_rejects_garbage;
+    test "contify_counted counts per invocation" contify_counted_standalone;
+    test "tree_mismatch locates the first divergence" tree_mismatch_reporting;
+  ]
