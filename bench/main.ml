@@ -9,15 +9,54 @@
       plain lists, under both compilers.
     - {b Sec. 3}: the codegen claim on the block machine — gotos vs
       calls vs heap allocation for the same program under both
-      compilers.
+      compilers, cross-checked metric by metric against the Fig. 3
+      machine (both fill the same {!Fj_core.Mstats} shape).
     - {b Sec. 2}: the commuting-conversion ablation (join points vs no
       case-of-case at all).
     - {b Bechamel} wall-clock benches: evaluator throughput on the
       optimised output of each compiler, plus optimiser throughput.
 
-    Run: [dune exec bench/main.exe] (add [--quick] to skip bechamel). *)
+    Failures (lint errors, result mismatches) do {e not} abort the
+    suite: they are collected, the remaining programs still run, and
+    the harness reports everything at the end with a nonzero exit.
+
+    Run: [dune exec bench/main.exe] (add [--quick] to skip bechamel;
+    [--json PATH] additionally writes the machine-readable trajectory
+    file, e.g. [BENCH_2026-08.json] — see EXPERIMENTS.md). *)
 
 open Fj_core
+
+(* ------------------------------------------------------------------ *)
+(* Failure collection                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The satellite fix for "exit 1 on the first lint failure": every
+   check records here and the suite keeps going; [report_failures]
+   decides the exit code once everything has run. *)
+let failures : string list ref = ref []
+
+let fail fmt =
+  Fmt.kstr
+    (fun m ->
+      Fmt.epr "BENCH FAILURE: %s@." m;
+      failures := m :: !failures)
+    fmt
+
+let check_tree ~what expected got =
+  match Eval.tree_mismatch expected got with
+  | None -> true
+  | Some where ->
+      fail "%s: result mismatch (%s)" what where;
+      false
+
+let report_failures () =
+  match List.rev !failures with
+  | [] -> 0
+  | fs ->
+      Fmt.epr "@.%s@." (String.make 64 '=');
+      Fmt.epr "%d benchmark failure(s):@." (List.length fs);
+      List.iteri (fun i m -> Fmt.epr "  %2d. %s@." (i + 1) m) fs;
+      1
 
 (* ------------------------------------------------------------------ *)
 (* Measurement                                                         *)
@@ -29,6 +68,8 @@ type measurement = {
   join_words : int;
   base_steps : int;
   join_steps : int;
+  base_jumps : int;
+  join_jumps : int;
   delta_pct : float;  (** (join - base) / base * 100, the Table 1 metric. *)
   base_report : Pipeline.report;  (** Optimizer telemetry, baseline. *)
   join_report : Pipeline.report;  (** Optimizer telemetry, join points. *)
@@ -48,41 +89,45 @@ let report_ms r =
     (fun acc (p : Pipeline.pass_record) -> acc +. p.duration_ms)
     0.0 (Pipeline.passes r)
 
-let measure (prog : Bench_programs.program) : measurement =
+let measure (prog : Bench_programs.program) : measurement option =
   let denv, core = Bench_programs.compile prog in
-  (match Lint.lint_result denv core with
-  | Ok _ -> ()
+  match Lint.lint_result denv core with
   | Error err ->
-      Fmt.epr "BENCH %s does not lint: %a@." prog.name Lint.pp_error err;
-      exit 1);
-  let run e =
-    let t, s = Eval.run_deep e in
-    (t, s)
-  in
-  let t0, _ = run core in
-  let base, base_report = optimize_report Pipeline.Baseline denv core in
-  let joins, join_report = optimize_report Pipeline.Join_points denv core in
-  let tb, sb = run base in
-  let tj, sj = run joins in
-  if not (Eval.equal_tree t0 tb && Eval.equal_tree t0 tj) then begin
-    Fmt.epr "BENCH %s: result mismatch across pipelines!@." prog.name;
-    exit 1
-  end;
-  let delta_pct =
-    if sb.words = 0 then 0.0
-    else
-      float_of_int (sj.words - sb.words) /. float_of_int sb.words *. 100.0
-  in
-  {
-    prog;
-    base_words = sb.words;
-    join_words = sj.words;
-    base_steps = sb.steps;
-    join_steps = sj.steps;
-    delta_pct;
-    base_report;
-    join_report;
-  }
+      fail "%s does not lint: %a" prog.name Lint.pp_error err;
+      None
+  | Ok _ ->
+      let run e =
+        let t, s = Eval.run_deep e in
+        (t, s)
+      in
+      let t0, _ = run core in
+      let base, base_report = optimize_report Pipeline.Baseline denv core in
+      let joins, join_report =
+        optimize_report Pipeline.Join_points denv core
+      in
+      let tb, sb = run base in
+      let tj, sj = run joins in
+      ignore (check_tree ~what:(prog.name ^ " (baseline)") t0 tb);
+      ignore (check_tree ~what:(prog.name ^ " (join-points)") t0 tj);
+      let delta_pct =
+        if sb.words = 0 then 0.0
+        else
+          float_of_int (sj.words - sb.words)
+          /. float_of_int sb.words *. 100.0
+      in
+      Some
+        {
+          prog;
+          base_words = sb.words;
+          join_words = sj.words;
+          base_steps = sb.steps;
+          join_steps = sj.steps;
+          base_jumps = sb.jumps;
+          join_jumps = sj.jumps;
+          delta_pct;
+          base_report;
+          join_report;
+        }
 
 let geomean deltas =
   (* Geometric mean of the ratios (as the paper's "Geo. Mean" row);
@@ -112,7 +157,7 @@ let table1_group (group : string) (progs : Bench_programs.program list) =
   Fmt.pr "Table 1 / %-10s %14s %12s %10s@." group "base words" "join words"
     "Allocs";
   Fmt.pr "%s@." (String.make 64 '-');
-  let ms = List.map measure progs in
+  let ms = List.filter_map measure progs in
   List.iter
     (fun m ->
       Fmt.pr "%-22s %14d %12d %a@." m.prog.name m.base_words m.join_words
@@ -156,7 +201,10 @@ let fusion_row name src =
   let cell mode =
     let e = optimize mode denv core in
     let t, s = Eval.run_deep e in
-    assert (Eval.equal_tree t0 t);
+    ignore
+      (check_tree
+         ~what:(Fmt.str "fusion %s (%s)" name (Pipeline.mode_name mode))
+         t0 t);
     s.Eval.words
   in
   let b = cell Pipeline.Baseline in
@@ -183,26 +231,39 @@ let fusion_table n =
 (* Sec. 3: block machine codegen                                       *)
 (* ------------------------------------------------------------------ *)
 
-let machine_row name denv core t0 mode =
+(* One program under one mode, run on {e both} machines. The two
+   executors fill the same {!Mstats} record, so each metric lines up
+   column for column: the block machine's jumps are lowered F_J jumps,
+   its calls went through closures the baseline had to allocate, etc. *)
+let machine_rows name denv core t0 mode =
   let e = optimize mode denv core in
+  let _, es = Eval.run_deep e in
   let prog = Fj_machine.Lower.lower_program e in
   let v, s = Fj_machine.Bmachine.run prog in
-  assert (Eval.equal_tree t0 (Fj_machine.Bmachine.tree_of_value v));
-  Fmt.pr "%-28s %-12s %8d %8d %8d %8d@." name (Pipeline.mode_name mode)
-    s.Fj_machine.Bmachine.words s.Fj_machine.Bmachine.gotos
-    s.Fj_machine.Bmachine.calls s.Fj_machine.Bmachine.instrs
+  ignore
+    (check_tree
+       ~what:(Fmt.str "block machine %s (%s)" name (Pipeline.mode_name mode))
+       t0
+       (Fj_machine.Bmachine.tree_of_value v));
+  let row machine (s : Mstats.t) =
+    Fmt.pr "%-28s %-12s %-6s %8d %8d %8d %8d %6d@." name
+      (Pipeline.mode_name mode) machine s.words s.jumps s.calls s.steps
+      s.max_stack
+  in
+  row "block" s;
+  row "fig3" es
 
 let machine_table () =
-  Fmt.pr "@.%s@." (String.make 80 '-');
+  Fmt.pr "@.%s@." (String.make 88 '-');
   Fmt.pr
-    "Block machine (Sec. 3)                            words    gotos    \
-     calls   instrs@.";
-  Fmt.pr "%s@." (String.make 80 '-');
+    "Block machine vs Fig. 3 (Sec. 3)                     words    jumps    \
+     calls    steps  stack@.";
+  Fmt.pr "%s@." (String.make 88 '-');
   let check name src =
     let denv, core = Fj_fusion.Streams.compile_pipeline src in
     let t0, _ = Eval.run_deep core in
-    machine_row name denv core t0 Pipeline.Baseline;
-    machine_row name denv core t0 Pipeline.Join_points
+    machine_rows name denv core t0 Pipeline.Baseline;
+    machine_rows name denv core t0 Pipeline.Join_points
   in
   check "skipless pipeline n=200"
     (Fj_fusion.Streams.sum_map_filter_skipless 200);
@@ -224,7 +285,12 @@ let cc_ablation () =
       let words mode =
         let e = optimize mode denv core in
         let t, s = Eval.run_deep e in
-        assert (Eval.equal_tree t0 t);
+        ignore
+          (check_tree
+             ~what:
+               (Fmt.str "cc-ablation %s (%s)" prog.name
+                  (Pipeline.mode_name mode))
+             t0 t);
         s.Eval.words
       in
       Fmt.pr "%-36s %13d %17d@." prog.name
@@ -264,6 +330,79 @@ let cps_table () =
     (Cps.count_lams cpsd);
   Fmt.pr "%-44s %10d %10d@." "term size" (Syntax.size prog)
     (Syntax.size cpsd)
+
+(* ------------------------------------------------------------------ *)
+(* The BENCH_*.json trajectory file                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Machine-readable record of this run — committed as BENCH_<date>.json
+   so the repository accumulates a perf trajectory and CI can detect
+   delta_pct regressions against it (see EXPERIMENTS.md for the
+   schema). *)
+let bench_json ~quick (groups : (string * measurement list) list) =
+  let open Telemetry.Json in
+  let program_json group (m : measurement) =
+    Obj
+      [
+        ("name", Str m.prog.name);
+        ("suite", Str group);
+        ("base_words", Int m.base_words);
+        ("join_words", Int m.join_words);
+        ("base_steps", Int m.base_steps);
+        ("join_steps", Int m.join_steps);
+        ("base_jumps", Int m.base_jumps);
+        ("join_jumps", Int m.join_jumps);
+        ("delta_pct", Float m.delta_pct);
+        ( "optimizer",
+          Obj
+            [
+              ("base", Pipeline.summary_json m.base_report);
+              ("join", Pipeline.summary_json m.join_report);
+            ] );
+      ]
+  in
+  let suite_json (group, ms) =
+    let deltas = List.map (fun m -> m.delta_pct) ms in
+    Obj
+      [
+        ("suite", Str group);
+        ("programs", Int (List.length ms));
+        ("min_delta_pct", Float (List.fold_left Float.min infinity deltas));
+        ("max_delta_pct", Float (List.fold_left Float.max neg_infinity deltas));
+        ( "geomean_delta_pct",
+          match geomean deltas with Some g -> Float g | None -> Null );
+      ]
+  in
+  let date =
+    let tm = Unix.gmtime (Unix.gettimeofday ()) in
+    Fmt.str "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+      tm.Unix.tm_mday
+  in
+  Obj
+    [
+      ("schema", Str "fj-bench/1");
+      ("date", Str date);
+      ("quick", Bool quick);
+      ( "programs",
+        Arr
+          (List.concat_map
+             (fun (g, ms) -> List.map (program_json g) ms)
+             groups) );
+      ("suites", Arr (List.map suite_json groups));
+      ("failures", Arr (List.map (fun m -> Str m) (List.rev !failures)));
+    ]
+
+let write_json path ~quick groups =
+  let json = Telemetry.Json.to_string (bench_json ~quick groups) in
+  match open_out path with
+  | exception Sys_error m -> fail "cannot write %s: %s" path m
+  | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc json;
+          output_char oc '\n');
+      Fmt.pr "@.wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock benches                                          *)
@@ -330,6 +469,15 @@ let bechamel_benches () =
 
 let () =
   let quick = Array.exists (( = ) "--quick") Sys.argv in
+  let json_path =
+    let n = Array.length Sys.argv in
+    let rec go i =
+      if i >= n then None
+      else if Sys.argv.(i) = "--json" && i + 1 < n then Some Sys.argv.(i + 1)
+      else go (i + 1)
+    in
+    go 1
+  in
   Fmt.pr "System F_J benchmark harness — reproducing PLDI'17 Table 1@.";
   Fmt.pr "(allocation words counted by the Fig. 3 abstract machine;@.";
   Fmt.pr " Allocs column = (join-points - baseline) / baseline)@.";
@@ -342,4 +490,11 @@ let () =
   cc_ablation ();
   cps_table ();
   if not quick then bechamel_benches ();
-  Fmt.pr "@.done.@."
+  (match json_path with
+  | Some path ->
+      write_json path ~quick
+        [ ("spectral", m1); ("real", m2); ("shootout", m3) ]
+  | None -> ());
+  let rc = report_failures () in
+  Fmt.pr "@.done.@.";
+  exit rc

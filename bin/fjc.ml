@@ -14,6 +14,12 @@
     - [fjc stats FILE]  — run under every compiler configuration and
       tabulate allocations side by side ([--json] for machine-readable
       rows);
+    - [fjc profile FILE] — run under baseline and join-points with the
+      allocation profiler on and print the per-site cost-centre table
+      side by side (words, %, steps per binder); [--lower] profiles on
+      the block machine instead of the Fig. 3 evaluator; [--json]
+      additionally dumps both profiles (with the machine event trace)
+      as JSON;
     - [fjc erase FILE]  — optimise, erase join points (Thm. 5), Lint
       the resulting System F term and print it;
     - [fjc lower FILE]  — lower to the block IR and print it, or run it
@@ -287,6 +293,152 @@ let stats_cmd =
     Term.(const run $ file_arg $ no_prelude_flag $ iters_flag $ json_flag)
 
 (* ------------------------------------------------------------------ *)
+(* profile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let profile_cmd =
+  let doc =
+    "Per-site allocation profile (cost centres), baseline vs join points."
+  in
+  let run file no_prelude iters lower trace_cap json_out =
+    let l = load ~no_prelude file in
+    (* One run under one mode, profiler attached. *)
+    let profiled mode =
+      let e = optimized mode iters l in
+      let prof = Profile.create ~trace_cap () in
+      let stats =
+        if lower then
+          let prog = Fj_machine.Lower.lower_program e in
+          snd (Fj_machine.Bmachine.run ~profile:prof prog)
+        else snd (Eval.run_deep ~profile:prof e)
+      in
+      (prof, stats)
+    in
+    let pb, sb = profiled Pipeline.Baseline in
+    let pj, sj = profiled Pipeline.Join_points in
+    (* Merge the two cost-centre tables on the site label so each
+       binder's baseline and join-points costs sit side by side. *)
+    let module SM = Map.Make (String) in
+    let tbl = ref SM.empty in
+    List.iter
+      (fun (s : Profile.site) ->
+        tbl := SM.add s.site_label (Some s, None) !tbl)
+      (Profile.sites pb);
+    List.iter
+      (fun (s : Profile.site) ->
+        tbl :=
+          SM.update s.site_label
+            (function
+              | Some (b, _) -> Some (b, Some s) | None -> Some (None, Some s))
+            !tbl)
+      (Profile.sites pj);
+    let twb = max 1 (Profile.total_words pb) in
+    let twj = max 1 (Profile.total_words pj) in
+    let rows =
+      List.sort
+        (fun (_, (b1, j1)) (_, (b2, j2)) ->
+          let words = function
+            | Some (s : Profile.site) -> s.s_words
+            | None -> 0
+          in
+          compare
+            (words b2 + words j2, words b2)
+            (words b1 + words j1, words b1))
+        (SM.bindings !tbl)
+    in
+    Fmt.pr "%-22s %-7s | %10s %6s %8s | %10s %6s %8s@." "site" "kind"
+      "base wds" "%" "steps" "join wds" "%" "steps";
+    Fmt.pr "%s@." (String.make 80 '-');
+    List.iter
+      (fun (label, (b, j)) ->
+        let kind =
+          match (j, b) with
+          | Some (s : Profile.site), _ | None, Some s ->
+              Profile.kind_name s.site_kind
+          | None, None -> "?"
+        in
+        let cell ppf (total, s) =
+          match s with
+          | None -> Fmt.pf ppf "%10s %6s %8s" "-" "-" "-"
+          | Some (s : Profile.site) ->
+              Fmt.pf ppf "%10d %5.1f%% %8d" s.s_words
+                (100.0 *. float_of_int s.s_words /. float_of_int total)
+                s.s_steps
+        in
+        Fmt.pr "%-22s %-7s | %a | %a@." label kind cell (twb, b) cell (twj, j))
+      rows;
+    Fmt.pr "%s@." (String.make 80 '-');
+    Fmt.pr "%-30s | %a@." "baseline" Eval.pp_stats sb;
+    Fmt.pr "%-30s | %a@." "join-points" Eval.pp_stats sj;
+    (* The per-site form of the paper's claim: join-labelled sites
+       allocate nothing. *)
+    let bad =
+      List.filter (fun (s : Profile.site) -> s.s_words > 0)
+        (Profile.join_sites pj)
+    in
+    (if bad = [] then
+       Fmt.pr "join sites allocate zero words: OK (%d site(s))@."
+         (List.length (Profile.join_sites pj))
+     else
+       List.iter
+         (fun (s : Profile.site) ->
+           Fmt.epr "fjc: join site %s allocated %d words!@." s.site_label
+             s.s_words)
+         bad);
+    (match json_out with
+    | None -> ()
+    | Some path ->
+        let json =
+          Telemetry.Json.(
+            Obj
+              [
+                ("file", Str file);
+                ("machine", Str (if lower then "block" else "fig3"));
+                ("baseline", Profile.to_json ~stats:sb pb);
+                ("join_points", Profile.to_json ~stats:sj pj);
+              ])
+        in
+        let s = Telemetry.Json.to_string json in
+        if path = "-" then print_endline s
+        else begin
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () ->
+              output_string oc s;
+              output_char oc '\n');
+          Fmt.pr "fjc: wrote %s@." path
+        end);
+    if bad = [] then 0 else 1
+  in
+  let lower_flag =
+    Arg.(
+      value & flag
+      & info [ "lower" ]
+          ~doc:"Profile the lowered program on the block machine.")
+  in
+  let trace_cap_flag =
+    Arg.(
+      value
+      & opt int Profile.default_trace_cap
+      & info [ "trace-cap" ] ~docv:"N"
+          ~doc:"Event ring-buffer bound (0 disables the event trace).")
+  in
+  let json_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "Also dump both profiles (sites + event trace) as JSON; $(b,-) \
+             for stdout.")
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const run $ file_arg $ no_prelude_flag $ iters_flag $ lower_flag
+      $ trace_cap_flag $ json_flag)
+
+(* ------------------------------------------------------------------ *)
 (* erase                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -402,5 +554,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ check_cmd; run_cmd; dump_cmd; trace_cmd; stats_cmd; erase_cmd;
-            lower_cmd; cps_cmd; sexp_cmd ]))
+          [ check_cmd; run_cmd; dump_cmd; trace_cmd; stats_cmd; profile_cmd;
+            erase_cmd; lower_cmd; cps_cmd; sexp_cmd ]))

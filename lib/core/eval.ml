@@ -21,26 +21,37 @@
     - literals, nullary constructors, join bindings and jumps are free.
 
     The counter is the same quantity GHC's [-ticky]/RTS allocation
-    statistics measure, which Table 1 of the paper reports. *)
+    statistics measure, which Table 1 of the paper reports.
+
+    {b Profiling.} Passing [?profile] additionally attributes every
+    allocation to its {e site} — the name hint of the binder that
+    built the object ({!Ident.site}), which the optimiser preserves —
+    and records machine events into the profile's bounded trace. Steps
+    are charged to the most recently entered cost centre (the thunk
+    being forced, the join point jumped to, or the closure entered;
+    [Profile.main_site] outside any). Join-labelled sites accumulate
+    steps and jumps but never words: the paper's claim, per site.
+    Statistics are kept in the machine-neutral {!Mstats} shape so the
+    block machine's run of the same program can be cross-checked
+    metric by metric. *)
 
 open Syntax
 
 type mode = By_name | By_need
 
-type stats = {
+type stats = Mstats.t = {
   mutable steps : int;  (** Machine transitions taken. *)
   mutable objects : int;  (** Heap objects allocated. *)
   mutable words : int;  (** Words allocated (proxy for bytes). *)
   mutable jumps : int;  (** Jumps executed. *)
   mutable joins_entered : int;  (** Join bindings evaluated (free). *)
+  mutable calls : int;  (** Applications entering a closure. *)
+  mutable updates : int;  (** Thunk updates (call-by-need). *)
+  mutable max_stack : int;  (** Stack high-water mark, in frames. *)
 }
 
-let fresh_stats () =
-  { steps = 0; objects = 0; words = 0; jumps = 0; joins_entered = 0 }
-
-let pp_stats ppf s =
-  Fmt.pf ppf "steps=%d allocs=%d words=%d jumps=%d joins=%d" s.steps s.objects
-    s.words s.jumps s.joins_entered
+let fresh_stats = Mstats.create
+let pp_stats = Mstats.pp
 
 (* ------------------------------------------------------------------ *)
 (* Machine representation                                              *)
@@ -51,15 +62,20 @@ type operand = Imm of Literal.t | Ptr of cell ref
 and value =
   | VLit of Literal.t
   | VCon of Datacon.t * operand list
-  | VFun of env * var list * expr
-      (** A function closure with its {e manifest arity}: consecutive
-          value binders are collected so saturated curried calls bind
-          all arguments in one step without intermediate closures
-          (GHC's eval/apply). A partial application re-closes over the
-          bound prefix (a PAP) and is counted as an allocation. *)
-  | VTyFun of env * Ident.t * expr
+  | VFun of string * env * var list * expr
+      (** A function closure with its allocation-site label and its
+          {e manifest arity}: consecutive value binders are collected
+          so saturated curried calls bind all arguments in one step
+          without intermediate closures (GHC's eval/apply). A partial
+          application re-closes over the bound prefix (a PAP) and is
+          counted as an allocation. *)
+  | VTyFun of string * env * Ident.t * expr
 
-and cell = Thunk of env * expr | Value of value | Blackhole
+and cell =
+  | Thunk of env * expr * string
+      (** Suspended computation, labelled with its allocation site. *)
+  | Value of value
+  | Blackhole
 
 and env = { vars : operand Ident.Map.t; joins : jpoint Ident.Map.t }
 
@@ -67,6 +83,7 @@ and jpoint = {
   jp_defn : join_defn;
   mutable jp_env : env;  (** Environment at the binding (tied for rec). *)
   jp_stack : frame list;  (** Stack at the binding; a jump resumes here. *)
+  jp_depth : int;  (** [List.length jp_stack], tracked incrementally. *)
 }
 
 and frame =
@@ -75,7 +92,9 @@ and frame =
   | FCase of env * alt list  (** [case [] of alts]. *)
   | FPrim of Primop.t * value list * (env * expr) list
       (** Primop with evaluated prefix (reversed) and pending args. *)
-  | FUpdate of cell ref  (** Call-by-need update frame. *)
+  | FUpdate of cell ref * string * string
+      (** Call-by-need update frame: the cell, the thunk's site (for
+          update attribution) and the cost centre to restore. *)
   | FStrict of env * var * expr
       (** Strict-let frame: bind the value, then run the body. *)
 
@@ -90,11 +109,35 @@ let stuck fmt = Fmt.kstr (fun m -> raise (Stuck m)) fmt
 (* The machine                                                         *)
 (* ------------------------------------------------------------------ *)
 
-type config = { mode : mode; stats : stats; mutable fuel : int }
+type config = {
+  mode : mode;
+  stats : stats;
+  mutable fuel : int;
+  prof : Profile.t option;
+}
 
-let alloc_cell cfg ~words c =
+(* Profiler hooks: no-ops when no profile is attached. *)
+let p_alloc cfg ~label ~kind ~words =
+  match cfg.prof with
+  | Some p -> Profile.alloc p ~label ~kind ~words
+  | None -> ()
+
+let p_enter cfg label =
+  match cfg.prof with Some p -> Profile.enter p label | None -> ()
+
+let p_jump cfg label =
+  match cfg.prof with Some p -> Profile.jump p label | None -> ()
+
+let p_update cfg label =
+  match cfg.prof with Some p -> Profile.update p label | None -> ()
+
+let p_join_bind cfg label =
+  match cfg.prof with Some p -> Profile.join_bind p label | None -> ()
+
+let alloc_cell cfg ~site ~kind ~words c =
   cfg.stats.objects <- cfg.stats.objects + 1;
   cfg.stats.words <- cfg.stats.words + words;
+  p_alloc cfg ~label:site ~kind ~words;
   ref c
 
 let closure_words = 2
@@ -184,7 +227,9 @@ let operand_of_value = function
   | VLit l -> Imm l
   | v -> Ptr (ref (Value v))
 
-let rec operand_of_arg cfg env e : operand =
+(* [site] is the binder (or surrounding cost centre) any fresh thunk or
+   WHNF allocation is attributed to. *)
+let rec operand_of_arg cfg ~site env e : operand =
   match e with
   | Lit l -> Imm l
   | Var v -> (
@@ -194,7 +239,7 @@ let rec operand_of_arg cfg env e : operand =
   | Con _ | Lam _ | TyLam _ ->
       (* A WHNF argument is built directly (its own allocation is
          counted inside [value_of_whnf]); no extra thunk. *)
-      (match value_of_whnf cfg env e with
+      (match value_of_whnf cfg ~site env e with
       | VLit l -> Imm l
       | v -> Ptr (ref (Value v)))
   | _ -> (
@@ -205,13 +250,18 @@ let rec operand_of_arg cfg env e : operand =
              allocation. *)
           Ptr (ref (Value v))
       | Some v ->
-          Ptr (alloc_cell cfg ~words:closure_words (Value v))
-      | None -> Ptr (alloc_cell cfg ~words:closure_words (Thunk (env, e))))
+          Ptr
+            (alloc_cell cfg ~site ~kind:Profile.Thunk ~words:closure_words
+               (Value v))
+      | None ->
+          Ptr
+            (alloc_cell cfg ~site ~kind:Profile.Thunk ~words:closure_words
+               (Thunk (env, e, site))))
 
 (* Evaluate a WHNF right-hand side directly to a value (used by [let]
    so that a constructor binding allocates a constructor, not a thunk
    around one). *)
-and value_of_whnf cfg env e : value =
+and value_of_whnf cfg ~site env e : value =
   match e with
   | Lit l -> VLit l
   | Lam _ ->
@@ -223,30 +273,35 @@ and value_of_whnf cfg env e : value =
       let params, body = collect [] e in
       cfg.stats.objects <- cfg.stats.objects + 1;
       cfg.stats.words <- cfg.stats.words + closure_words;
-      VFun (env, params, body)
+      p_alloc cfg ~label:site ~kind:Profile.Closure ~words:closure_words;
+      VFun (site, env, params, body)
   | TyLam (a, b) ->
       cfg.stats.objects <- cfg.stats.objects + 1;
       cfg.stats.words <- cfg.stats.words + closure_words;
-      VTyFun (env, a, b)
+      p_alloc cfg ~label:site ~kind:Profile.Closure ~words:closure_words;
+      VTyFun (site, env, a, b)
   | Con (dc, _, args) ->
-      let ops = List.map (operand_of_arg cfg env) args in
+      let ops = List.map (operand_of_arg cfg ~site env) args in
       if args <> [] then begin
         cfg.stats.objects <- cfg.stats.objects + 1;
-        cfg.stats.words <- cfg.stats.words + 1 + List.length args
+        cfg.stats.words <- cfg.stats.words + 1 + List.length args;
+        p_alloc cfg ~label:site ~kind:Profile.Con
+          ~words:(1 + List.length args)
       end;
       VCon (dc, ops)
   | _ -> invalid_arg "value_of_whnf: not a WHNF"
 
 and bind_let cfg env (x : var) rhs =
-  if is_whnf rhs then bind_operand x (operand_of_whnf cfg env rhs) env
+  let site = Ident.site x.v_name in
+  if is_whnf rhs then bind_operand x (operand_of_whnf cfg ~site env rhs) env
   else
     (* [operand_of_arg] speculates cheap right-hand sides (variables,
        literals, primops over evaluated operands) without allocating;
        anything else becomes a thunk. *)
-    bind_operand x (operand_of_arg cfg env rhs) env
+    bind_operand x (operand_of_arg cfg ~site env rhs) env
 
-and operand_of_whnf cfg env rhs =
-  match value_of_whnf cfg env rhs with
+and operand_of_whnf cfg ~site env rhs =
+  match value_of_whnf cfg ~site env rhs with
   | VLit l -> Imm l
   | v -> Ptr (ref (Value v))
 
@@ -267,53 +322,66 @@ let match_alt (dc_opt : [ `Con of Datacon.t | `Lit of Literal.t ]) alts =
       List.find_opt (fun { alt_pat; _ } -> alt_pat = PDefault) alts
 
 (** Run [e] in [env0]. Raises {!Stuck} on type errors, {!Out_of_fuel}
-    when [fuel] machine steps are exhausted. *)
-let eval ?(mode = By_need) ?(fuel = max_int) ?(env = empty_env) e :
+    when [fuel] machine steps are exhausted. [profile] attaches a
+    per-site profiler (see {!Profile}). *)
+let eval ?(mode = By_need) ?(fuel = max_int) ?(env = empty_env) ?profile e :
     value * stats =
-  let cfg = { mode; stats = fresh_stats (); fuel } in
-  let tick () =
+  let cfg = { mode; stats = fresh_stats (); fuel; prof = profile } in
+  let tick site depth =
     cfg.stats.steps <- cfg.stats.steps + 1;
+    if depth > cfg.stats.max_stack then cfg.stats.max_stack <- depth;
+    (match cfg.prof with Some p -> Profile.step p site | None -> ());
     cfg.fuel <- cfg.fuel - 1;
     if cfg.fuel <= 0 then raise Out_of_fuel
   in
-  (* [run env e stack] — the [push]/[beta]/[bind]/[look]/[case]/[jump]
-     transitions. Written in CPS over an explicit stack, tail-recursive. *)
-  let rec run env (e : expr) (stack : frame list) : value =
-    tick ();
+  (* [run site env e stack depth] — the [push]/[beta]/[bind]/[look]/
+     [case]/[jump] transitions. Written in CPS over an explicit stack,
+     tail-recursive. [site] is the current cost centre; [depth] tracks
+     [List.length stack] incrementally for the high-water mark. *)
+  let rec run site env (e : expr) (stack : frame list) (depth : int) : value =
+    tick site depth;
     match e with
-    | Lit l -> ret (VLit l) stack
+    | Lit l -> ret site (VLit l) stack depth
     | Var v -> (
         match Ident.Map.find_opt v.v_name env.vars with
         | None -> stuck "unbound variable %a" Ident.pp v.v_name
-        | Some (Imm l) -> ret (VLit l) stack
-        | Some (Ptr cell) -> force cell stack)
-    | Con _ -> ret (value_of_whnf cfg env e) stack
-    | Lam _ | TyLam _ -> ret (value_of_whnf cfg env e) stack
-    | Prim (op, []) -> ret (apply_prim op []) stack
+        | Some (Imm l) -> ret site (VLit l) stack depth
+        | Some (Ptr cell) -> force site cell stack depth)
+    | Con _ -> ret site (value_of_whnf cfg ~site env e) stack depth
+    | Lam _ | TyLam _ -> ret site (value_of_whnf cfg ~site env e) stack depth
+    | Prim (op, []) -> ret site (apply_prim op []) stack depth
     | Prim (op, a :: rest) -> (
         match eval_cheap env e with
-        | Some v -> ret v stack
+        | Some v -> ret site v stack depth
         | None ->
-            run env a (FPrim (op, [], List.map (fun e -> (env, e)) rest) :: stack))
-    | App (f, a) -> run env f (FArg (env, a) :: stack)
-    | TyApp (f, _) -> run env f (FTyArg :: stack)
+            run site env a
+              (FPrim (op, [], List.map (fun e -> (env, e)) rest) :: stack)
+              (depth + 1))
+    | App (f, a) -> run site env f (FArg (env, a) :: stack) (depth + 1)
+    | TyApp (f, _) -> run site env f (FTyArg :: stack) (depth + 1)
     | Let (NonRec (x, rhs), body) ->
-        run (bind_let cfg env x rhs) body stack
+        run site (bind_let cfg env x rhs) body stack depth
     | Let (Strict (x, rhs), body) ->
         (* Evaluate the right-hand side to WHNF first; an unboxed
            result binds with no allocation. *)
-        if is_whnf rhs then run (bind_let cfg env x rhs) body stack
+        if is_whnf rhs then run site (bind_let cfg env x rhs) body stack depth
         else (
           match eval_cheap env rhs with
           | Some v ->
-              run (bind_operand x (operand_of_value v) env) body stack
-          | None -> run env rhs (FStrict (env, x, body) :: stack))
+              run site (bind_operand x (operand_of_value v) env) body stack
+                depth
+          | None ->
+              run site env rhs (FStrict (env, x, body) :: stack) (depth + 1))
     | Let (Rec pairs, body) ->
         (* Allocate cells first so the closures can see each other. *)
         let cells =
           List.map
             (fun (x, rhs) ->
-              (x, rhs, alloc_cell cfg ~words:closure_words Blackhole))
+              ( x,
+                rhs,
+                alloc_cell cfg
+                  ~site:(Ident.site x.v_name)
+                  ~kind:Profile.Closure ~words:closure_words Blackhole ))
             pairs
         in
         let env' =
@@ -322,7 +390,7 @@ let eval ?(mode = By_need) ?(fuel = max_int) ?(env = empty_env) e :
             env cells
         in
         List.iter
-          (fun (_, rhs, cell) ->
+          (fun ((x : var), rhs, cell) ->
             if is_whnf rhs then
               (* The object was already counted as the recursive cell. *)
               cell :=
@@ -335,21 +403,31 @@ let eval ?(mode = By_need) ?(fuel = max_int) ?(env = empty_env) e :
                         | b -> (List.rev acc, b)
                       in
                       let params, body = collect [] rhs in
-                      VFun (env', params, body)
-                  | TyLam (a, b) -> VTyFun (env', a, b)
+                      VFun (Ident.site x.v_name, env', params, body)
+                  | TyLam (a, b) -> VTyFun (Ident.site x.v_name, env', a, b)
                   | Con (dc, _, args) ->
-                      VCon (dc, List.map (operand_of_arg cfg env') args)
+                      VCon
+                        ( dc,
+                          List.map
+                            (operand_of_arg cfg ~site:(Ident.site x.v_name)
+                               env')
+                            args )
                   | _ -> assert false)
-            else cell := Thunk (env', rhs))
+            else cell := Thunk (env', rhs, Ident.site x.v_name))
           cells;
-        run env' body stack
-    | Case (scrut, alts) -> run env scrut (FCase (env, alts) :: stack)
+        run site env' body stack depth
+    | Case (scrut, alts) ->
+        run site env scrut (FCase (env, alts) :: stack) (depth + 1)
     | Join (jb, body) ->
         cfg.stats.joins_entered <- cfg.stats.joins_entered + 1;
         let ds = join_defns jb in
         let jps =
           List.map
-            (fun d -> (d, { jp_defn = d; jp_env = env; jp_stack = stack }))
+            (fun d ->
+              p_join_bind cfg (Ident.site d.j_var.v_name);
+              ( d,
+                { jp_defn = d; jp_env = env; jp_stack = stack; jp_depth = depth }
+              ))
             ds
         in
         let env' =
@@ -362,59 +440,82 @@ let eval ?(mode = By_need) ?(fuel = max_int) ?(env = empty_env) e :
         (match jb with
         | JNonRec _ -> ()
         | JRec _ -> List.iter (fun (_, jp) -> jp.jp_env <- env') jps);
-        run env' body stack
+        run site env' body stack depth
     | Jump (j, _, args, _) -> (
         match Ident.Map.find_opt j.v_name env.joins with
         | None -> stuck "jump to unbound label %a" Ident.pp j.v_name
         | Some jp ->
             cfg.stats.jumps <- cfg.stats.jumps + 1;
+            let jsite = Ident.site jp.jp_defn.j_var.v_name in
+            p_jump cfg jsite;
             let d = jp.jp_defn in
             if List.length args <> List.length d.j_params then
               stuck "jump to %a: wrong arity" Ident.pp j.v_name;
-            (* Arguments are prepared in the current environment... *)
-            let ops = List.map (operand_of_arg cfg env) args in
+            (* Arguments are prepared in the current environment, each
+               thunk attributed to the parameter it is bound to... *)
+            let ops =
+              List.map2
+                (fun (p : var) a ->
+                  operand_of_arg cfg ~site:(Ident.site p.v_name) env a)
+                d.j_params args
+            in
             let env' =
               List.fold_left2
                 (fun env p op -> bind_operand p op env)
                 jp.jp_env d.j_params ops
             in
             (* ...then the stack is truncated to the binding's: this is
-               the [jump] rule popping [s']. No allocation. *)
-            run env' d.j_rhs jp.jp_stack)
+               the [jump] rule popping [s']. No allocation. Steps in
+               the right-hand side are charged to the join point. *)
+            run jsite env' d.j_rhs jp.jp_stack jp.jp_depth)
   (* Return a value to the topmost frame. *)
-  and ret (v : value) (stack : frame list) : value =
+  and ret site (v : value) (stack : frame list) (depth : int) : value =
     match stack with
     | [] -> v
-    | FUpdate cell :: rest ->
+    | FUpdate (cell, tsite, restore) :: rest ->
         cell := Value v;
-        ret v rest
+        cfg.stats.updates <- cfg.stats.updates + 1;
+        p_update cfg tsite;
+        ret restore v rest (depth - 1)
     | FStrict (senv, x, body) :: rest ->
-        run (bind_operand x (operand_of_value v) senv) body rest
+        run site (bind_operand x (operand_of_value v) senv) body rest
+          (depth - 1)
     | FArg _ :: _ -> (
         match v with
-        | VFun (cenv, params, body) ->
+        | VFun (fsite, cenv, params, body) ->
             (* Bind as many pending arguments as we have parameters;
                a leftover parameter prefix becomes a PAP (allocated);
-               leftover argument frames continue on the result. *)
-            let rec bind env params stack =
+               leftover argument frames continue on the result. The
+               entered function becomes the cost centre. *)
+            cfg.stats.calls <- cfg.stats.calls + 1;
+            let rec bind env params stack depth =
               match (params, stack) with
-              | [], _ -> run env body stack
-              | _ :: _, FArg (aenv, arg) :: rest ->
-                  let op = operand_of_arg cfg aenv arg in
-                  bind
-                    (bind_operand (List.hd params) op env)
-                    (List.tl params) rest
+              | [], _ ->
+                  p_enter cfg fsite;
+                  run fsite env body stack depth
+              | p :: ps, FArg (aenv, arg) :: rest ->
+                  let op =
+                    operand_of_arg cfg
+                      ~site:(Ident.site (p : var).v_name)
+                      aenv arg
+                  in
+                  bind (bind_operand p op env) ps rest (depth - 1)
               | _ :: _, _ ->
                   (* Under-saturated: allocate a partial application. *)
                   cfg.stats.objects <- cfg.stats.objects + 1;
                   cfg.stats.words <- cfg.stats.words + closure_words;
-                  ret (VFun (env, params, body)) stack
+                  p_alloc cfg ~label:fsite ~kind:Profile.Pap
+                    ~words:closure_words;
+                  ret site (VFun (fsite, env, params, body)) stack depth
             in
-            bind cenv params stack
+            bind cenv params stack depth
         | _ -> stuck "applying a non-function")
     | FTyArg :: rest -> (
         match v with
-        | VTyFun (cenv, _, body) -> run cenv body rest
+        | VTyFun (fsite, cenv, _, body) ->
+            cfg.stats.calls <- cfg.stats.calls + 1;
+            p_enter cfg fsite;
+            run fsite cenv body rest (depth - 1)
         | _ -> stuck "type-applying a non-type-function")
     | FCase (cenv, alts) :: rest -> (
         let key =
@@ -434,26 +535,33 @@ let eval ?(mode = By_need) ?(fuel = max_int) ?(env = empty_env) e :
                     cenv xs ops
               | _ -> cenv
             in
-            run env' alt_rhs rest)
+            run site env' alt_rhs rest (depth - 1))
     | FPrim (op, done_, pending) :: rest -> (
         let done_ = v :: done_ in
         match pending with
-        | [] -> ret (apply_prim op (List.rev done_)) rest
+        | [] -> ret site (apply_prim op (List.rev done_)) rest (depth - 1)
         | (penv, pe) :: pending' ->
-            run penv pe (FPrim (op, done_, pending') :: rest))
+            run site penv pe (FPrim (op, done_, pending') :: rest) depth)
   (* Force a heap cell. *)
-  and force (cell : cell ref) (stack : frame list) : value =
+  and force site (cell : cell ref) (stack : frame list) (depth : int) : value
+      =
     match !cell with
-    | Value v -> ret v stack
+    | Value v -> ret site v stack depth
     | Blackhole -> stuck "<<loop>> (blackhole entered)"
-    | Thunk (tenv, te) -> (
+    | Thunk (tenv, te, tsite) -> (
+        p_enter cfg tsite;
         match cfg.mode with
-        | By_name -> run tenv te stack
+        | By_name ->
+            (* No update frame, so no restore point: the thunk's site
+               simply becomes the cost centre. *)
+            run tsite tenv te stack depth
         | By_need ->
             cell := Blackhole;
-            run tenv te (FUpdate cell :: stack))
+            run tsite tenv te
+              (FUpdate (cell, tsite, site) :: stack)
+              (depth + 1))
   in
-  let v = run env e [] in
+  let v = run Profile.main_site env e [] 0 in
   (v, cfg.stats)
 
 (* ------------------------------------------------------------------ *)
@@ -488,7 +596,7 @@ and force_operand ~fuel (cell : cell ref) : value =
   match !cell with
   | Value v -> v
   | Blackhole -> stuck "<<loop>> (blackhole entered during observation)"
-  | Thunk (tenv, te) ->
+  | Thunk (tenv, te, _) ->
       let v, _ = eval ~mode:By_need ~fuel ~env:tenv te in
       cell := Value v;
       v
@@ -540,8 +648,9 @@ let rec pp_tree ppf = function
         args
 
 (** Run a closed expression and return the deeply-forced result along
-    with allocation statistics. The statistics do {e not} include work
-    done while forcing the result for observation. *)
-let run_deep ?(mode = By_need) ?(fuel = max_int) e : tree * stats =
-  let v, stats = eval ~mode ~fuel e in
+    with allocation statistics. The statistics (and the profile, when
+    one is attached) do {e not} include work done while forcing the
+    result for observation. *)
+let run_deep ?(mode = By_need) ?(fuel = max_int) ?profile e : tree * stats =
+  let v, stats = eval ~mode ~fuel ?profile e in
   (force_deep ~fuel v, stats)

@@ -3,16 +3,21 @@
     Join bindings capture the stack; a jump truncates back to it —
     neither allocates. Constructors cost [1 + n] words, closures and
     thunks 2; literals, nullary constructors and join points are
-    free. *)
+    free. Statistics use the machine-neutral {!Mstats} shape shared
+    with the block machine; [?profile] attaches a per-site
+    {!Profile}. *)
 
 type mode = By_name | By_need
 
-type stats = {
+type stats = Mstats.t = {
   mutable steps : int;
   mutable objects : int;
   mutable words : int;  (** The Table 1 metric. *)
   mutable jumps : int;
   mutable joins_entered : int;
+  mutable calls : int;
+  mutable updates : int;
+  mutable max_stack : int;
 }
 
 val fresh_stats : unit -> stats
@@ -30,9 +35,14 @@ exception Stuck of string
 exception Out_of_fuel
 
 (** Run an expression to WHNF. Defaults: call-by-need, unlimited fuel,
-    empty environment. *)
+    empty environment, no profiler. *)
 val eval :
-  ?mode:mode -> ?fuel:int -> ?env:env -> Syntax.expr -> value * stats
+  ?mode:mode ->
+  ?fuel:int ->
+  ?env:env ->
+  ?profile:Profile.t ->
+  Syntax.expr ->
+  value * stats
 
 (** A fully-forced first-order view of a value. *)
 type tree = TLit of Literal.t | TCon of string * tree list | TFun
@@ -48,6 +58,7 @@ val tree_mismatch : tree -> tree -> string option
 
 val pp_tree : Format.formatter -> tree -> unit
 
-(** Evaluate and deep-force a closed expression. The statistics do not
-    include the observation forcing. *)
-val run_deep : ?mode:mode -> ?fuel:int -> Syntax.expr -> tree * stats
+(** Evaluate and deep-force a closed expression. Neither the
+    statistics nor the profile include the observation forcing. *)
+val run_deep :
+  ?mode:mode -> ?fuel:int -> ?profile:Profile.t -> Syntax.expr -> tree * stats

@@ -33,6 +33,14 @@ let hash t = t.id
 let name t = t.name
 let id t = t.id
 
+(** [site x] is the allocation-site (provenance) label of [x]: the
+    name hint alone. Unlike the unique key, the hint survives
+    {!refresh} — and therefore substitution, inlining and
+    contification — so a profile keyed on it maps optimised-code
+    allocations back to the source binding. Distinct binders sharing a
+    hint share a site, exactly as same-named GHC cost centres do. *)
+let site t = t.name
+
 (** Pretty-print as [name_id]; stable and unambiguous within a run. *)
 let pp ppf t = Fmt.pf ppf "%s_%d" t.name t.id
 

@@ -15,6 +15,10 @@ val hash : t -> int
 val name : t -> string
 val id : t -> int
 
+(** The allocation-site (provenance) label: the name hint, which
+    {!refresh} — and so the whole optimiser — preserves. *)
+val site : t -> string
+
 (** Prints as [name_id]. *)
 val pp : Format.formatter -> t -> unit
 

@@ -1,0 +1,66 @@
+(** Machine statistics shared by the Fig. 3 abstract machine
+    ({!Eval}) and the block machine ({!Fj_machine.Bmachine}).
+
+    Both executors fill the {e same} record shape so the benchmark
+    harness can cross-check them metric by metric: a [jump] in the
+    Fig. 3 machine is a [Goto] in the block machine, a [join] binding
+    is a [LetBlock], and so on. Fields that only make sense on one
+    machine stay 0 on the other ([updates] is call-by-need only;
+    [calls] counts closure applications on either).
+
+    - [steps] — transitions taken (instructions, on the block machine);
+    - [objects]/[words] — heap allocation (the Table 1 metric);
+    - [jumps] — jumps executed / gotos taken: {b never allocate};
+    - [joins_entered] — join bindings ([LetBlock]s) evaluated: free;
+    - [calls] — applications that went through a closure;
+    - [updates] — thunk updates (call-by-need only);
+    - [max_stack] — stack high-water mark (frames). Since neither
+      machine frees memory, the heap high-water mark {e is} [words]. *)
+
+type t = {
+  mutable steps : int;
+  mutable objects : int;
+  mutable words : int;
+  mutable jumps : int;
+  mutable joins_entered : int;
+  mutable calls : int;
+  mutable updates : int;
+  mutable max_stack : int;
+}
+
+let create () =
+  {
+    steps = 0;
+    objects = 0;
+    words = 0;
+    jumps = 0;
+    joins_entered = 0;
+    calls = 0;
+    updates = 0;
+    max_stack = 0;
+  }
+
+let pp ppf s =
+  Fmt.pf ppf
+    "steps=%d allocs=%d words=%d jumps=%d joins=%d calls=%d updates=%d \
+     max_stack=%d"
+    s.steps s.objects s.words s.jumps s.joins_entered s.calls s.updates
+    s.max_stack
+
+(** The metrics as [(name, value)] rows, in display order — the basis
+    of the per-metric cross-check and of the JSON encodings. *)
+let fields s =
+  [
+    ("steps", s.steps);
+    ("objects", s.objects);
+    ("words", s.words);
+    ("jumps", s.jumps);
+    ("joins_entered", s.joins_entered);
+    ("calls", s.calls);
+    ("updates", s.updates);
+    ("max_stack", s.max_stack);
+  ]
+
+let to_json s =
+  Telemetry.Json.Obj
+    (List.map (fun (k, v) -> (k, Telemetry.Json.Int v)) (fields s))

@@ -1,0 +1,23 @@
+(** Machine statistics shared by {!Eval} (Fig. 3) and the block
+    machine — one record shape, one printer, so the two executors can
+    be cross-checked per metric. [updates] is call-by-need only; the
+    heap high-water mark equals [words] (nothing is ever freed). *)
+
+type t = {
+  mutable steps : int;  (** Transitions / instructions executed. *)
+  mutable objects : int;  (** Heap objects allocated. *)
+  mutable words : int;  (** Words allocated — the Table 1 metric. *)
+  mutable jumps : int;  (** Jumps / gotos: never allocate. *)
+  mutable joins_entered : int;  (** Join bindings / LetBlocks: free. *)
+  mutable calls : int;  (** Applications through a closure. *)
+  mutable updates : int;  (** Thunk updates (call-by-need only). *)
+  mutable max_stack : int;  (** Stack high-water mark, in frames. *)
+}
+
+val create : unit -> t
+val pp : Format.formatter -> t -> unit
+
+(** [(name, value)] rows in display order. *)
+val fields : t -> (string * int) list
+
+val to_json : t -> Telemetry.Json.t

@@ -142,6 +142,20 @@ let report_json (r : report) =
 
 let report_to_json r = Telemetry.Json.to_string (report_json r)
 
+(** A compact optimizer summary — wall-clock, tick totals, headline
+    join-point counters — for benchmark trajectory files
+    ([BENCH_*.json]), where the full per-pass trace would drown the
+    per-program rows. *)
+let summary_json (r : report) =
+  Telemetry.Json.(
+    Obj
+      [
+        ("total_ms", Float r.total_ms);
+        ("total_ticks", Int (total_ticks r));
+        ("contified", Int (contified r));
+        ("ticks", ticks_json (ticks r));
+      ])
+
 let simplify_config (c : config) : Simplify.config =
   {
     Simplify.join_points = (c.mode = Join_points);

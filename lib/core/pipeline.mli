@@ -76,6 +76,10 @@ val pp_report : Format.formatter -> report -> unit
     ticks}]}]. *)
 val report_to_json : report -> string
 
+(** Compact optimizer summary for benchmark trajectory files:
+    [{total_ms, total_ticks, contified, ticks}]. *)
+val summary_json : report -> Telemetry.Json.t
+
 (** Run the configured pipeline; also returns the structured trace. *)
 val run_report : config -> Syntax.expr -> Syntax.expr * report
 

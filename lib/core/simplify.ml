@@ -307,7 +307,10 @@ and anf_con env (e : expr) (k : env -> expr -> expr) : expr =
                 | t -> t
                 | exception _ -> Types.bottom ()
               in
-              let x = mk_var "f" ty in
+              (* Provenance: name the field binder after the
+                 constructor it feeds, so the allocation profiler can
+                 attribute the field's thunk to it (e.g. [cons.f]). *)
+              let x = mk_var (String.lowercase_ascii dc.name ^ ".f") ty in
               let env' =
                 if is_whnf a then
                   { env with unf = Ident.Map.add x.v_name a env.unf }

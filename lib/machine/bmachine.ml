@@ -14,27 +14,35 @@
       nullary constructors are static and free).
 
     The machine uses eval/apply for over- and under-saturated calls
-    (partial applications allocate a PAP). *)
+    (partial applications allocate a PAP).
+
+    Statistics use the machine-neutral {!Fj_core.Mstats} shape shared
+    with {!Fj_core.Eval}, field by field: [steps] are instructions,
+    [jumps] are gotos, [joins_entered] counts [LetBlock]s evaluated,
+    and [updates] stays 0 (the machine is call-by-value). [?profile]
+    attaches the same per-site {!Fj_core.Profile} the Fig. 3 machine
+    fills: allocations are attributed to the binder that performed
+    them, gotos to the block label (a lowered join point — zero
+    words), steps to the most recently entered code or block. *)
 
 open Blockir
 module Literal = Fj_core.Literal
 module Primop = Fj_core.Primop
+module Profile = Fj_core.Profile
 
-type stats = {
-  mutable instrs : int;
+type stats = Fj_core.Mstats.t = {
+  mutable steps : int;
   mutable objects : int;
   mutable words : int;
-  mutable gotos : int;
+  mutable jumps : int;
+  mutable joins_entered : int;
   mutable calls : int;
+  mutable updates : int;
   mutable max_stack : int;
 }
 
-let fresh_stats () =
-  { instrs = 0; objects = 0; words = 0; gotos = 0; calls = 0; max_stack = 0 }
-
-let pp_stats ppf s =
-  Fmt.pf ppf "instrs=%d allocs=%d words=%d gotos=%d calls=%d max_stack=%d"
-    s.instrs s.objects s.words s.gotos s.calls s.max_stack
+let fresh_stats = Fj_core.Mstats.create
+let pp_stats = Fj_core.Mstats.pp
 
 type value =
   | VLit of Literal.t
@@ -73,13 +81,21 @@ let rec pp_value ppf = function
         fields
   | VClos _ | VPap _ -> Fmt.string ppf "<fun>"
 
-(** Run a program. [fuel] bounds the instruction count. *)
-let run ?(fuel = max_int) (p : program) : value * stats =
+(** Run a program. [fuel] bounds the instruction count; [profile]
+    attaches a per-site profiler. *)
+let run ?(fuel = max_int) ?profile (p : program) : value * stats =
   let stats = fresh_stats () in
-  let alloc words =
+  let p_alloc ~label ~kind words =
+    match profile with
+    | Some pr -> Profile.alloc pr ~label ~kind ~words
+    | None -> ()
+  in
+  (* [label] is the binder (site) the allocation is attributed to. *)
+  let alloc ~label ~kind words =
     if words > 0 then begin
       stats.objects <- stats.objects + 1;
-      stats.words <- stats.words + words
+      stats.words <- stats.words + words;
+      p_alloc ~label ~kind words
     end
   in
   let lookup env x =
@@ -92,7 +108,7 @@ let run ?(fuel = max_int) (p : program) : value * stats =
     | AVar x -> lookup env x
   in
   let bind env x v = { env with vars = Ident.Map.add x v env.vars } in
-  let eval_rhs env = function
+  let eval_rhs ~label env = function
     | RAtom a -> atom env a
     | RPrim (op, args) -> (
         let vals = List.map (atom env) args in
@@ -113,14 +129,15 @@ let run ?(fuel = max_int) (p : program) : value * stats =
               | None -> stuck "primop %s is stuck" (Primop.name op)))
     | RAllocCon (c, tag, fields) ->
         let vs = Array.of_list (List.map (atom env) fields) in
-        if Array.length vs > 0 then alloc (1 + Array.length vs);
+        if Array.length vs > 0 then
+          alloc ~label ~kind:Profile.Con (1 + Array.length vs);
         VCon (c, tag, vs)
     | RAllocClos (code_name, caps) -> (
         match Ident.Map.find_opt code_name p.codes with
         | None -> stuck "unknown code %a" Ident.pp code_name
         | Some code ->
             let envv = Array.of_list (List.map (atom env) caps) in
-            alloc (1 + Array.length envv);
+            alloc ~label ~kind:Profile.Closure (1 + Array.length envv);
             VClos { clos_code = code; clos_env = envv })
     | RProj (a, i) -> (
         match atom env a with
@@ -139,14 +156,20 @@ let run ?(fuel = max_int) (p : program) : value * stats =
     (env, code.body)
   in
   let fuel = ref fuel in
-  let rec exec env (e : block_expr) (stack : frame list) : value =
-    stats.instrs <- stats.instrs + 1;
+  (* [site] is the current cost centre (the code or block most recently
+     entered); [depth] tracks the frame-stack length incrementally. *)
+  let rec exec site env (e : block_expr) (stack : frame list) (depth : int) :
+      value =
+    stats.steps <- stats.steps + 1;
+    (match profile with Some pr -> Profile.step pr site | None -> ());
     decr fuel;
     if !fuel <= 0 then raise Out_of_fuel;
-    if List.length stack > stats.max_stack then
-      stats.max_stack <- List.length stack;
+    if depth > stats.max_stack then stats.max_stack <- depth;
     match e with
-    | Let (x, r, k) -> exec (bind env x (eval_rhs env r)) k stack
+    | Let (x, r, k) ->
+        exec site
+          (bind env x (eval_rhs ~label:(Ident.site x) env r))
+          k stack depth
     | LetRecClos (cs, k) ->
         (* Allocate first, then patch captures. *)
         let items =
@@ -155,8 +178,12 @@ let run ?(fuel = max_int) (p : program) : value * stats =
               match Ident.Map.find_opt code_name p.codes with
               | None -> stuck "unknown code %a" Ident.pp code_name
               | Some code ->
-                  let envv = Array.make (List.length code.captures) (VLit (Literal.Int 0)) in
-                  alloc (1 + Array.length envv);
+                  let envv =
+                    Array.make (List.length code.captures)
+                      (VLit (Literal.Int 0))
+                  in
+                  alloc ~label:(Ident.site x) ~kind:Profile.Closure
+                    (1 + Array.length envv);
                   (x, code, caps, envv))
             cs
         in
@@ -170,11 +197,15 @@ let run ?(fuel = max_int) (p : program) : value * stats =
           (fun (_, _, caps, envv) ->
             List.iteri (fun i a -> envv.(i) <- atom env' a) caps)
           items;
-        exec env' k stack
+        exec site env' k stack depth
     | LetBlock (recursive, blocks, k) ->
+        stats.joins_entered <- stats.joins_entered + 1;
         let defs =
           List.map
             (fun (l, ps, b) ->
+              (match profile with
+              | Some pr -> Profile.join_bind pr (Ident.site l)
+              | None -> ());
               (l, { b_params = ps; b_body = b; b_env = env }))
             blocks
         in
@@ -188,7 +219,7 @@ let run ?(fuel = max_int) (p : program) : value * stats =
           }
         in
         if recursive then List.iter (fun (_, d) -> d.b_env <- env') defs;
-        exec env' k stack
+        exec site env' k stack depth
     | Case (a, alts) -> (
         let v = atom env a in
         let matches (pat, _) =
@@ -207,39 +238,53 @@ let run ?(fuel = max_int) (p : program) : value * stats =
                   List.fold_left2 bind env xs (Array.to_list fields)
               | _ -> env
             in
-            exec env' body stack)
+            exec site env' body stack depth)
     | Goto (l, args) -> (
-        stats.gotos <- stats.gotos + 1;
+        stats.jumps <- stats.jumps + 1;
         match Ident.Map.find_opt l env.blocks with
         | None -> stuck "goto to unknown block %a" Ident.pp l
         | Some d ->
+            let lsite = Ident.site l in
+            (match profile with
+            | Some pr -> Profile.jump pr lsite
+            | None -> ());
             let vals = List.map (atom env) args in
             let env' = List.fold_left2 bind d.b_env d.b_params vals in
-            exec env' d.b_body stack)
-    | Return a -> ret (atom env a) stack
+            (* The block (a lowered join point) becomes the cost
+               centre: its steps show up against a zero-word site. *)
+            exec lsite env' d.b_body stack depth)
+    | Return a -> ret site (atom env a) stack depth
     | TailApply (f, args) ->
         stats.calls <- stats.calls + 1;
-        apply (atom env f) (List.map (atom env) args) stack
+        apply site (atom env f) (List.map (atom env) args) stack depth
     | Apply (x, f, args, k) ->
         stats.calls <- stats.calls + 1;
-        apply (atom env f)
+        apply site (atom env f)
           (List.map (atom env) args)
           ({ fr_var = x; fr_cont = k; fr_env = env } :: stack)
-  and ret v stack =
+          (depth + 1)
+  and ret site v stack depth =
     match stack with
     | [] -> v
-    | fr :: rest -> exec (bind fr.fr_env fr.fr_var v) fr.fr_cont rest
-  and apply f args stack =
+    | fr :: rest ->
+        exec site (bind fr.fr_env fr.fr_var v) fr.fr_cont rest (depth - 1)
+  and apply site f args stack depth =
     match f with
     | VClos c ->
         let arity = List.length c.clos_code.params in
         let n = List.length args in
-        if n = arity then
+        if n = arity then begin
           let env, body = enter c args in
-          exec env body stack
+          let csite = Ident.site c.clos_code.code_name in
+          (match profile with
+          | Some pr -> Profile.enter pr csite
+          | None -> ());
+          exec csite env body stack depth
+        end
         else if n < arity then begin
-          alloc (1 + n);
-          ret (VPap (c, args)) stack
+          alloc ~label:(Ident.site c.clos_code.code_name) ~kind:Profile.Pap
+            (1 + n);
+          ret site (VPap (c, args)) stack depth
         end
         else begin
           (* Over-saturated: call with [arity] args, then apply the
@@ -247,10 +292,14 @@ let run ?(fuel = max_int) (p : program) : value * stats =
           let now = List.filteri (fun i _ -> i < arity) args in
           let later = List.filteri (fun i _ -> i >= arity) args in
           let env', body = enter c now in
+          let csite = Ident.site c.clos_code.code_name in
+          (match profile with
+          | Some pr -> Profile.enter pr csite
+          | None -> ());
           let x = Ident.fresh "over" in
           let later_ids = List.map (fun _ -> Ident.fresh "a") later in
           let fenv = List.fold_left2 bind empty_env later_ids later in
-          exec env' body
+          exec csite env' body
             ({
                fr_var = x;
                fr_cont =
@@ -258,11 +307,12 @@ let run ?(fuel = max_int) (p : program) : value * stats =
                fr_env = fenv;
              }
             :: stack)
+            (depth + 1)
         end
-    | VPap (c, prev) -> apply (VClos c) (prev @ args) stack
+    | VPap (c, prev) -> apply site (VClos c) (prev @ args) stack depth
     | _ -> stuck "applying a non-function value"
   in
-  let v = exec empty_env p.main [] in
+  let v = exec Profile.main_site empty_env p.main [] 0 in
   (v, stats)
 
 (* ------------------------------------------------------------------ *)

@@ -105,7 +105,9 @@ and lower (st : st) (ret : ret) (e : expr) : block_expr =
                 (Unsupported
                    (Fmt.str "recursive non-lambda binding %a" Ident.pp
                       x.v_name));
-            let code_name, captures = make_code st rhs in
+            let code_name, captures =
+              make_code ~name:(Ident.site x.v_name) st rhs
+            in
             (x.v_name, code_name, List.map (fun c -> AVar c) captures))
           pairs
       in
@@ -191,11 +193,14 @@ and atomize_list st (es : expr list) (k : atom list -> block_expr) :
       atomize st e (fun a -> atomize_list st rest (fun atoms -> k (a :: atoms)))
 
 (* Create a top-level code for lambda [e]; returns its name and the
-   capture list (free variables of [e]). *)
-and make_code st (e : expr) : Ident.t * Ident.t list =
+   capture list (free variables of [e]). [name] carries provenance:
+   codes are named after the binder the closure is bound to, so the
+   block machine's profiler attributes their allocation and steps back
+   to the source binding. *)
+and make_code ?(name = "code") st (e : expr) : Ident.t * Ident.t list =
   let params, body = collect_lam_params e in
   let captures = Ident.Set.elements (Syntax.free_vars e) in
-  let code_name = Ident.fresh "code" in
+  let code_name = Ident.fresh name in
   let body' = lower st Tail body in
   st.codes <-
     Ident.Map.add code_name
@@ -206,7 +211,7 @@ and make_code st (e : expr) : Ident.t * Ident.t list =
 and alloc_closure st (x : Ident.t) (lam : expr) (k : block_expr) : block_expr =
   match erase_ty_head lam with
   | Lam _ ->
-      let code_name, captures = make_code st lam in
+      let code_name, captures = make_code ~name:(Ident.site x) st lam in
       Let (x, RAllocClos (code_name, List.map (fun c -> AVar c) captures), k)
   | other ->
       (* A type lambda over a non-lambda (e.g. a polymorphic constant):

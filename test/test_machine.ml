@@ -84,7 +84,7 @@ let joins_are_gotos () =
   Alcotest.(check string) "sum" "1275" (Fmt.str "%a" Eval.pp_tree t);
   Alcotest.(check int) "no allocation" 0 s.M.words;
   Alcotest.(check int) "no calls" 0 s.M.calls;
-  Alcotest.(check bool) "gotos happened" true (s.M.gotos > 50)
+  Alcotest.(check bool) "gotos happened" true (s.M.jumps > 50)
 
 let letbound_functions_allocate () =
   let e =

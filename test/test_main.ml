@@ -26,6 +26,7 @@ let () =
       ("paper-examples", Test_paper_examples.tests);
       ("pipeline", Test_pipeline.tests);
       ("telemetry", Test_telemetry.tests);
+      ("profile", Test_profile.tests);
       ("integration", Test_integration.tests);
       ("properties", Test_qcheck.tests);
     ]

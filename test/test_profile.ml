@@ -1,0 +1,168 @@
+(** Tests for {!Fj_core.Profile} — per-site cost attribution on both
+    machines (the Fig. 3 evaluator and the block machine), survival of
+    site labels through the optimiser, and the bounded event trace
+    with its JSON round-trip. *)
+
+open Fj_core
+open Util
+module B = Builder
+module P = Profile
+module M = Fj_machine.Bmachine
+module L = Fj_machine.Lower
+
+(* The canonical join-point loop: sum 1..50 via a recursive join. *)
+let join_loop =
+  B.joinrec1 "loop"
+    [ ("n", Types.int); ("acc", Types.int) ]
+    (fun jmp xs ->
+      match xs with
+      | [ n; acc ] ->
+          B.if_ (B.le n (B.int 0)) acc
+            (jmp [ B.sub n (B.int 1); B.add acc n ] Types.int)
+      | _ -> assert false)
+    (fun jmp -> jmp [ B.int 50; B.int 0 ] Types.int)
+
+(* The same loop as a recursive function binding — the baseline shape
+   the contifier turns into [join_loop]. *)
+let fun_loop =
+  B.letrec1 "loop"
+    (Types.arrows [ Types.int; Types.int ] Types.int)
+    (fun loop ->
+      B.lam "n" Types.int (fun n ->
+          B.lam "acc" Types.int (fun acc ->
+              B.if_ (B.le n (B.int 0)) acc
+                (B.app2 loop (B.sub n (B.int 1)) (B.add acc n)))))
+    (fun loop -> B.app2 loop (B.int 50) (B.int 0))
+
+let eval_profiled ?trace_cap e =
+  let prof = P.create ?trace_cap () in
+  let _, stats = Eval.run_deep ~profile:prof e in
+  (prof, stats)
+
+let machine_profiled ?trace_cap e =
+  let prof = P.create ?trace_cap () in
+  let v, stats = M.run ~profile:prof (L.lower_program e) in
+  ignore v;
+  (prof, stats)
+
+let site_exn prof label =
+  match P.find prof label with
+  | Some s -> s
+  | None -> Alcotest.failf "no cost centre for site %S" label
+
+let check_kind what expected (s : P.site) =
+  Alcotest.(check string) what (P.kind_name expected) (P.kind_name s.site_kind)
+
+(* Join sites allocate zero words — per site, under the Fig. 3
+   machine. *)
+let eval_join_site_is_free () =
+  let prof, stats = eval_profiled join_loop in
+  let s = site_exn prof "loop" in
+  check_kind "kind" P.Join s;
+  Alcotest.(check int) "join site words" 0 s.P.s_words;
+  Alcotest.(check bool) "jumped a lot" true (s.P.s_jumps > 50);
+  Alcotest.(check int) "program allocates nothing" 0 stats.Eval.words;
+  Alcotest.(check int) "profiler agrees" 0 (P.total_words prof)
+
+(* ... and under the block machine, where jumps are literal gotos. *)
+let machine_join_site_is_free () =
+  let prof, stats = machine_profiled join_loop in
+  let s = site_exn prof "loop" in
+  check_kind "kind" P.Join s;
+  Alcotest.(check int) "join site words" 0 s.P.s_words;
+  Alcotest.(check bool) "jumped a lot" true (s.P.s_jumps > 50);
+  Alcotest.(check int) "program allocates nothing" 0 stats.words
+
+(* The same binder, bound as a function: the site is charged for the
+   closure. The label is identical, so profiles line up across the
+   join/no-join contrast. *)
+let function_site_allocates () =
+  let prof, _ = eval_profiled fun_loop in
+  let s = site_exn prof "loop" in
+  Alcotest.(check bool) "closure words charged" true (s.P.s_words > 0);
+  Alcotest.(check int) "no jumps at a function site" 0 s.P.s_jumps
+
+(* Site labels survive the whole optimisation pipeline: the contifier
+   rebinds [loop] as a join point, and under the profiler the
+   optimised program charges the {e same} label — now join-kinded and
+   allocation-free. *)
+let attribution_survives_optimiser () =
+  let joined =
+    Pipeline.run (Pipeline.default_config ~mode:Pipeline.Join_points ()) fun_loop
+  in
+  let prof, _ = eval_profiled joined in
+  let s = site_exn prof "loop" in
+  check_kind "contified to a join" P.Join s;
+  Alcotest.(check int) "still zero words" 0 s.P.s_words;
+  let base =
+    Pipeline.run (Pipeline.default_config ~mode:Pipeline.Baseline ()) fun_loop
+  in
+  let bprof, _ = eval_profiled base in
+  (* The baseline keeps the binding a closure; same label, nonzero
+     cost — the per-site Table 1 contrast. *)
+  let bs = site_exn bprof "loop" in
+  Alcotest.(check bool) "baseline site pays" true (bs.P.s_words > 0)
+
+(* Both machines fill the same Mstats shape; on a total program their
+   headline columns must agree metric for metric. *)
+let machines_agree_per_metric () =
+  let eprof, es = eval_profiled join_loop in
+  let mprof, ms = machine_profiled join_loop in
+  ignore eprof;
+  ignore mprof;
+  Alcotest.(check int) "words agree" es.Eval.words ms.M.words;
+  Alcotest.(check int) "jumps agree" es.Eval.jumps ms.M.jumps;
+  Alcotest.(check int) "calls agree" es.Eval.calls ms.M.calls;
+  Alcotest.(check (list string))
+    "same stats fields"
+    (List.map fst (Mstats.fields es))
+    (List.map fst (Mstats.fields ms))
+
+(* Event-trace JSON round-trips exactly. *)
+let event_trace_roundtrip () =
+  let prof, _ = eval_profiled ~trace_cap:256 join_loop in
+  let evs = P.events prof in
+  Alcotest.(check bool) "trace nonempty" true (evs <> []);
+  match P.events_of_json (P.events_json prof) with
+  | Error m -> Alcotest.failf "events did not parse back: %s" m
+  | Ok evs' ->
+      Alcotest.(check int) "same length" (List.length evs) (List.length evs');
+      Alcotest.(check bool)
+        "same events" true
+        (List.for_all2 P.event_equal evs evs')
+
+(* The ring buffer is bounded: old events are evicted and counted. *)
+let trace_ring_is_bounded () =
+  let prof, _ = eval_profiled ~trace_cap:16 join_loop in
+  Alcotest.(check bool)
+    "at most cap events" true
+    (List.length (P.events prof) <= 16);
+  Alcotest.(check bool) "evictions counted" true (P.dropped prof > 0);
+  (* cap 0 disables tracing entirely. *)
+  let off, _ = eval_profiled ~trace_cap:0 join_loop in
+  Alcotest.(check (list string))
+    "trace disabled" []
+    (List.map (fun _ -> "ev") (P.events off))
+
+(* Unprofiled runs are unchanged (profiler strictly optional). *)
+let profiler_is_optional () =
+  let t1, s1 = Eval.run_deep join_loop in
+  let prof = P.create () in
+  let t2, s2 = Eval.run_deep ~profile:prof join_loop in
+  Alcotest.check tree_testable "same result" t1 t2;
+  Alcotest.(check int) "same words" s1.Eval.words s2.Eval.words;
+  Alcotest.(check int) "same steps" s1.Eval.steps s2.Eval.steps
+
+let tests =
+  [
+    test "join site allocates zero words (Fig. 3 machine)"
+      eval_join_site_is_free;
+    test "join site allocates zero words (block machine)"
+      machine_join_site_is_free;
+    test "function site is charged for its closure" function_site_allocates;
+    test "site labels survive the optimiser" attribution_survives_optimiser;
+    test "Eval and Bmachine stats align per metric" machines_agree_per_metric;
+    test "event trace JSON round-trips" event_trace_roundtrip;
+    test "event ring buffer is bounded" trace_ring_is_bounded;
+    test "profiling does not perturb execution" profiler_is_optional;
+  ]
