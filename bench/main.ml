@@ -191,6 +191,36 @@ let telemetry_table (ms : measurement list) =
          with Not_found -> 0))
     ms
 
+(* The decision ledger behind the ticks: how many rewrites each
+   pipeline accepted vs refused, and the dominant refusal. A shift in
+   a program's rejection profile (e.g. inline_too_big suddenly
+   dominating) is an optimizer regression the allocation columns may
+   not show yet — the counts land in BENCH_*.json via
+   [Pipeline.summary_json]. *)
+let decision_table (ms : measurement list) =
+  Fmt.pr "@.%s@." (String.make 76 '-');
+  Fmt.pr "Optimizer decisions %12s %12s   %s@." "base f/r" "join f/r"
+    "top join rejection";
+  Fmt.pr "%s@." (String.make 76 '-');
+  List.iter
+    (fun m ->
+      let cell r =
+        let ds = Pipeline.decisions r in
+        Fmt.str "%d/%d" (Decision.fired ds) (Decision.rejected ds)
+      in
+      let top =
+        match
+          List.sort
+            (fun (_, a) (_, b) -> compare b a)
+            (Decision.reason_counts (Pipeline.decisions m.join_report))
+        with
+        | [] -> "-"
+        | (name, n) :: _ -> Fmt.str "%s (%d)" name n
+      in
+      Fmt.pr "%-22s %9s %12s   %s@." m.prog.name (cell m.base_report)
+        (cell m.join_report) top)
+    ms
+
 (* ------------------------------------------------------------------ *)
 (* Sec. 5: stream fusion ablation                                      *)
 (* ------------------------------------------------------------------ *)
@@ -485,6 +515,7 @@ let () =
   let m2 = table1_group "real" Bench_programs.real in
   let m3 = table1_group "shootout" Bench_programs.shootout in
   telemetry_table (m1 @ m2 @ m3);
+  decision_table (m1 @ m2 @ m3);
   fusion_table 400;
   machine_table ();
   cc_ablation ();

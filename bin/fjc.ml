@@ -20,6 +20,11 @@
       the block machine instead of the Fig. 3 evaluator; [--json]
       additionally dumps both profiles (with the machine event trace)
       as JSON;
+    - [fjc explain FILE] — run the pipeline with the decision ledger on
+      and narrate, per binder, every rewrite each pass fired or
+      rejected and why ([--binder]/[--pass] filter; [--json] dumps the
+      events; [--inline-threshold]/[--dup-threshold] reproduce a
+      decision at other settings);
     - [fjc erase FILE]  — optimise, erase join points (Thm. 5), Lint
       the resulting System F term and print it;
     - [fjc lower FILE]  — lower to the block IR and print it, or run it
@@ -48,6 +53,29 @@ let load ~no_prelude path =
         Lint.pp_error err;
       exit 2);
   { denv; core }
+
+(* One output-channel policy for every [--json PATH|-] / [--out PATH|-]
+   flag: [dest = "-"] prints the payload to stdout; otherwise it is
+   written (newline-terminated) to the named file with a "wrote" note.
+   Returns the exit code — 1 when the file cannot be opened. *)
+let write_output ~what dest content =
+  if dest = "-" then begin
+    print_endline content;
+    0
+  end
+  else
+    match open_out dest with
+    | exception Sys_error m ->
+        Fmt.epr "fjc: cannot write %s: %s@." what m;
+        1
+    | oc ->
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc content;
+            output_char oc '\n');
+        Fmt.pr "fjc: wrote %s@." dest;
+        0
 
 let mode_conv =
   Cmdliner.Arg.enum
@@ -86,12 +114,37 @@ let iters_flag =
     value & opt int 3
     & info [ "iterations" ] ~doc:"Pipeline rounds (float-in/contify/simplify).")
 
-let optimized mode iters (l : loaded) =
-  let cfg =
-    Pipeline.default_config ~mode ~iterations:iters ~datacons:l.denv
-      ~inline_threshold:300 ()
-  in
-  Pipeline.run cfg l.core
+(* The driver's default inlining budget is deliberately larger than the
+   library default (whole kernels, not random terms); commands that
+   expose the threshold flags pass them through so a decision quoted by
+   [fjc explain] can be reproduced at any setting. *)
+let default_inline_threshold = 300
+let default_dup_threshold = 12
+
+let inline_threshold_flag =
+  Arg.(
+    value
+    & opt int default_inline_threshold
+    & info [ "inline-threshold" ] ~docv:"N"
+        ~doc:"Largest unfolding the simplifier splices at a call site.")
+
+let dup_threshold_flag =
+  Arg.(
+    value
+    & opt int default_dup_threshold
+    & info [ "dup-threshold" ] ~docv:"N"
+        ~doc:
+          "Largest continuation/alternative copied into branches rather \
+           than shared as a join point.")
+
+let pipeline_config ?(inline_threshold = default_inline_threshold)
+    ?(dup_threshold = default_dup_threshold) mode iters (l : loaded) =
+  Pipeline.default_config ~mode ~iterations:iters ~datacons:l.denv
+    ~inline_threshold ~dup_threshold ()
+
+let optimized ?inline_threshold ?dup_threshold mode iters (l : loaded) =
+  Pipeline.run (pipeline_config ?inline_threshold ?dup_threshold mode iters l)
+    l.core
 
 (* ------------------------------------------------------------------ *)
 (* check                                                               *)
@@ -113,9 +166,12 @@ let check_cmd =
 
 let run_cmd =
   let doc = "Compile and evaluate a program." in
-  let run file no_prelude mode iters unopt =
+  let run file no_prelude mode iters unopt inline_threshold dup_threshold =
     let l = load ~no_prelude file in
-    let e = if unopt then l.core else optimized mode iters l in
+    let e =
+      if unopt then l.core
+      else optimized ~inline_threshold ~dup_threshold mode iters l
+    in
     (match Lint.lint_result l.denv e with
     | Ok _ -> ()
     | Error err ->
@@ -132,7 +188,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ file_arg $ no_prelude_flag $ mode_flag $ iters_flag
-      $ unopt_flag)
+      $ unopt_flag $ inline_threshold_flag $ dup_threshold_flag)
 
 (* ------------------------------------------------------------------ *)
 (* dump                                                                *)
@@ -140,13 +196,13 @@ let run_cmd =
 
 let dump_cmd =
   let doc = "Print the optimised Core." in
-  let run file no_prelude mode iters unopt report =
+  let run file no_prelude mode iters unopt report inline_threshold
+      dup_threshold =
     let l = load ~no_prelude file in
     if unopt then Fmt.pr "%a@." Pretty.pp l.core
     else begin
       let cfg =
-        Pipeline.default_config ~mode ~iterations:iters ~datacons:l.denv
-          ~inline_threshold:300 ()
+        pipeline_config ~inline_threshold ~dup_threshold mode iters l
       in
       let e, r = Pipeline.run_report cfg l.core in
       if report then Fmt.pr "-- passes:@.%a@.@." Pipeline.pp_report r;
@@ -166,7 +222,7 @@ let dump_cmd =
   Cmd.v (Cmd.info "dump" ~doc)
     Term.(
       const run $ file_arg $ no_prelude_flag $ mode_flag $ iters_flag
-      $ unopt_flag $ report_flag)
+      $ unopt_flag $ report_flag $ inline_threshold_flag $ dup_threshold_flag)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
@@ -174,31 +230,11 @@ let dump_cmd =
 
 let trace_cmd =
   let doc = "Optimise and emit the structured JSON trace of the pipeline." in
-  let run file no_prelude mode iters out =
+  let run file no_prelude mode iters out inline_threshold dup_threshold =
     let l = load ~no_prelude file in
-    let cfg =
-      Pipeline.default_config ~mode ~iterations:iters ~datacons:l.denv
-        ~inline_threshold:300 ()
-    in
+    let cfg = pipeline_config ~inline_threshold ~dup_threshold mode iters l in
     let _, r = Pipeline.run_report cfg l.core in
-    let json = Pipeline.report_to_json r in
-    if out = "-" then begin
-      print_endline json;
-      0
-    end
-    else
-      match open_out out with
-      | exception Sys_error m ->
-          Fmt.epr "fjc: cannot write trace: %s@." m;
-          1
-      | oc ->
-          Fun.protect
-            ~finally:(fun () -> close_out_noerr oc)
-            (fun () ->
-              output_string oc json;
-              output_char oc '\n');
-          Fmt.pr "fjc: wrote %s@." out;
-          0
+    write_output ~what:"trace" out (Pipeline.report_to_json r)
   in
   let out_flag =
     Arg.(
@@ -210,7 +246,7 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
       const run $ file_arg $ no_prelude_flag $ mode_flag $ iters_flag
-      $ out_flag)
+      $ out_flag $ inline_threshold_flag $ dup_threshold_flag)
 
 (* ------------------------------------------------------------------ *)
 (* stats                                                               *)
@@ -385,31 +421,23 @@ let profile_cmd =
            Fmt.epr "fjc: join site %s allocated %d words!@." s.site_label
              s.s_words)
          bad);
-    (match json_out with
-    | None -> ()
-    | Some path ->
-        let json =
-          Telemetry.Json.(
-            Obj
-              [
-                ("file", Str file);
-                ("machine", Str (if lower then "block" else "fig3"));
-                ("baseline", Profile.to_json ~stats:sb pb);
-                ("join_points", Profile.to_json ~stats:sj pj);
-              ])
-        in
-        let s = Telemetry.Json.to_string json in
-        if path = "-" then print_endline s
-        else begin
-          let oc = open_out path in
-          Fun.protect
-            ~finally:(fun () -> close_out_noerr oc)
-            (fun () ->
-              output_string oc s;
-              output_char oc '\n');
-          Fmt.pr "fjc: wrote %s@." path
-        end);
-    if bad = [] then 0 else 1
+    let wrote =
+      match json_out with
+      | None -> 0
+      | Some path ->
+          let json =
+            Telemetry.Json.(
+              Obj
+                [
+                  ("file", Str file);
+                  ("machine", Str (if lower then "block" else "fig3"));
+                  ("baseline", Profile.to_json ~stats:sb pb);
+                  ("join_points", Profile.to_json ~stats:sj pj);
+                ])
+          in
+          write_output ~what:"profile" path (Telemetry.Json.to_string json)
+    in
+    if bad = [] && wrote = 0 then 0 else 1
   in
   let lower_flag =
     Arg.(
@@ -437,6 +465,138 @@ let profile_cmd =
     Term.(
       const run $ file_arg $ no_prelude_flag $ iters_flag $ lower_flag
       $ trace_cap_flag $ json_flag)
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let explain_cmd =
+  let doc =
+    "Explain the optimizer's decisions, per binder: every rewrite each \
+     pass fired or rejected, with the structured reason."
+  in
+  let run file no_prelude mode iters inline_threshold dup_threshold binder
+      pass_filter json_out =
+    let l = load ~no_prelude file in
+    let cfg = pipeline_config ~inline_threshold ~dup_threshold mode iters l in
+    let _, r = Pipeline.run_report cfg l.core in
+    (* Tag each ledger event with the pipeline pass that recorded it
+       (e.g. ["contify (2)"]), in run order. *)
+    let tagged =
+      List.concat_map
+        (fun (p : Pipeline.pass_record) ->
+          List.map (fun ev -> (p.Pipeline.pass, ev)) p.Pipeline.decisions)
+        (Pipeline.passes r)
+    in
+    let prefix_of s p =
+      String.length s >= String.length p
+      && String.sub s 0 (String.length p) = p
+    in
+    let selected =
+      List.filter
+        (fun (plabel, (ev : Decision.event)) ->
+          (match binder with
+          | None -> true
+          | Some b -> String.equal ev.Decision.d_site b)
+          &&
+          match pass_filter with
+          | None -> true
+          | Some p -> String.equal ev.Decision.d_pass p || prefix_of plabel p)
+        tagged
+    in
+    let events = List.map snd selected in
+    (* Narrative: decisions grouped per site, in order of first
+       appearance; suppressed when the JSON goes to stdout. *)
+    (if json_out <> Some "-" then begin
+       let module SM = Map.Make (String) in
+       let order = ref [] in
+       let groups = ref SM.empty in
+       List.iter
+         (fun ((_, ev) as item) ->
+           let site = ev.Decision.d_site in
+           match SM.find_opt site !groups with
+           | None ->
+               order := site :: !order;
+               groups := SM.add site [ item ] !groups
+           | Some items -> groups := SM.add site (item :: items) !groups)
+         selected;
+       List.iter
+         (fun site ->
+           Fmt.pr "%s:@." site;
+           List.iter
+             (fun (plabel, (ev : Decision.event)) ->
+               match ev.Decision.d_verdict with
+               | Decision.Fired ->
+                   Fmt.pr "  %-18s %s fired@." plabel
+                     (Decision.action_name ev.Decision.d_action)
+               | Decision.Rejected reason ->
+                   Fmt.pr "  %-18s %s rejected: %a@." plabel
+                     (Decision.action_name ev.Decision.d_action)
+                     Decision.pp_reason reason)
+             (List.rev (SM.find site !groups)))
+         (List.rev !order);
+       Fmt.pr "-- %d decision(s): %d fired, %d rejected@."
+         (List.length events) (Decision.fired events)
+         (Decision.rejected events);
+       List.iter
+         (fun (name, n) -> Fmt.pr "--   %-28s %d@." name n)
+         (Decision.reason_counts events)
+     end);
+    match json_out with
+    | None -> 0
+    | Some path ->
+        let event_json (plabel, ev) =
+          match Decision.event_json ev with
+          | Telemetry.Json.Obj fields ->
+              Telemetry.Json.Obj
+                (("pipeline_pass", Telemetry.Json.Str plabel) :: fields)
+          | j -> j
+        in
+        let json =
+          Telemetry.Json.(
+            Obj
+              [
+                ("file", Str file);
+                ("mode", Str (Pipeline.mode_name mode));
+                ("inline_threshold", Int inline_threshold);
+                ("dup_threshold", Int dup_threshold);
+                ("events", Arr (List.map event_json selected));
+                ("summary", Decision.summary_json events);
+              ])
+        in
+        write_output ~what:"explanation" path (Telemetry.Json.to_string json)
+  in
+  let binder_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "binder" ] ~docv:"NAME"
+          ~doc:"Only decisions whose site is this binder name hint.")
+  in
+  let pass_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pass" ] ~docv:"NAME"
+          ~doc:
+            "Only decisions made by this pass (a deciding pass like \
+             $(b,contify), or a pipeline-pass prefix like \
+             $(b,simplify (0))).")
+  in
+  let json_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "Also dump the selected decisions (with the run's settings) \
+             as JSON; $(b,-) for stdout.")
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(
+      const run $ file_arg $ no_prelude_flag $ mode_flag $ iters_flag
+      $ inline_threshold_flag $ dup_threshold_flag $ binder_flag $ pass_flag
+      $ json_flag)
 
 (* ------------------------------------------------------------------ *)
 (* erase                                                               *)
@@ -555,4 +715,4 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [ check_cmd; run_cmd; dump_cmd; trace_cmd; stats_cmd; profile_cmd;
-            erase_cmd; lower_cmd; cps_cmd; sexp_cmd ]))
+            explain_cmd; erase_cmd; lower_cmd; cps_cmd; sexp_cmd ]))

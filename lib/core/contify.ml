@@ -134,6 +134,28 @@ let shape_of_usage (i : Occur.info) =
     | _ -> None
   else None
 
+(* This pass's name in the decision ledger. *)
+let dpass = "contify"
+
+(* Why {!shape_of_usage} said no, as a ledger reason. [None] for dead
+   binders (count 0): dropping dead code is the simplifier's decision,
+   not a contification refusal. *)
+let usage_rejection (i : Occur.info) : Decision.reason option =
+  if i.count = 0 then None
+  else if not i.all_tail then
+    Some
+      (if i.under_lam then Decision.Escapes_under_lambda
+       else Decision.Not_all_tail_calls)
+  else
+    match i.shape with
+    | None -> Some Decision.Shape_mismatch
+    | Some s when s.n_ty + s.n_val >= 1 || i.count = 1 -> None
+    | Some _ -> Some Decision.Nullary_candidate
+
+let record_verdict (x : var) verdict =
+  Decision.record ~pass:dpass Decision.Contify ~site:(Ident.site x.v_name)
+    verdict
+
 (* The Fig. 5 proviso: the contified body must have the type of the
    scope. [ty_of] may raise on open terms built by tests; treat any
    failure as "not contifiable". *)
@@ -171,11 +193,20 @@ let rec contify (e : expr) : expr =
       let rhs = contify rhs in
       let body = contify body in
       let usage = Occur.of_expr body in
-      match shape_of_usage (Occur.lookup usage x) with
-      | None -> Let (NonRec (x, rhs), body)
+      let info = Occur.lookup usage x in
+      let keep () = Let (NonRec (x, rhs), body) in
+      let reject reason =
+        record_verdict x (Decision.Rejected reason);
+        keep ()
+      in
+      match shape_of_usage info with
+      | None -> (
+          match usage_rejection info with
+          | None -> keep () (* dead binder; the simplifier will drop it *)
+          | Some r -> reject r)
       | Some shape -> (
           match candidate_defn x rhs shape with
-          | None -> Let (NonRec (x, rhs), body)
+          | None -> reject Decision.Rhs_arity_mismatch
           | Some (jvar, defn) ->
               let scope_ty =
                 match Syntax.ty_of body with
@@ -188,10 +219,11 @@ let rec contify (e : expr) : expr =
                 | None -> false
               then begin
                 Telemetry.tick Telemetry.Contified;
+                record_verdict x Decision.Fired;
                 let targets = Ident.Map.singleton x.v_name (jvar, shape) in
                 Join (JNonRec defn, rewrite_calls targets body)
               end
-              else Let (NonRec (x, rhs), body)))
+              else reject Decision.Scope_type_mismatch))
   | Let (Rec pairs, body) -> (
       let pairs = List.map (fun (x, rhs) -> (x, contify rhs)) pairs in
       let body = contify body in
@@ -202,7 +234,13 @@ let rec contify (e : expr) : expr =
         match Syntax.ty_of body with ty -> Some ty | exception _ -> None
       in
       match scope_ty with
-      | None -> fallback ()
+      | None ->
+          (* The proviso cannot even be checked (open scope). *)
+          List.iter
+            (fun (x, _) ->
+              record_verdict x (Decision.Rejected Decision.Scope_type_mismatch))
+            pairs;
+          fallback ()
       | Some scope_ty -> (
           (* Each binder needs a consistent shape across body and all
              rhss; each rhs must strip to that shape; recursive calls
@@ -235,17 +273,34 @@ let rec contify (e : expr) : expr =
                         (candidate_defn x rhs shape))
                 chosen
             in
-            if List.exists Option.is_none defns then None
+            if List.exists Option.is_none defns then begin
+              (* Groups contify only as a whole: the binders whose rhs
+                 did not strip are the culprits. *)
+              List.iter2
+                (fun (x, _) defn ->
+                  if Option.is_none defn then
+                    record_verdict x
+                      (Decision.Rejected Decision.Rhs_arity_mismatch))
+                chosen defns;
+              None
+            end
             else
               let defns = List.filter_map Fun.id defns in
               (* Check typing proviso and tail-ness of recursive calls
                  inside each stripped rhs. *)
-              let ok_types =
-                List.for_all
-                  (fun (_, _, _, d) -> body_ty_matches d.j_rhs scope_ty)
+              let bad_types =
+                List.filter
+                  (fun (_, _, _, d) -> not (body_ty_matches d.j_rhs scope_ty))
                   defns
               in
-              if not ok_types then None
+              if bad_types <> [] then begin
+                List.iter
+                  (fun (x, _, _, _) ->
+                    record_verdict x
+                      (Decision.Rejected Decision.Scope_type_mismatch))
+                  bad_types;
+                None
+              end
               else
                 let rhs_usages =
                   List.map (fun (_, _, _, d) -> Occur.of_expr d.j_rhs) defns
@@ -253,17 +308,28 @@ let rec contify (e : expr) : expr =
                 let total_usage =
                   List.fold_left Occur.union body_usage rhs_usages
                 in
-                let all_ok =
-                  List.for_all
+                let bad_shapes =
+                  List.filter
                     (fun ((x : var), shape, _, _) ->
                       match
                         shape_of_usage (Occur.lookup total_usage x)
                       with
-                      | Some s -> s = shape
-                      | None -> false)
+                      | Some s -> s <> shape
+                      | None -> true)
                     defns
                 in
-                if not all_ok then None
+                if bad_shapes <> [] then begin
+                  List.iter
+                    (fun ((x : var), _, _, _) ->
+                      let i = Occur.lookup total_usage x in
+                      record_verdict x
+                        (Decision.Rejected
+                           (Option.value
+                              ~default:Decision.Shape_mismatch
+                              (usage_rejection i))))
+                    bad_shapes;
+                  None
+                end
                 else
                   let targets =
                     List.fold_left
@@ -312,12 +378,30 @@ let rec contify (e : expr) : expr =
                           Some (x, { Occur.n_ty; n_val })))
               shapes
           in
-          if List.length chosen <> List.length pairs then fallback ()
+          if List.length chosen <> List.length pairs then begin
+            (* The binders with no usable shape sink the whole group. *)
+            List.iter
+              (fun ((x : var), i) ->
+                if
+                  not
+                    (List.exists
+                       (fun ((y : var), _) -> var_equal x y)
+                       chosen)
+                then
+                  match usage_rejection i with
+                  | Some r -> record_verdict x (Decision.Rejected r)
+                  | None ->
+                      record_verdict x
+                        (Decision.Rejected Decision.Shape_mismatch))
+              shapes;
+            fallback ()
+          end
           else
             match try_with_shapes chosen with
             | Some e' ->
                 Telemetry.tick Telemetry.Contified_group;
                 Telemetry.tick ~n:(List.length pairs) Telemetry.Contified;
+                List.iter (fun (x, _) -> record_verdict x Decision.Fired) pairs;
                 e'
             | None -> fallback ()))
 

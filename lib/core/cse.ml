@@ -65,6 +65,8 @@ let rec cse_expr (env : env) (e : expr) : expr =
   match lookup env e with
   | Some x ->
       Telemetry.tick Telemetry.Cse_shared;
+      Decision.record ~pass:"cse" Decision.Cse ~site:(Ident.site x.v_name)
+        Decision.Fired;
       Var x
   | None -> (
       match e with

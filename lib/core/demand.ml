@@ -175,8 +175,8 @@ and fix_masks (fenv : fenv) (defs : (var * var list * expr) list) :
 let worth_forcing e = not (is_trivial e || is_whnf e)
 
 (* Wrap the strict arguments of an argument list in strict bindings
-   around [mk args']. *)
-let strictify_args (mask : bool list) (es : expr list)
+   around [mk args']. [site] is the call/jump target, for the ledger. *)
+let strictify_args ~(site : string) (mask : bool list) (es : expr list)
     (mk : expr list -> expr) : expr =
   let wraps = ref [] in
   let es' =
@@ -184,6 +184,8 @@ let strictify_args (mask : bool list) (es : expr list)
       (fun strict e ->
         if strict && worth_forcing e then begin
           Telemetry.tick Telemetry.Strict_arg;
+          Decision.record ~pass:"demand" Decision.Strict_arg ~site
+            Decision.Fired;
           let ty = match ty_of e with t -> t | exception _ -> Types.unit in
           let t = mk_var "s" ty in
           wraps := (fun body -> Let (Strict (t, e), body)) :: !wraps;
@@ -227,11 +229,27 @@ let rec strictify_expr (fenv : fenv) (e : expr) : expr =
         | None -> fenv
       in
       let body = strictify_expr fenv_body body in
-      (* Demanded lazy bindings become strict bindings. *)
-      if worth_forcing rhs && Ident.Set.mem x.v_name (strict_vars fenv_body body)
-      then begin
-        Telemetry.tick Telemetry.Strict_let;
-        Let (Strict (x, rhs), body)
+      (* Demanded lazy bindings become strict bindings. The demand set
+         is only computed when it can matter — or when a ledger wants
+         the demanded-but-already-WHNF refusals too. *)
+      let forced = worth_forcing rhs in
+      if forced || Decision.enabled () then begin
+        let demanded =
+          Ident.Set.mem x.v_name (strict_vars fenv_body body)
+        in
+        if forced && demanded then begin
+          Telemetry.tick Telemetry.Strict_let;
+          Decision.record ~pass:"demand" Decision.Strict_let
+            ~site:(Ident.site x.v_name) Decision.Fired;
+          Let (Strict (x, rhs), body)
+        end
+        else begin
+          if demanded && not forced then
+            Decision.record ~pass:"demand" Decision.Strict_let
+              ~site:(Ident.site x.v_name)
+              (Decision.Rejected Decision.Already_whnf);
+          Let (NonRec (x, rhs), body)
+        end
       end
       else Let (NonRec (x, rhs), body)
   | Let (Strict (x, rhs), body) ->
@@ -294,7 +312,8 @@ let rec strictify_expr (fenv : fenv) (e : expr) : expr =
       let es = List.map (strictify_expr fenv) es in
       match Ident.Map.find_opt j.v_name fenv with
       | Some (_, mask) when List.length mask = List.length es ->
-          strictify_args mask es (fun es' -> Jump (j, phis, es', ty))
+          strictify_args ~site:(Ident.site j.v_name) mask es (fun es' ->
+              Jump (j, phis, es', ty))
       | _ -> Jump (j, phis, es, ty))
 
 (* Saturated calls to functions with known masks get their strict
@@ -309,7 +328,7 @@ and strictify_spine fenv e =
       match Ident.Map.find_opt v.v_name fenv with
       | Some (arity, mask) when List.length vargs = arity ->
           let vargs = List.map (strictify_expr fenv) vargs in
-          strictify_args mask vargs (fun vargs' ->
+          strictify_args ~site:(Ident.site v.v_name) mask vargs (fun vargs' ->
               (* Rebuild the spine in the original arg order. *)
               let rec rebuild e args vals =
                 match args with

@@ -104,8 +104,18 @@ let rec float_in (e : expr) : expr =
       let rhs = float_in rhs in
       let body = float_in body in
       match sink x rhs body with
-      | Some e' -> float_in e'
-      | None -> Let (NonRec (x, rhs), body))
+      | Some e' ->
+          Decision.record ~pass:"float-in" Decision.Float_in
+            ~site:(Ident.site x.v_name) Decision.Fired;
+          float_in e'
+      | None ->
+          (* Only a refusal worth explaining if the binding is live:
+             there is a use, but no unique home to sink it into. *)
+          if Decision.enabled () && occurs x.v_name body then
+            Decision.record ~pass:"float-in" Decision.Float_in
+              ~site:(Ident.site x.v_name)
+              (Decision.Rejected Decision.No_unique_use_site);
+          Let (NonRec (x, rhs), body))
   | Let (Rec pairs, body) ->
       Let
         ( Rec (List.map (fun (x, rhs) -> (x, float_in rhs)) pairs),

@@ -17,7 +17,24 @@ let changed = ref false
 
 let moved floats =
   changed := true;
-  Telemetry.tick ~n:(List.length floats) Telemetry.Float_out_moved
+  Telemetry.tick ~n:(List.length floats) Telemetry.Float_out_moved;
+  List.iter
+    (fun ((x : var), _) ->
+      Decision.record ~pass:"float-out" Decision.Float_out
+        ~site:(Ident.site x.v_name) Decision.Fired)
+    floats
+
+(* If the (possibly partially stripped) lambda body still starts with a
+   let, that binding is the one the blocked-variable check refused to
+   hoist — ledger it. *)
+let record_blocked body' =
+  if Decision.enabled () then
+    match body' with
+    | Let (NonRec (y, _), _) ->
+        Decision.record ~pass:"float-out" Decision.Float_out
+          ~site:(Ident.site y.v_name)
+          (Decision.Rejected Decision.Mentions_lambda_binder)
+    | _ -> ()
 
 (* Collect consecutive non-recursive lets at the top of [e] whose
    right-hand sides do not mention any variable in [blocked]; return
@@ -46,9 +63,12 @@ let rec float_out (e : expr) : expr =
       let b = float_out b in
       let blocked = Ident.Set.singleton x.v_name in
       match split_floatable blocked b with
-      | [], _ -> Lam (x, b)
+      | [], body' ->
+          record_blocked body';
+          Lam (x, b)
       | floats, body' ->
           moved floats;
+          record_blocked body';
           wrap_floats floats (Lam (x, body')))
   | TyLam (a, b) -> (
       let b = float_out b in
@@ -66,9 +86,12 @@ let rec float_out (e : expr) : expr =
       in
       ignore blocked;
       match split b with
-      | [], _ -> TyLam (a, b)
+      | [], body' ->
+          record_blocked body';
+          TyLam (a, b)
       | floats, body' ->
           moved floats;
+          record_blocked body';
           wrap_floats floats (TyLam (a, body')))
   | Let (NonRec (x, rhs), body) ->
       Let (NonRec (x, float_out rhs), float_out body)

@@ -71,6 +71,8 @@ type pass_record = {
   size_after : int;
   joins_after : int;  (** Join-point definitions after the pass. *)
   ticks : (string * int) list;  (** Ticks fired {e by this pass}. *)
+  decisions : Decision.event list;
+      (** Ledger entries recorded {e by this pass}. *)
 }
 
 type report = {
@@ -80,6 +82,7 @@ type report = {
   mutable total_ms : float;
   mutable passes_rev : pass_record list;  (** Built newest-first. *)
   counters : Telemetry.counters;  (** Whole-run tick totals. *)
+  ledger : Decision.t;  (** Whole-run decision ledger. *)
 }
 
 let fresh_report mode e =
@@ -90,6 +93,7 @@ let fresh_report mode e =
     total_ms = 0.0;
     passes_rev = [];
     counters = Telemetry.create ();
+    ledger = Decision.create ();
   }
 
 let passes r = List.rev r.passes_rev
@@ -97,6 +101,8 @@ let trail r = List.map (fun p -> (p.pass, p.size_after)) (passes r)
 let ticks r = Telemetry.nonzero r.counters
 let total_ticks r = Telemetry.total r.counters
 let contified r = Telemetry.get r.counters Telemetry.Contified
+let decisions r = Decision.events r.ledger
+let decision_summary r = Decision.summary (decisions r)
 
 let pp_report ppf r =
   Fmt.pf ppf "@[<v>";
@@ -108,6 +114,10 @@ let pp_report ppf r =
   Fmt.pf ppf "%-28s %8.3f ms   size %5d -> %5d@," "TOTAL" r.total_ms
     r.input_size r.output_size;
   Telemetry.pp_table ppf r.counters;
+  (let ds = decisions r in
+   if ds <> [] then
+     Fmt.pf ppf "Decisions: %d fired, %d rejected@," (Decision.fired ds)
+       (Decision.rejected ds));
   Fmt.pf ppf "@]"
 
 let ticks_json l =
@@ -124,6 +134,7 @@ let pass_record_json (p : pass_record) =
         ("size_after", Int p.size_after);
         ("joins_after", Int p.joins_after);
         ("ticks", ticks_json p.ticks);
+        ("decisions", Decision.summary_json p.decisions);
       ])
 
 let report_json (r : report) =
@@ -137,6 +148,7 @@ let report_json (r : report) =
         ("total_ticks", Int (total_ticks r));
         ("contified", Int (contified r));
         ("ticks", ticks_json (ticks r));
+        ("decisions", Decision.summary_json (decisions r));
         ("passes", Arr (List.map pass_record_json (passes r)));
       ])
 
@@ -154,6 +166,7 @@ let summary_json (r : report) =
         ("total_ticks", Int (total_ticks r));
         ("contified", Int (contified r));
         ("ticks", ticks_json (ticks r));
+        ("decisions", Decision.summary_json (decisions r));
       ])
 
 let simplify_config (c : config) : Simplify.config =
@@ -176,6 +189,7 @@ let run_report (c : config) (e : expr) : expr * report =
   let step pass f e =
     let size_before = size e in
     let snap = Telemetry.snapshot report.counters in
+    let dsnap = Decision.snapshot report.ledger in
     let t0 = Telemetry.now_ms () in
     let e' = f e in
     let t1 = Telemetry.now_ms () in
@@ -198,6 +212,7 @@ let run_report (c : config) (e : expr) : expr * report =
         size_after = size e';
         joins_after = count_joins e';
         ticks = Telemetry.delta_since snap report.counters;
+        decisions = Decision.events_since dsnap report.ledger;
       }
       :: report.passes_rev;
     e'
@@ -265,7 +280,10 @@ let run_report (c : config) (e : expr) : expr * report =
     let e = step "simplify (final)" (Simplify.simplify ~max_iters:4 scfg) e in
     e
   in
-  let e = Telemetry.with_counters report.counters body in
+  let e =
+    Telemetry.with_counters report.counters (fun () ->
+        Decision.with_ledger report.ledger body)
+  in
   report.output_size <- size e;
   report.total_ms <- Telemetry.now_ms () -. t_run0;
   (e, report)

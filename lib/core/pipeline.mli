@@ -46,6 +46,8 @@ type pass_record = {
   size_after : int;
   joins_after : int;
   ticks : (string * int) list;  (** Ticks fired by this pass. *)
+  decisions : Decision.event list;
+      (** Ledger entries recorded by this pass, oldest first. *)
 }
 
 (** A structured trace of one pipeline run: per-pass timing, term
@@ -67,17 +69,25 @@ val total_ticks : report -> int
 (** Bindings contified over the whole run. *)
 val contified : report -> int
 
+(** The whole-run decision ledger, oldest first: every rewrite any
+    pass accepted or refused, with its site and structured reason. *)
+val decisions : report -> Decision.event list
+
+(** {!Decision.summary} of {!decisions}: counts keyed
+    ["action:verdict[:reason]"], sorted. *)
+val decision_summary : report -> (string * int) list
+
 (** Per-pass table followed by the GHC-style "Total ticks" table. *)
 val pp_report : Format.formatter -> report -> unit
 
 (** The full trace as JSON: [{mode, input_size, output_size, total_ms,
-    total_ticks, contified, ticks: {name: count}, passes: [{name,
-    duration_ms, lint_ms, size_before, size_after, joins_after,
-    ticks}]}]. *)
+    total_ticks, contified, ticks: {name: count}, decisions: {fired,
+    rejected, counts}, passes: [{name, duration_ms, lint_ms,
+    size_before, size_after, joins_after, ticks, decisions}]}]. *)
 val report_to_json : report -> string
 
 (** Compact optimizer summary for benchmark trajectory files:
-    [{total_ms, total_ticks, contified, ticks}]. *)
+    [{total_ms, total_ticks, contified, ticks, decisions}]. *)
 val summary_json : report -> Telemetry.Json.t
 
 (** Run the configured pipeline; also returns the structured trace. *)

@@ -108,6 +108,28 @@ let mark env t =
   env.changed := true;
   Telemetry.tick t
 
+(* This pass's name in the decision ledger. *)
+let dpass = "simplify"
+
+(* The ledger site for a decision about a case alternative: the
+   constructor being matched, or [alt._] for literal/default arms. *)
+let alt_site = function
+  | PCon (dc, _) -> "alt." ^ String.lowercase_ascii dc.name
+  | PLit _ | PDefault -> "alt._"
+
+(* Ledger a pre-inline verdict for binder [x]. Rejections quote the
+   occurrence fact that blocked the substitution. *)
+let record_pre_inline (x : var) (info : Occur.info) ~fired =
+  if Decision.enabled () then
+    let site = Ident.site x.v_name in
+    let verdict =
+      if fired then Decision.Fired
+      else if info.count > 1 then
+        Decision.Rejected (Decision.Occurs_many { count = info.count })
+      else Decision.Rejected Decision.Escapes_under_lambda
+    in
+    Decision.record ~pass:dpass Decision.Pre_inline ~site verdict
+
 (* The [float]/[casefloat] axioms are implicit in the traversal: when a
    binding is reached with a non-empty continuation, the context is
    passed into its body. Not a {!mark} — the traversal always does
@@ -197,6 +219,15 @@ let rec simpl (env : env) (e : expr) (k : cont) : expr =
       end
   | Let (Rec pairs, body) ->
       tick_context_passed env k;
+      (* Recursive binders never get unfoldings (GHC's loop breakers),
+         so call-site inlining of them is off the table — say so. *)
+      (if Decision.enabled () then
+         List.iter
+           (fun ((x : var), _) ->
+             Decision.record ~pass:dpass Decision.Inline
+               ~site:(Ident.site x.v_name)
+               (Decision.Rejected Decision.Loop_breaker))
+           pairs);
       let xs = List.map fst pairs in
       let xs', s = Subst.clone_vars env.subst xs in
       let env' = { env with subst = s } in
@@ -264,10 +295,14 @@ and bind_arg env (x : var) (arg' : expr) (body_k : env -> expr) : expr =
     body_k env
   end
   else if is_trivial arg' || once_inlinable info arg' then begin
-    if not (is_trivial arg') then mark env Telemetry.Pre_inline;
+    if not (is_trivial arg') then begin
+      mark env Telemetry.Pre_inline;
+      record_pre_inline x info ~fired:true
+    end;
     body_k { env with subst = Subst.add_term x.v_name arg' env.subst }
   end
-  else
+  else begin
+    record_pre_inline x info ~fired:false;
     let x', s = Subst.clone_var env.subst x in
     (* ANF-ise constructor right-hand sides so the unfolding can be
        duplicated without losing sharing of its fields. *)
@@ -287,6 +322,7 @@ and bind_arg env (x : var) (arg' : expr) (body_k : env -> expr) : expr =
           mark env Telemetry.Drop;
           body'
         end)
+  end
 
 (* Give a constructor application trivial fields by let-binding any
    non-trivial ones. [k] receives the env (with unfoldings for the new
@@ -336,10 +372,16 @@ and simpl_nonrec env (x : var) rhs body k =
     let rhs' = simpl env rhs Stop in
     if is_trivial rhs' || once_inlinable info rhs' then begin
       (* preInlineUnconditionally: substitute the simplified rhs. *)
-      if not (is_trivial rhs') then mark env Telemetry.Pre_inline;
+      if not (is_trivial rhs') then begin
+        mark env Telemetry.Pre_inline;
+        record_pre_inline x info ~fired:true
+      end;
       simpl { env with subst = Subst.add_term x.v_name rhs' env.subst } body k
     end
-    else bind_emit env x rhs' (fun env' -> simpl env' body k)
+    else begin
+      record_pre_inline x info ~fired:false;
+      bind_emit env x rhs' (fun env' -> simpl env' body k)
+    end
 
 (* Emit a let binding for [x] = [rhs'] (already simplified), recording
    an unfolding, and continue with the body. The continuation [k] flows
@@ -375,6 +417,13 @@ and simpl_join env jb body k =
   if not env.cfg.join_points then begin
     (* The baseline IR has no join points; demote defensively. *)
     Telemetry.tick Telemetry.Demote;
+    (if Decision.enabled () then
+       let defns = match jb with JNonRec d -> [ d ] | JRec ds -> ds in
+       List.iter
+         (fun d ->
+           Decision.record ~pass:dpass Decision.Demote
+             ~site:(Ident.site d.j_var.v_name) Decision.Fired)
+         defns);
     simpl env (Demote.demote_top (Join (jb, body))) k
   end
   else begin
@@ -497,8 +546,17 @@ and mk_dupable env (k : cont) : (expr -> expr) * cont =
    ones become a join point (or, in baseline mode, a let-bound
    function) jumped to (called) with the pattern binders. *)
 and share_alt env wraps pat (xs : var list) (rhs' : expr) : alt =
-  if size rhs' <= env.cfg.dup_threshold then { alt_pat = pat; alt_rhs = rhs' }
+  let sz = size rhs' in
+  if sz <= env.cfg.dup_threshold then begin
+    Decision.record ~pass:dpass Decision.Dup_alt ~site:(alt_site pat)
+      Decision.Fired;
+    { alt_pat = pat; alt_rhs = rhs' }
+  end
   else begin
+    Decision.record ~pass:dpass Decision.Dup_alt ~site:(alt_site pat)
+      (Decision.Rejected
+         (Decision.Dup_threshold_shared
+            { size = sz; threshold = env.cfg.dup_threshold }));
     mark env Telemetry.Share_alt;
     let res_ty =
       match ty_of rhs' with t -> t | exception _ -> Types.bottom ()
@@ -641,19 +699,31 @@ and consider_inline env (v : var) (k : cont) : expr =
   match Ident.Map.find_opt v.v_name env.unf with
   | None -> rebuild env (Var v) k
   | Some u ->
+      let site = Ident.site v.v_name in
       let splice () =
         mark env Telemetry.Inline;
+        Decision.record ~pass:dpass Decision.Inline ~site Decision.Fired;
         simpl { env with subst = Subst.empty } (Subst.freshen u) k
       in
+      let reject reason =
+        Decision.record ~pass:dpass Decision.Inline ~site
+          (Decision.Rejected reason);
+        rebuild env (Var v) k
+      in
       if is_trivial u then splice ()
-      else if size u > env.cfg.inline_threshold then rebuild env (Var v) k
-      else (
-        match (u, k) with
-        | Con _, CCase _ -> splice ()
-        | Lam _, CApp _ -> splice ()
-        | TyLam _, CTyApp _ -> splice ()
-        | Lit _, _ -> splice ()
-        | _ -> rebuild env (Var v) k)
+      else
+        let sz = size u in
+        if sz > env.cfg.inline_threshold then
+          reject
+            (Decision.Inline_too_big
+               { size = sz; threshold = env.cfg.inline_threshold })
+        else (
+          match (u, k) with
+          | Con _, CCase _ -> splice ()
+          | Lam _, CApp _ -> splice ()
+          | TyLam _, CTyApp _ -> splice ()
+          | Lit _, _ -> splice ()
+          | _ -> reject Decision.Uninformative_context)
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)

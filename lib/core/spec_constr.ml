@@ -214,9 +214,32 @@ and try_specialise (cenv : cenv) (ds : join_defn list) (body : expr) :
         else spec_mask d js)
       ds
   in
-  if List.for_all (List.for_all Option.is_none) masks then None
+  let record d verdict =
+    Decision.record ~pass:"spec-constr" Decision.Spec_constr
+      ~site:(Ident.site d.j_var.v_name) verdict
+  in
+  (* A member with live jumps but no position where every jump agrees
+     on a constructor cannot be specialised — ledger it (dead members,
+     with no jumps at all, are not a decision). *)
+  let record_unspecialisable () =
+    if Decision.enabled () then
+      List.iter2
+        (fun d mask ->
+          if List.for_all Option.is_none mask && jumps_for d <> [] then
+            record d (Decision.Rejected Decision.No_common_constructor))
+        ds masks
+  in
+  if List.for_all (List.for_all Option.is_none) masks then begin
+    record_unspecialisable ();
+    None
+  end
   else begin
     Telemetry.tick Telemetry.Spec_constr;
+    List.iter2
+      (fun d mask ->
+        if List.exists Option.is_some mask then record d Decision.Fired)
+      ds masks;
+    record_unspecialisable ();
     (* Build the new definitions and the rewriting specs. *)
     let items =
       List.map2

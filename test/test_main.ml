@@ -27,6 +27,7 @@ let () =
       ("pipeline", Test_pipeline.tests);
       ("telemetry", Test_telemetry.tests);
       ("profile", Test_profile.tests);
+      ("decision", Test_decision.tests);
       ("integration", Test_integration.tests);
       ("properties", Test_qcheck.tests);
     ]

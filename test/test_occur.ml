@@ -123,6 +123,94 @@ let once_safely () =
   Alcotest.(check bool) "once safe" true
     (Occur.occurs_once_safely m { v_name = x; v_ty = Types.int })
 
+let recursive_join_shape_tracked () =
+  (* join rec go (x) = if x == 0 then 0 else jump go (x - 1)
+     in jump go (10)
+     Every use of [go] (body and its own rhs) is a shape-(0,1) jump;
+     with_binder_info must record that shape for the group's binder. *)
+  let e =
+    B.joinrec1 "go"
+      [ ("x", Types.int) ]
+      (fun jmp args ->
+        match args with
+        | [ x ] ->
+            B.if_ (B.eq x (B.int 0)) (B.int 0)
+              (jmp [ B.sub x (B.int 1) ] Types.int)
+        | _ -> assert false)
+      (fun jmp -> jmp [ B.int 10 ] Types.int)
+  in
+  let _, binders = Occur.with_binder_info e in
+  let go =
+    match
+      Ident.Map.fold
+        (fun id i acc -> if id.Ident.name = "go" then Some i else acc)
+        binders None
+    with
+    | Some i -> i
+    | None -> Alcotest.fail "group binder not recorded"
+  in
+  Alcotest.(check bool) "all tail" true go.Occur.all_tail;
+  match go.Occur.shape with
+  | Some s ->
+      Alcotest.(check int) "no ty args" 0 s.Occur.n_ty;
+      Alcotest.(check int) "one val arg" 1 s.Occur.n_val
+  | None -> Alcotest.fail "expected a consistent shape"
+
+let under_lambda_escape_recorded () =
+  (* let f = \y. y + 1 in \z. f z — the only use of [f] is under the
+     lambda: with_binder_info must record the escape (under_lam, and
+     therefore not all-tail), which is what the contifier's
+     Escapes_under_lambda refusal quotes. *)
+  let e =
+    B.let_ "f"
+      (B.lam "y" Types.int (fun y -> B.add y (B.int 1)))
+      (fun f -> B.lam "z" Types.int (fun z -> B.app f z))
+  in
+  let _, binders = Occur.with_binder_info e in
+  let fi =
+    match
+      Ident.Map.fold
+        (fun id i acc -> if id.Ident.name = "f" then Some i else acc)
+        binders None
+    with
+    | Some i -> i
+    | None -> Alcotest.fail "binder not recorded"
+  in
+  Alcotest.(check int) "one occurrence" 1 fi.Occur.count;
+  Alcotest.(check bool) "under a lambda" true fi.Occur.under_lam;
+  Alcotest.(check bool) "not a tail call" false fi.Occur.all_tail
+
+let rec_join_rhs_marks_work_dup () =
+  (* An outer binding used inside a recursive join's rhs runs once per
+     jump: its recorded info must say under_lam (work duplication), but
+     tail-ness is preserved so the OUTER binding can still contify. *)
+  let e =
+    B.let_ "k"
+      (B.lam "w" Types.int (fun w -> B.add w (B.int 7)))
+      (fun k ->
+        B.joinrec1 "go"
+          [ ("x", Types.int) ]
+          (fun jmp args ->
+            match args with
+            | [ x ] ->
+                B.if_ (B.eq x (B.int 0)) (B.app k (B.int 0))
+                  (jmp [ B.sub x (B.int 1) ] Types.int)
+            | _ -> assert false)
+          (fun jmp -> jmp [ B.int 3 ] Types.int))
+  in
+  let _, binders = Occur.with_binder_info e in
+  let ki =
+    match
+      Ident.Map.fold
+        (fun id i acc -> if id.Ident.name = "k" then Some i else acc)
+        binders None
+    with
+    | Some i -> i
+    | None -> Alcotest.fail "binder not recorded"
+  in
+  Alcotest.(check bool) "work-dup flagged" true ki.Occur.under_lam;
+  Alcotest.(check bool) "tail-ness preserved" true ki.Occur.all_tail
+
 let tests =
   [
     test "dead and once" dead_and_once;
@@ -139,4 +227,7 @@ let tests =
     test "join rhs is a tail context" join_rhs_is_tail_context;
     test "binder info is recorded" binder_info_recorded;
     test "occurs-once-safely" once_safely;
+    test "recursive join group shape is tracked" recursive_join_shape_tracked;
+    test "under-lambda escape is recorded" under_lambda_escape_recorded;
+    test "recursive join rhs marks work duplication" rec_join_rhs_marks_work_dup;
   ]
