@@ -49,6 +49,25 @@ let check_tree ~what expected got =
       fail "%s: result mismatch (%s)" what where;
       false
 
+(* Raised (after recording the failure) when a row cannot be measured;
+   callers drop the row and move on. *)
+exception Skip_row
+
+(* Every evaluation is fuel-bounded through the reified outcome API: a
+   program miscompiled into divergence — or a stuck machine — records
+   a failure and skips its row instead of wedging the whole suite. *)
+let bench_fuel = 100_000_000
+
+let run_bounded ~what e =
+  match Eval.run_outcome ~fuel:bench_fuel e with
+  | Eval.Finished (t, s) -> (t, s)
+  | Eval.Fuel_exhausted ->
+      fail "%s: out of fuel after %d machine steps" what bench_fuel;
+      raise Skip_row
+  | Eval.Crashed m ->
+      fail "%s: evaluation stuck: %s" what m;
+      raise Skip_row
+
 let report_failures () =
   match List.rev !failures with
   | [] -> 0
@@ -95,11 +114,9 @@ let measure (prog : Bench_programs.program) : measurement option =
   | Error err ->
       fail "%s does not lint: %a" prog.name Lint.pp_error err;
       None
-  | Ok _ ->
-      let run e =
-        let t, s = Eval.run_deep e in
-        (t, s)
-      in
+  | Ok _ -> (
+      try
+      let run e = run_bounded ~what:prog.name e in
       let t0, _ = run core in
       let base, base_report = optimize_report Pipeline.Baseline denv core in
       let joins, join_report =
@@ -128,6 +145,7 @@ let measure (prog : Bench_programs.program) : measurement option =
           base_report;
           join_report;
         }
+      with Skip_row -> None)
 
 let geomean deltas =
   (* Geometric mean of the ratios (as the paper's "Geo. Mean" row);
@@ -226,21 +244,21 @@ let decision_table (ms : measurement list) =
 (* ------------------------------------------------------------------ *)
 
 let fusion_row name src =
-  let denv, core = Fj_fusion.Streams.compile_pipeline src in
-  let t0, _ = Eval.run_deep core in
-  let cell mode =
-    let e = optimize mode denv core in
-    let t, s = Eval.run_deep e in
-    ignore
-      (check_tree
-         ~what:(Fmt.str "fusion %s (%s)" name (Pipeline.mode_name mode))
-         t0 t);
-    s.Eval.words
-  in
-  let b = cell Pipeline.Baseline in
-  let j = cell Pipeline.Join_points in
-  Fmt.pr "%-34s %12d %12d %a@." name b j pp_delta
-    (if b = 0 then 0.0 else float_of_int (j - b) /. float_of_int b *. 100.0)
+  try
+    let denv, core = Fj_fusion.Streams.compile_pipeline src in
+    let t0, _ = run_bounded ~what:(Fmt.str "fusion %s" name) core in
+    let cell mode =
+      let e = optimize mode denv core in
+      let what = Fmt.str "fusion %s (%s)" name (Pipeline.mode_name mode) in
+      let t, s = run_bounded ~what e in
+      ignore (check_tree ~what t0 t);
+      s.Eval.words
+    in
+    let b = cell Pipeline.Baseline in
+    let j = cell Pipeline.Join_points in
+    Fmt.pr "%-34s %12d %12d %a@." name b j pp_delta
+      (if b = 0 then 0.0 else float_of_int (j - b) /. float_of_int b *. 100.0)
+  with Skip_row -> ()
 
 let fusion_table n =
   Fmt.pr "@.%s@." (String.make 72 '-');
@@ -266,15 +284,21 @@ let fusion_table n =
    column for column: the block machine's jumps are lowered F_J jumps,
    its calls went through closures the baseline had to allocate, etc. *)
 let machine_rows name denv core t0 mode =
+  let what = Fmt.str "block machine %s (%s)" name (Pipeline.mode_name mode) in
   let e = optimize mode denv core in
-  let _, es = Eval.run_deep e in
+  let _, es = run_bounded ~what e in
   let prog = Fj_machine.Lower.lower_program e in
-  let v, s = Fj_machine.Bmachine.run prog in
-  ignore
-    (check_tree
-       ~what:(Fmt.str "block machine %s (%s)" name (Pipeline.mode_name mode))
-       t0
-       (Fj_machine.Bmachine.tree_of_value v));
+  let v, s =
+    match Fj_machine.Bmachine.run ~fuel:bench_fuel prog with
+    | v, s -> (v, s)
+    | exception Fj_machine.Bmachine.Out_of_fuel ->
+        fail "%s: block machine out of fuel" what;
+        raise Skip_row
+    | exception Fj_machine.Bmachine.Stuck m ->
+        fail "%s: block machine stuck: %s" what m;
+        raise Skip_row
+  in
+  ignore (check_tree ~what t0 (Fj_machine.Bmachine.tree_of_value v));
   let row machine (s : Mstats.t) =
     Fmt.pr "%-28s %-12s %-6s %8d %8d %8d %8d %6d@." name
       (Pipeline.mode_name mode) machine s.words s.jumps s.calls s.steps
@@ -290,10 +314,12 @@ let machine_table () =
      calls    steps  stack@.";
   Fmt.pr "%s@." (String.make 88 '-');
   let check name src =
-    let denv, core = Fj_fusion.Streams.compile_pipeline src in
-    let t0, _ = Eval.run_deep core in
-    machine_rows name denv core t0 Pipeline.Baseline;
-    machine_rows name denv core t0 Pipeline.Join_points
+    try
+      let denv, core = Fj_fusion.Streams.compile_pipeline src in
+      let t0, _ = run_bounded ~what:name core in
+      machine_rows name denv core t0 Pipeline.Baseline;
+      machine_rows name denv core t0 Pipeline.Join_points
+    with Skip_row -> ()
   in
   check "skipless pipeline n=200"
     (Fj_fusion.Streams.sum_map_filter_skipless 200);
@@ -310,22 +336,22 @@ let cc_ablation () =
   Fmt.pr "%s@." (String.make 72 '-');
   List.iter
     (fun (prog : Bench_programs.program) ->
-      let denv, core = Bench_programs.compile prog in
-      let t0, _ = Eval.run_deep core in
-      let words mode =
-        let e = optimize mode denv core in
-        let t, s = Eval.run_deep e in
-        ignore
-          (check_tree
-             ~what:
-               (Fmt.str "cc-ablation %s (%s)" prog.name
-                  (Pipeline.mode_name mode))
-             t0 t);
-        s.Eval.words
-      in
-      Fmt.pr "%-36s %13d %17d@." prog.name
-        (words Pipeline.Join_points)
-        (words Pipeline.No_cc))
+      try
+        let denv, core = Bench_programs.compile prog in
+        let t0, _ = run_bounded ~what:prog.name core in
+        let words mode =
+          let e = optimize mode denv core in
+          let what =
+            Fmt.str "cc-ablation %s (%s)" prog.name (Pipeline.mode_name mode)
+          in
+          let t, s = run_bounded ~what e in
+          ignore (check_tree ~what t0 t);
+          s.Eval.words
+        in
+        Fmt.pr "%-36s %13d %17d@." prog.name
+          (words Pipeline.Join_points)
+          (words Pipeline.No_cc)
+      with Skip_row -> ())
     [ Bench_programs.k_nucleotide; Bench_programs.n_body; Bench_programs.transform ]
 
 (* ------------------------------------------------------------------ *)

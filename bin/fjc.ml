@@ -28,7 +28,17 @@
     - [fjc erase FILE]  — optimise, erase join points (Thm. 5), Lint
       the resulting System F term and print it;
     - [fjc lower FILE]  — lower to the block IR and print it, or run it
-      on the block machine with [--exec]. *)
+      on the block machine with [--exec];
+    - [fjc fuzz]        — differential fuzzing: seeded well-typed random
+      programs compiled under every configuration and compared against
+      the unoptimised program on every observable; failures are
+      minimized and reported with their replay seed.
+
+    [run], [dump] and [trace] compile under the self-healing [Recover]
+    guard policy (a failing pass is rolled back and reported as an
+    incident); [--strict] restores the aborting behaviour, and
+    [--fault POINT:BEHAVIOUR] arms a named fault-injection point to
+    demonstrate or test the machinery. *)
 
 open Fj_core
 
@@ -138,13 +148,83 @@ let dup_threshold_flag =
            than shared as a join point.")
 
 let pipeline_config ?(inline_threshold = default_inline_threshold)
-    ?(dup_threshold = default_dup_threshold) mode iters (l : loaded) =
+    ?(dup_threshold = default_dup_threshold) ?(policy = Guard.Recover) mode
+    iters (l : loaded) =
   Pipeline.default_config ~mode ~iterations:iters ~datacons:l.denv
-    ~inline_threshold ~dup_threshold ()
+    ~inline_threshold ~dup_threshold ~policy ()
 
-let optimized ?inline_threshold ?dup_threshold mode iters (l : loaded) =
-  Pipeline.run (pipeline_config ?inline_threshold ?dup_threshold mode iters l)
+let optimized ?inline_threshold ?dup_threshold ?policy mode iters (l : loaded)
+    =
+  Pipeline.run
+    (pipeline_config ?inline_threshold ?dup_threshold ?policy mode iters l)
     l.core
+
+(* The driver compiles under the self-healing [Recover] policy: a
+   misbehaving optimisation pass is rolled back and reported, not
+   allowed to kill the compilation. [--strict] restores the abort
+   behaviour (the posture for debugging the compiler itself). *)
+let policy_flag =
+  Arg.(
+    value
+    & vflag Guard.Recover
+        [
+          ( Guard.Strict,
+            info [ "strict" ]
+              ~doc:
+                "Abort compilation when a pass fails (raises, breaks Lint) \
+                 instead of rolling the pass back and continuing." );
+          ( Guard.Recover,
+            info [ "recover" ]
+              ~doc:
+                "Roll back and report a failing pass, continuing from the \
+                 pre-pass tree (the default)." );
+        ])
+
+(* --fault POINT:BEHAVIOUR arms a named failure point inside the
+   optimizer before compiling — the demonstration (and CI test) hook
+   for the recovery machinery. *)
+let fault_conv =
+  let parse s =
+    match String.rindex_opt s ':' with
+    | None ->
+        Error
+          (`Msg
+            (Fmt.str
+               "expected POINT:BEHAVIOUR (points: %s; behaviours: raise, \
+                ill-typed, burn-fuel, grow)"
+               (String.concat ", " Fault.points)))
+    | Some i -> (
+        let point = String.sub s 0 i in
+        let beh = String.sub s (i + 1) (String.length s - i - 1) in
+        match Fault.behaviour_of_string beh with
+        | None -> Error (`Msg (Fmt.str "unknown behaviour %S" beh))
+        | Some b ->
+            if List.mem point Fault.points then Ok (point, b)
+            else
+              Error
+                (`Msg
+                  (Fmt.str "unknown fault point %S (known: %s)" point
+                     (String.concat ", " Fault.points))))
+  in
+  let print ppf (p, b) = Fmt.pf ppf "%s:%s" p (Fault.behaviour_name b) in
+  Arg.conv (parse, print)
+
+let fault_flag =
+  Arg.(
+    value & opt_all fault_conv []
+    & info [ "fault" ] ~docv:"POINT:BEHAVIOUR"
+        ~doc:
+          "Arm a named fault-injection point inside the optimizer (e.g. \
+           $(b,simplify/result:raise)); repeatable. Under the default \
+           recover policy the failing pass is rolled back; under \
+           $(b,--strict) compilation aborts.")
+
+let arm_faults faults = List.iter (fun (p, b) -> Fault.arm p b) faults
+
+let report_incidents (r : Pipeline.report) =
+  List.iter
+    (fun i -> Fmt.epr "fjc: incident: %a@." Guard.pp_incident i)
+    (Pipeline.incidents r)
 
 (* ------------------------------------------------------------------ *)
 (* check                                                               *)
@@ -166,11 +246,20 @@ let check_cmd =
 
 let run_cmd =
   let doc = "Compile and evaluate a program." in
-  let run file no_prelude mode iters unopt inline_threshold dup_threshold =
+  let run file no_prelude mode iters unopt inline_threshold dup_threshold
+      policy faults =
+    arm_faults faults;
     let l = load ~no_prelude file in
     let e =
       if unopt then l.core
-      else optimized ~inline_threshold ~dup_threshold mode iters l
+      else begin
+        let cfg =
+          pipeline_config ~inline_threshold ~dup_threshold ~policy mode iters l
+        in
+        let e, r = Pipeline.run_report cfg l.core in
+        report_incidents r;
+        e
+      end
     in
     (match Lint.lint_result l.denv e with
     | Ok _ -> ()
@@ -188,7 +277,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ file_arg $ no_prelude_flag $ mode_flag $ iters_flag
-      $ unopt_flag $ inline_threshold_flag $ dup_threshold_flag)
+      $ unopt_flag $ inline_threshold_flag $ dup_threshold_flag $ policy_flag
+      $ fault_flag)
 
 (* ------------------------------------------------------------------ *)
 (* dump                                                                *)
@@ -197,14 +287,16 @@ let run_cmd =
 let dump_cmd =
   let doc = "Print the optimised Core." in
   let run file no_prelude mode iters unopt report inline_threshold
-      dup_threshold =
+      dup_threshold policy faults =
+    arm_faults faults;
     let l = load ~no_prelude file in
     if unopt then Fmt.pr "%a@." Pretty.pp l.core
     else begin
       let cfg =
-        pipeline_config ~inline_threshold ~dup_threshold mode iters l
+        pipeline_config ~inline_threshold ~dup_threshold ~policy mode iters l
       in
       let e, r = Pipeline.run_report cfg l.core in
+      report_incidents r;
       if report then Fmt.pr "-- passes:@.%a@.@." Pipeline.pp_report r;
       Fmt.pr "%a@." Pretty.pp e
     end;
@@ -222,7 +314,8 @@ let dump_cmd =
   Cmd.v (Cmd.info "dump" ~doc)
     Term.(
       const run $ file_arg $ no_prelude_flag $ mode_flag $ iters_flag
-      $ unopt_flag $ report_flag $ inline_threshold_flag $ dup_threshold_flag)
+      $ unopt_flag $ report_flag $ inline_threshold_flag $ dup_threshold_flag
+      $ policy_flag $ fault_flag)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
@@ -230,10 +323,15 @@ let dump_cmd =
 
 let trace_cmd =
   let doc = "Optimise and emit the structured JSON trace of the pipeline." in
-  let run file no_prelude mode iters out inline_threshold dup_threshold =
+  let run file no_prelude mode iters out inline_threshold dup_threshold
+      policy faults =
+    arm_faults faults;
     let l = load ~no_prelude file in
-    let cfg = pipeline_config ~inline_threshold ~dup_threshold mode iters l in
+    let cfg =
+      pipeline_config ~inline_threshold ~dup_threshold ~policy mode iters l
+    in
     let _, r = Pipeline.run_report cfg l.core in
+    report_incidents r;
     write_output ~what:"trace" out (Pipeline.report_to_json r)
   in
   let out_flag =
@@ -246,7 +344,8 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
       const run $ file_arg $ no_prelude_flag $ mode_flag $ iters_flag
-      $ out_flag $ inline_threshold_flag $ dup_threshold_flag)
+      $ out_flag $ inline_threshold_flag $ dup_threshold_flag $ policy_flag
+      $ fault_flag)
 
 (* ------------------------------------------------------------------ *)
 (* stats                                                               *)
@@ -704,6 +803,95 @@ let sexp_cmd =
     Term.(const run $ file_arg $ no_prelude_flag $ mode_flag $ iters_flag)
 
 (* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let doc =
+    "Differential fuzzing: generated well-typed programs, every pipeline \
+     configuration vs the unoptimised seed (results, Lint, evaluation \
+     strategies, the zero-allocation join invariant)."
+  in
+  let run seed count size fuel out verbose faults =
+    arm_faults faults;
+    let on_case case_seed v =
+      match v with
+      | Fuzz.Pass ->
+          if verbose then Fmt.pr "seed %d: pass@." case_seed
+      | Fuzz.Skip why ->
+          if verbose then Fmt.pr "seed %d: skip (%s)@." case_seed why
+      | Fuzz.Fail { mode; kind; _ } ->
+          Fmt.pr "seed %d: FAIL %s under %s (minimizing...)@." case_seed kind
+            mode
+    in
+    let s = Fuzz.run ~size ~fuel ~on_case ~seed ~count () in
+    Fmt.pr "fuzz: %d case(s): %d passed, %d skipped, %d failed@." s.Fuzz.cases
+      s.Fuzz.passed s.Fuzz.skipped
+      (List.length s.Fuzz.failures);
+    List.iter (fun f -> Fmt.pr "@.%a@." Fuzz.pp_failure f) s.Fuzz.failures;
+    (match out with
+    | None -> ()
+    | Some dir ->
+        (* One JSON file per minimized counterexample, named by seed so
+           CI artifacts are self-describing. *)
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        List.iter
+          (fun (f : Fuzz.failure) ->
+            let path =
+              Filename.concat dir (Fmt.str "counterexample-%d.json" f.f_seed)
+            in
+            ignore
+              (write_output ~what:"counterexample" path
+                 (Telemetry.Json.to_string (Fuzz.failure_json f))))
+          s.Fuzz.failures);
+    if s.Fuzz.failures = [] then 0 else 1
+  in
+  let seed_flag =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"First case seed; case $(i,i) uses seed $(docv)+$(i,i).")
+  in
+  let count_flag =
+    Arg.(
+      value & opt int 100
+      & info [ "count"; "n" ] ~docv:"N" ~doc:"Number of cases to run.")
+  in
+  let size_flag =
+    Arg.(
+      value & opt int Gen.default_size
+      & info [ "size" ] ~docv:"N" ~doc:"Generator size budget per program.")
+  in
+  let fuel_flag =
+    Arg.(
+      value
+      & opt int 200_000
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:
+            "Machine steps allowed per evaluation of the seed program \
+             (optimised programs get 8x; exhaustion is a skip, not a \
+             failure).")
+  in
+  let out_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:
+            "Write each minimized counterexample as JSON into this \
+             directory (created if missing).")
+  in
+  let verbose_flag =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ] ~doc:"Report every case, not just failures.")
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      const run $ seed_flag $ count_flag $ size_flag $ fuel_flag $ out_flag
+      $ verbose_flag $ fault_flag)
+
+(* ------------------------------------------------------------------ *)
 (* main                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -715,4 +903,4 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [ check_cmd; run_cmd; dump_cmd; trace_cmd; stats_cmd; profile_cmd;
-            explain_cmd; erase_cmd; lower_cmd; cps_cmd; sexp_cmd ]))
+            explain_cmd; erase_cmd; lower_cmd; cps_cmd; sexp_cmd; fuzz_cmd ]))

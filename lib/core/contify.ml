@@ -405,6 +405,10 @@ let rec contify (e : expr) : expr =
                 e'
             | None -> fallback ()))
 
+(* Injection point for the {!Guard} recovery tests (identity unless
+   armed). *)
+let contify e = Fault.point "contify/result" (contify e)
+
 (** [contify] under a private collector; returns the term and this
     invocation's contified-binding count. The ticks are re-emitted into
     the enclosing collector (if any) so a surrounding pipeline run

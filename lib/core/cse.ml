@@ -106,7 +106,7 @@ let rec cse_expr (env : env) (e : expr) : expr =
       | Jump (j, phis, es, ty) -> Jump (j, phis, List.map (cse_expr env) es, ty))
 
 (** Run CSE over a whole program. *)
-let run (e : expr) : expr = cse_expr empty e
+let run (e : expr) : expr = Fault.point "cse/result" (cse_expr empty e)
 
 (** [run] plus this invocation's count of shared occurrences. Forwards
     the ticks to any enclosing collector so pipeline totals still see

@@ -654,3 +654,18 @@ let rec pp_tree ppf = function
 let run_deep ?(mode = By_need) ?(fuel = max_int) ?profile e : tree * stats =
   let v, stats = eval ~mode ~fuel ?profile e in
   (force_deep ~fuel v, stats)
+
+type outcome =
+  | Finished of tree * stats
+  | Fuel_exhausted
+  | Crashed of string
+
+(** {!run_deep} with the exceptional exits reified: a program that
+    diverges (relative to the fuel budget) or gets stuck yields a
+    graceful outcome instead of killing the harness — the bench and
+    fuzz oracles run generated programs through this. *)
+let run_outcome ?mode ?(fuel = max_int) ?profile e : outcome =
+  match run_deep ?mode ~fuel ?profile e with
+  | t, s -> Finished (t, s)
+  | exception Out_of_fuel -> Fuel_exhausted
+  | exception Stuck m -> Crashed m

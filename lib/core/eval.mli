@@ -62,3 +62,15 @@ val pp_tree : Format.formatter -> tree -> unit
     statistics nor the profile include the observation forcing. *)
 val run_deep :
   ?mode:mode -> ?fuel:int -> ?profile:Profile.t -> Syntax.expr -> tree * stats
+
+(** The three ways a fuel-bounded run can end, reified. *)
+type outcome =
+  | Finished of tree * stats
+  | Fuel_exhausted  (** The fuel budget ran out ({!Out_of_fuel}). *)
+  | Crashed of string  (** The machine got {!Stuck}; the message. *)
+
+(** {!run_deep} with {!Out_of_fuel} and {!Stuck} captured as outcomes
+    rather than exceptions — so a divergent generated program cannot
+    wedge a harness. *)
+val run_outcome :
+  ?mode:mode -> ?fuel:int -> ?profile:Profile.t -> Syntax.expr -> outcome

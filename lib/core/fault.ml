@@ -1,0 +1,108 @@
+(** Fault injection — see the interface for the design. *)
+
+type behaviour = Raise | Ill_typed | Burn_fuel | Grow
+
+let behaviour_name = function
+  | Raise -> "raise"
+  | Ill_typed -> "ill-typed"
+  | Burn_fuel -> "burn-fuel"
+  | Grow -> "grow"
+
+let behaviour_of_string = function
+  | "raise" -> Some Raise
+  | "ill-typed" -> Some Ill_typed
+  | "burn-fuel" -> Some Burn_fuel
+  | "grow" -> Some Grow
+  | _ -> None
+
+exception Injected of string
+
+let points =
+  [
+    "simplify/input";
+    "simplify/result";
+    "contify/result";
+    "cse/result";
+    "float-in/result";
+    "float-out/result";
+    "spec-constr/result";
+  ]
+
+let armed_tbl : (string, behaviour) Hashtbl.t = Hashtbl.create 7
+let fired_rev : string list ref = ref []
+
+let known name = List.mem name points
+
+let arm name b =
+  if not (known name) then
+    invalid_arg
+      (Fmt.str "Fault.arm: unknown point %S (known: %s)" name
+         (String.concat ", " points));
+  Hashtbl.replace armed_tbl name b
+
+let disarm name = Hashtbl.remove armed_tbl name
+let disarm_all () = Hashtbl.reset armed_tbl
+
+let armed () =
+  List.filter_map
+    (fun p ->
+      Option.map (fun b -> (p, b)) (Hashtbl.find_opt armed_tbl p))
+    points
+
+let fired () = List.rev !fired_rev
+let reset_fired () = fired_rev := []
+
+let with_armed arms f =
+  let saved = armed () in
+  Fun.protect
+    ~finally:(fun () ->
+      disarm_all ();
+      List.iter (fun (p, b) -> arm p b) saved)
+    (fun () ->
+      disarm_all ();
+      reset_fired ();
+      List.iter (fun (p, b) -> arm p b) arms;
+      f ())
+
+(* A characteristically ill-typed tree: applying an integer literal.
+   Lint rejects it at the root, whatever [e] is. *)
+let corrupt (e : Syntax.expr) : Syntax.expr =
+  Syntax.App (Syntax.Lit (Literal.Int 0), e)
+
+(* A well-typed but size-exploded tree: enough freshened copies of [e],
+   bound and discarded, to exceed the default size ceiling. *)
+let grow (e : Syntax.expr) : Syntax.expr =
+  let size = max 1 (Syntax.size e) in
+  let l = Guard.default_limits in
+  let limit = (l.Guard.max_growth_factor * size) + l.Guard.max_growth_slack in
+  let copies = (limit / size) + 2 in
+  let ty = Syntax.ty_of e in
+  let rec pile n acc =
+    if n <= 0 then acc
+    else
+      let x = Syntax.mk_var "fault_grow" ty in
+      pile (n - 1) (Syntax.Let (Syntax.NonRec (x, Subst.freshen e), acc))
+  in
+  pile copies e
+
+(* How long an armed [Burn_fuel] point spins when no {!Guard} budget is
+   installed to cut it off: large enough to trip any realistic budget,
+   small enough to terminate promptly in bare (unguarded) runs. *)
+let burn_iters = 50_000_000
+
+let point name (e : Syntax.expr) : Syntax.expr =
+  if not (known name) then
+    invalid_arg (Fmt.str "Fault.point: unknown point %S" name);
+  match Hashtbl.find_opt armed_tbl name with
+  | None -> e
+  | Some b -> (
+      fired_rev := name :: !fired_rev;
+      match b with
+      | Raise -> raise (Injected name)
+      | Ill_typed -> corrupt e
+      | Grow -> grow e
+      | Burn_fuel ->
+          for _ = 1 to burn_iters do
+            Guard.spend 1
+          done;
+          e)

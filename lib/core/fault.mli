@@ -1,0 +1,59 @@
+(** Fault injection: armable named failure points inside the
+    Core-to-Core passes, so the {!Guard} recovery machinery is
+    testable.
+
+    Each optimisation pass threads its result through a named
+    {!point}. Unarmed points are identity and cost one table lookup;
+    an armed point misbehaves in one of four characteristic ways —
+    the exact failure modes the pass harness must contain:
+
+    - [Raise]: the pass throws;
+    - [Ill_typed]: the pass returns a tree that breaks the Fig. 2
+      typing rules (caught by the lint gate);
+    - [Burn_fuel]: the pass spins, spending {!Guard.spend} fuel until
+      the budget cuts it off (a "runaway simplifier");
+    - [Grow]: the pass returns a well-typed but size-exploded tree
+      (caught by the size ceiling).
+
+    The registry is global mutable state (the points live inside pass
+    code with no configuration path); use {!with_armed} to scope the
+    arming, and {!fired} to assert a point actually triggered. *)
+
+type behaviour = Raise | Ill_typed | Burn_fuel | Grow
+
+val behaviour_name : behaviour -> string
+
+(** Parse ["raise" | "ill-typed" | "burn-fuel" | "grow"]. *)
+val behaviour_of_string : string -> behaviour option
+
+(** Raised by a point armed with [Raise]. *)
+exception Injected of string
+
+(** Every failure point compiled into the passes, in display order. *)
+val points : string list
+
+(** Arm a point. @raise Invalid_argument on an unknown point name. *)
+val arm : string -> behaviour -> unit
+
+val disarm : string -> unit
+val disarm_all : unit -> unit
+
+(** Currently armed points, with their behaviour. *)
+val armed : unit -> (string * behaviour) list
+
+(** Points that have triggered (acted while armed) since the last
+    {!reset_fired}. *)
+val fired : unit -> string list
+
+val reset_fired : unit -> unit
+
+(** [with_armed arms f] arms the given points for the dynamic extent
+    of [f] (clearing the fired set first), then restores the previous
+    arming. *)
+val with_armed : (string * behaviour) list -> (unit -> 'a) -> 'a
+
+(** The hook the passes call: [point name e] returns [e] unless [name]
+    is armed, in which case it misbehaves per the armed behaviour.
+    @raise Invalid_argument on an unknown point name, so a typo in a
+    pass cannot silently create an unarmable point. *)
+val point : string -> Syntax.expr -> Syntax.expr

@@ -138,4 +138,4 @@ let rec float_in (e : expr) : expr =
 let run (e : expr) : expr * bool =
   changed := false;
   let e' = float_in e in
-  (e', !changed)
+  (Fault.point "float-in/result" e', !changed)

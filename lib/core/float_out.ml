@@ -120,4 +120,4 @@ let rec float_out (e : expr) : expr =
 let run (e : expr) : expr * bool =
   changed := false;
   let e' = float_out e in
-  (e', !changed)
+  (Fault.point "float-out/result" e', !changed)

@@ -1,0 +1,190 @@
+(** The differential fuzzing harness — see the interface for the
+    oracle. *)
+
+open Syntax
+
+let dc = Datacon.builtins
+let default_fuel = 200_000
+
+type verdict =
+  | Pass
+  | Skip of string
+  | Fail of { mode : string; kind : string; detail : string }
+
+let fail mode kind detail = Fail { mode; kind; detail }
+
+(* The three pipeline configurations under test. Baseline and No_cc
+   model compilers without first-class join points, so (as in the
+   property suite) they compile the erased program. Strict policy and
+   per-pass lint: a pass bug must surface as a failure here, not be
+   healed by the recovery machinery it is meant to exercise. *)
+let configurations =
+  [ Pipeline.Baseline; Pipeline.Join_points; Pipeline.No_cc ]
+
+let optimize mode (e : expr) : (expr, string) result =
+  let e =
+    if mode = Pipeline.Join_points then e else Erase.erase e
+  in
+  let cfg =
+    Pipeline.default_config ~mode ~datacons:dc ~policy:Guard.Strict
+      ~lint_every_pass:true ()
+  in
+  match Pipeline.run cfg e with
+  | e' -> Ok e'
+  | exception Pipeline.Pass_broke_lint (pass, err) ->
+      Error (Fmt.str "pass %s broke lint: %a" pass Lint.pp_error err)
+  | exception exn -> Error (Printexc.to_string exn)
+
+let check_program ?(fuel = default_fuel) (e : expr) : verdict =
+  if not (Lint.well_typed dc e) then
+    fail "seed" "generator-ill-typed" "generated program does not lint"
+  else
+    let seed_prof = Profile.create ~trace_cap:0 () in
+    match Eval.run_outcome ~fuel ~profile:seed_prof e with
+    | Eval.Fuel_exhausted -> Skip "seed program exhausts the fuel budget"
+    | Eval.Crashed m -> fail "seed" "seed-stuck" m
+    | Eval.Finished (t0, _) -> (
+        (* Sites (of any kind) that already allocate in the unoptimised
+           run. A join body is free to allocate — its result value is
+           the program's allocation, not the machinery's — and contify
+           legitimately moves a lambda's allocation under a join label.
+           The invariant the oracle enforces is that optimisation does
+           not *introduce* allocation at a join site whose label was
+           allocation-free before. *)
+        let seed_allocating =
+          List.filter_map
+            (fun (s : Profile.site) ->
+              if s.s_words > 0 then Some s.site_label else None)
+            (Profile.sites seed_prof)
+        in
+        (* Strategy agreement: call-by-name must reach the same answer
+           (more steps, so give it a larger budget; a timeout is only a
+           skip). *)
+        match Eval.run_outcome ~mode:Eval.By_name ~fuel:(8 * fuel) e with
+        | Eval.Crashed m -> fail "seed" "strategy-disagree" ("by-name stuck: " ^ m)
+        | Eval.Finished (t1, _) when not (Eval.equal_tree t0 t1) ->
+            fail "seed" "strategy-disagree"
+              (Option.value ~default:"trees differ" (Eval.tree_mismatch t0 t1))
+        | Eval.Fuel_exhausted | Eval.Finished _ -> (
+            let rec modes = function
+              | [] -> Pass
+              | mode :: rest -> (
+                  let mname = Pipeline.mode_name mode in
+                  match optimize mode e with
+                  | Error detail -> fail mname "pass-aborted" detail
+                  | Ok e' -> (
+                      if not (Lint.well_typed dc e') then
+                        fail mname "output-ill-typed"
+                          "optimised program does not lint"
+                      else
+                        let prof = Profile.create ~trace_cap:0 () in
+                        match
+                          Eval.run_outcome ~fuel:(8 * fuel) ~profile:prof e'
+                        with
+                        | Eval.Fuel_exhausted ->
+                            Skip
+                              (Fmt.str
+                                 "optimised (%s) program exhausts the fuel \
+                                  budget"
+                                 mname)
+                        | Eval.Crashed m -> fail mname "output-stuck" m
+                        | Eval.Finished (t, _) -> (
+                            match Eval.tree_mismatch t0 t with
+                            | Some where ->
+                                fail mname "result-mismatch" where
+                            | None -> (
+                                match
+                                  List.find_opt
+                                    (fun (s : Profile.site) ->
+                                      s.s_words > 0
+                                      && not
+                                           (List.mem s.site_label
+                                              seed_allocating))
+                                    (Profile.join_sites prof)
+                                with
+                                | Some s ->
+                                    fail mname "join-site-allocated"
+                                      (Fmt.str "join site %s allocated %d words"
+                                         s.site_label s.s_words)
+                                | None -> modes rest))))
+            in
+            modes configurations))
+
+(* ------------------------------------------------------------------ *)
+(* Counterexamples                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type failure = {
+  f_seed : int;
+  f_mode : string;
+  f_kind : string;
+  f_detail : string;
+  f_size_orig : int;
+  f_program : expr;
+}
+
+let pp_failure ppf f =
+  Fmt.pf ppf
+    "@[<v>seed %d: %s under %s (%s)@,size %d -> %d (minimized)@,%s@]" f.f_seed
+    f.f_kind f.f_mode f.f_detail f.f_size_orig (size f.f_program)
+    (Sexp.write f.f_program)
+
+let failure_json (f : failure) =
+  Telemetry.Json.(
+    Obj
+      [
+        ("seed", Int f.f_seed);
+        ("mode", Str f.f_mode);
+        ("kind", Str f.f_kind);
+        ("detail", Str f.f_detail);
+        ("size_orig", Int f.f_size_orig);
+        ("size_min", Int (size f.f_program));
+        ("program", Str (Sexp.write f.f_program));
+      ])
+
+type summary = {
+  cases : int;
+  passed : int;
+  skipped : int;
+  failures : failure list;
+}
+
+let run ?(size = Gen.default_size) ?(fuel = default_fuel)
+    ?(on_case = fun _ _ -> ()) ~seed ~count () : summary =
+  let passed = ref 0 and skipped = ref 0 and failures = ref [] in
+  for i = 0 to count - 1 do
+    let case_seed = seed + i in
+    let e = Gen.program_of_seed ~size case_seed in
+    let v = check_program ~fuel e in
+    on_case case_seed v;
+    match v with
+    | Pass -> incr passed
+    | Skip _ -> incr skipped
+    | Fail { mode; kind; detail } ->
+        (* Minimize: candidates must still lint (shrinking is
+           structural, not type-directed) and still fail the oracle —
+           any failure kind counts, so the shrinker may surface an
+           even simpler neighbouring bug. *)
+        let failing e =
+          Lint.well_typed dc e
+          &&
+          match check_program ~fuel e with Fail _ -> true | _ -> false
+        in
+        let minimized = Gen.minimize ~failing e in
+        failures :=
+          {
+            f_seed = case_seed;
+            f_mode = mode;
+            f_kind = kind;
+            f_detail = detail;
+            f_size_orig = Syntax.size e;
+            f_program = minimized;
+          }
+          :: !failures
+  done;
+  {
+    cases = count;
+    passed = !passed;
+    skipped = !skipped;
+    failures = List.rev !failures;
+  }

@@ -1,0 +1,69 @@
+(** The differential fuzzing harness behind [fjc fuzz]: generate a
+    seeded well-typed program ({!Gen}), compile it under all three
+    pipeline configurations, and compare every observable against the
+    unoptimised seed program — results (the Fig. 3 evaluator, fuel
+    bounded), typing (Lint on every output), evaluation-strategy
+    agreement (call-by-name vs call-by-need), and the paper's
+    allocation invariant — optimisation must not introduce allocation
+    at a join-labelled cost centre whose label was allocation-free in
+    the unoptimised run (checked via {!Profile}; a join {e body} is
+    free to allocate its result). A failing program is greedily
+    minimized ({!Gen.minimize}) and reported as a reproducible
+    s-expression plus its generation seed. *)
+
+(** What one fuzz case concluded. *)
+type verdict =
+  | Pass
+  | Skip of string
+      (** Oracle not applicable — e.g. the seed program exhausts the
+          fuel budget. Never counts as a failure. *)
+  | Fail of { mode : string; kind : string; detail : string }
+      (** [mode] is the pipeline configuration that misbehaved (or
+          ["seed"] for failures of the unoptimised program itself),
+          [kind] a stable failure class: ["generator-ill-typed"],
+          ["seed-stuck"], ["strategy-disagree"], ["pass-aborted"],
+          ["output-ill-typed"], ["output-stuck"], ["result-mismatch"],
+          ["join-site-allocated"]. *)
+
+(** Run the full oracle on one (closed, generated) program. [fuel]
+    bounds each evaluation (default 200_000 machine steps). *)
+val check_program : ?fuel:int -> Syntax.expr -> verdict
+
+(** A minimized counterexample. *)
+type failure = {
+  f_seed : int;  (** Replay: [Gen.program_of_seed ~size f_seed]. *)
+  f_mode : string;
+  f_kind : string;
+  f_detail : string;  (** Of the {e original} failure. *)
+  f_size_orig : int;  (** Size of the program as generated. *)
+  f_program : Syntax.expr;  (** Minimized; still fails the oracle. *)
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+
+(** [{seed, mode, kind, detail, size_orig, size_min, program}] with
+    the program as its {!Sexp} text. *)
+val failure_json : failure -> Telemetry.Json.t
+
+type summary = {
+  cases : int;
+  passed : int;
+  skipped : int;
+  failures : failure list;  (** Oldest first. *)
+}
+
+(** [run ~seed ~count ()] fuzzes [count] cases with seeds [seed],
+    [seed+1], … — each case resets the {!Ident} supply
+    ({!Gen.program_of_seed}), so any case replays in isolation from
+    its printed seed. Failing cases are minimized (shrink candidates
+    must lint and still fail the oracle) before being reported.
+    [on_case] (if given) is called after each case with the seed and
+    its verdict — progress reporting for the CLI. *)
+val run :
+  ?size:int ->
+  ?fuel:int ->
+  ?on_case:(int -> verdict -> unit) ->
+  seed:int ->
+  count:int ->
+  unit ->
+  summary

@@ -1,0 +1,38 @@
+(** A seeded generator of random {e well-typed} F_J programs
+    (including join points, jumps, and bounded recursive loops), and a
+    greedy structural shrinker — the substrate of the [fjc fuzz]
+    differential harness and of the property-based test suite.
+
+    Programs are closed, Lint-clean by construction, and total up to
+    the evaluator's fuel (recursive joins loop over a strictly
+    decreasing counter). Generation is a pure function of the
+    {!Random.State.t} {e and} of the {!Ident} fresh-name supply:
+    {!program_of_seed} pins both, so a printed seed replays to the
+    byte-identical program in another process. *)
+
+(** Generation size budget (the [n] driving the recursion); the
+    default used by [fjc fuzz] and the property suite. *)
+val default_size : int
+
+(** Generate one program: a random result type, then a term of that
+    type. Deterministic in the RNG state and the current {!Ident}
+    supply. *)
+val program : ?size:int -> Random.State.t -> Syntax.expr
+
+(** [program_of_seed ~size seed] resets the {!Ident} fresh-name
+    counter, seeds a fresh RNG with [seed], and generates — the
+    reproducible entry point. {b Drop all previously generated terms
+    first}: resetting the supply makes their uniques collidable. *)
+val program_of_seed : ?size:int -> int -> Syntax.expr
+
+(** Immediate shrink candidates of a program: closed subterms,
+    let-elimination by substitution, case-branch selection — each no
+    larger than the input. Candidates are {e not} guaranteed
+    well-typed; filter with {!Lint.well_typed}. *)
+val shrink : Syntax.expr -> Syntax.expr list
+
+(** [minimize ~failing e] greedily applies {!shrink} while candidates
+    keep [failing] true (callers also bake well-typedness into
+    [failing]), up to [steps] rounds (default 500). Returns a local
+    minimum: no candidate both shrinks it and still fails. *)
+val minimize : ?steps:int -> failing:(Syntax.expr -> bool) -> Syntax.expr -> Syntax.expr

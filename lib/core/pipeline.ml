@@ -48,16 +48,25 @@ type config = {
           [Join_points]). *)
   datacons : Datacon.env;
   lint_every_pass : bool;
-      (** Typecheck between passes; raise {!Pass_broke_lint} on
-          failure. *)
+      (** Under [Strict] only: typecheck between passes; raise
+          {!Pass_broke_lint} on failure. Under [Recover] the lint gate
+          is always on (it is what triggers rollback). *)
+  policy : Guard.policy;
+      (** [Strict] (the default): any pass failure aborts compilation,
+          today's behaviour. [Recover]: a pass that raises, breaks
+          Lint, exhausts its fuel budget or explodes the term size is
+          rolled back to the pre-pass tree and recorded as a
+          {!Guard.incident} — every optimisation pass is optional. *)
+  limits : Guard.limits;  (** Per-pass budgets enforced under [Recover]. *)
 }
 
 let default_config ?(mode = Join_points) ?(iterations = 3)
     ?(inline_threshold = 60) ?(dup_threshold = 12) ?(strictness = true)
     ?(cse = true) ?(spec_constr = true) ?(rules = [])
-    ?(datacons = Datacon.builtins) ?(lint_every_pass = false) () =
+    ?(datacons = Datacon.builtins) ?(lint_every_pass = false)
+    ?(policy = Guard.Strict) ?(limits = Guard.default_limits) () =
   { mode; iterations; inline_threshold; dup_threshold; strictness; cse;
-    rules; spec_constr; datacons; lint_every_pass }
+    rules; spec_constr; datacons; lint_every_pass; policy; limits }
 
 exception Pass_broke_lint of string * Lint.error
 
@@ -73,10 +82,16 @@ type pass_record = {
   ticks : (string * int) list;  (** Ticks fired {e by this pass}. *)
   decisions : Decision.event list;
       (** Ledger entries recorded {e by this pass}. *)
+  incident : Guard.incident option;
+      (** Under [Recover]: the rollback this pass suffered, if any.
+          When set, [size_after] equals [size_before] (the pre-pass
+          tree was restored), while [ticks]/[decisions] still describe
+          what the failed pass did before being rolled back. *)
 }
 
 type report = {
   mode : string;
+  policy : string;  (** {!Guard.policy_name} of the run's policy. *)
   input_size : int;
   mutable output_size : int;
   mutable total_ms : float;
@@ -85,9 +100,10 @@ type report = {
   ledger : Decision.t;  (** Whole-run decision ledger. *)
 }
 
-let fresh_report mode e =
+let fresh_report (c : config) e =
   {
-    mode = mode_name mode;
+    mode = mode_name c.mode;
+    policy = Guard.policy_name c.policy;
     input_size = size e;
     output_size = size e;
     total_ms = 0.0;
@@ -104,6 +120,10 @@ let contified r = Telemetry.get r.counters Telemetry.Contified
 let decisions r = Decision.events r.ledger
 let decision_summary r = Decision.summary (decisions r)
 
+(** Rollbacks suffered during the run, in execution order (empty under
+    [Strict], which aborts instead). *)
+let incidents r = List.filter_map (fun p -> p.incident) (passes r)
+
 let pp_report ppf r =
   Fmt.pf ppf "@[<v>";
   List.iter
@@ -113,6 +133,11 @@ let pp_report ppf r =
     (passes r);
   Fmt.pf ppf "%-28s %8.3f ms   size %5d -> %5d@," "TOTAL" r.total_ms
     r.input_size r.output_size;
+  (let is = incidents r in
+   if is <> [] then begin
+     Fmt.pf ppf "Incidents (%d):@," (List.length is);
+     List.iter (fun i -> Fmt.pf ppf "  %a@," Guard.pp_incident i) is
+   end);
   Telemetry.pp_table ppf r.counters;
   (let ds = decisions r in
    if ds <> [] then
@@ -126,22 +151,27 @@ let ticks_json l =
 let pass_record_json (p : pass_record) =
   Telemetry.Json.(
     Obj
-      [
-        ("name", Str p.pass);
-        ("duration_ms", Float p.duration_ms);
-        ("lint_ms", Float p.lint_ms);
-        ("size_before", Int p.size_before);
-        ("size_after", Int p.size_after);
-        ("joins_after", Int p.joins_after);
-        ("ticks", ticks_json p.ticks);
-        ("decisions", Decision.summary_json p.decisions);
-      ])
+      ([
+         ("name", Str p.pass);
+         ("duration_ms", Float p.duration_ms);
+         ("lint_ms", Float p.lint_ms);
+         ("size_before", Int p.size_before);
+         ("size_after", Int p.size_after);
+         ("joins_after", Int p.joins_after);
+         ("ticks", ticks_json p.ticks);
+         ("decisions", Decision.summary_json p.decisions);
+       ]
+      @
+      match p.incident with
+      | None -> []
+      | Some i -> [ ("incident", Guard.incident_json i) ]))
 
 let report_json (r : report) =
   Telemetry.Json.(
     Obj
       [
         ("mode", Str r.mode);
+        ("policy", Str r.policy);
         ("input_size", Int r.input_size);
         ("output_size", Int r.output_size);
         ("total_ms", Float r.total_ms);
@@ -149,6 +179,7 @@ let report_json (r : report) =
         ("contified", Int (contified r));
         ("ticks", ticks_json (ticks r));
         ("decisions", Decision.summary_json (decisions r));
+        ("incidents", Arr (List.map Guard.incident_json (incidents r)));
         ("passes", Arr (List.map pass_record_json (passes r)));
       ])
 
@@ -181,28 +212,46 @@ let simplify_config (c : config) : Simplify.config =
 (** Run the configured pipeline. Returns the optimised term and the
     structured trace of the passes run. *)
 let run_report (c : config) (e : expr) : expr * report =
-  let report = fresh_report c.mode e in
+  let report = fresh_report c e in
   let t_run0 = Telemetry.now_ms () in
+  (* The label of the last pass whose output survived: under [Recover]
+     it is the provenance a rollback restores to. *)
+  let last_good = ref "input" in
   (* Time + size + tick-delta accounting around one pass. The optional
      Lint check is timed separately so the trace distinguishes forensic
-     overhead from optimisation work. *)
+     overhead from optimisation work. Under [Recover] the pass runs
+     inside {!Guard.protect}: on failure the pre-pass tree is kept and
+     the incident lands in the pass record. *)
   let step pass f e =
     let size_before = size e in
     let snap = Telemetry.snapshot report.counters in
     let dsnap = Decision.snapshot report.ledger in
     let t0 = Telemetry.now_ms () in
-    let e' = f e in
-    let t1 = Telemetry.now_ms () in
-    let lint_ms =
-      if not c.lint_every_pass then 0.0
-      else begin
-        let lt0 = Telemetry.now_ms () in
-        (match Lint.lint_result c.datacons e' with
-        | Ok _ -> ()
-        | Error err -> raise (Pass_broke_lint (pass, err)));
-        Telemetry.now_ms () -. lt0
-      end
+    let e', lint_ms, incident =
+      match c.policy with
+      | Guard.Strict ->
+          let e' = f e in
+          let lint_ms =
+            if not c.lint_every_pass then 0.0
+            else begin
+              let lt0 = Telemetry.now_ms () in
+              (match Lint.lint_result c.datacons e' with
+              | Ok _ -> ()
+              | Error err -> raise (Pass_broke_lint (pass, err)));
+              Telemetry.now_ms () -. lt0
+            end
+          in
+          (e', lint_ms, None)
+      | Guard.Recover -> (
+          match
+            Guard.protect ~limits:c.limits ~datacons:c.datacons ~pass
+              ~restored:!last_good f e
+          with
+          | Ok (e', lint_ms) -> (e', lint_ms, None)
+          | Error incident -> (e, 0.0, Some incident))
     in
+    let t1 = Telemetry.now_ms () in
+    if incident = None then last_good := pass;
     report.passes_rev <-
       {
         pass;
@@ -213,6 +262,7 @@ let run_report (c : config) (e : expr) : expr * report =
         joins_after = count_joins e';
         ticks = Telemetry.delta_since snap report.counters;
         decisions = Decision.events_since dsnap report.ledger;
+        incident;
       }
       :: report.passes_rev;
     e'
@@ -253,6 +303,10 @@ let run_report (c : config) (e : expr) : expr * report =
                       Fmt.str "rules (%d): %s" i (String.concat "," !fired)
                   }
                   :: t
+            | { incident = Some _; _ } :: _ ->
+                (* A rolled-back rules pass fired nothing, but the
+                   incident must stay in the trace. *)
+                ()
             | _ :: t -> report.passes_rev <- t
             | [] -> ());
             e'

@@ -17,6 +17,13 @@ type config = {
   spec_constr : bool;
   datacons : Datacon.env;
   lint_every_pass : bool;
+  policy : Guard.policy;
+      (** [Strict] (default): pass failures abort compilation.
+          [Recover]: failed passes are rolled back and recorded as
+          {!Guard.incident}s — every optimisation pass is optional. *)
+  limits : Guard.limits;
+      (** Per-pass fuel / size-growth budgets enforced under
+          [Recover]. *)
 }
 
 val default_config :
@@ -30,6 +37,8 @@ val default_config :
   ?rules:Rules.rule list ->
   ?datacons:Datacon.env ->
   ?lint_every_pass:bool ->
+  ?policy:Guard.policy ->
+  ?limits:Guard.limits ->
   unit ->
   config
 
@@ -48,6 +57,9 @@ type pass_record = {
   ticks : (string * int) list;  (** Ticks fired by this pass. *)
   decisions : Decision.event list;
       (** Ledger entries recorded by this pass, oldest first. *)
+  incident : Guard.incident option;
+      (** Under the [Recover] policy: the rollback this pass suffered,
+          if any ([size_after] then equals [size_before]). *)
 }
 
 (** A structured trace of one pipeline run: per-pass timing, term
@@ -77,13 +89,19 @@ val decisions : report -> Decision.event list
     ["action:verdict[:reason]"], sorted. *)
 val decision_summary : report -> (string * int) list
 
+(** Rollbacks suffered during the run, in execution order. Always
+    empty under [Strict] (which aborts instead of rolling back). *)
+val incidents : report -> Guard.incident list
+
 (** Per-pass table followed by the GHC-style "Total ticks" table. *)
 val pp_report : Format.formatter -> report -> unit
 
-(** The full trace as JSON: [{mode, input_size, output_size, total_ms,
-    total_ticks, contified, ticks: {name: count}, decisions: {fired,
-    rejected, counts}, passes: [{name, duration_ms, lint_ms,
-    size_before, size_after, joins_after, ticks, decisions}]}]. *)
+(** The full trace as JSON: [{mode, policy, input_size, output_size,
+    total_ms, total_ticks, contified, ticks: {name: count}, decisions:
+    {fired, rejected, counts}, incidents: [incident], passes: [{name,
+    duration_ms, lint_ms, size_before, size_after, joins_after, ticks,
+    decisions, incident?}]}] — see {!Guard.incident_json} for the
+    incident shape. *)
 val report_to_json : report -> string
 
 (** Compact optimizer summary for benchmark trajectory files:

@@ -749,6 +749,7 @@ let run_pass (cfg : config) (e : expr) : expr * bool =
 (** Iterate {!run_pass} (interleaved with the {!Cleanup} of dead and
     once-used join points) until a fixpoint or [max_iters]. *)
 let simplify ?(max_iters = 8) (cfg : config) (e : expr) : expr =
+  let e = Fault.point "simplify/input" e in
   let rec go i e =
     if i >= max_iters then e
     else
@@ -756,4 +757,4 @@ let simplify ?(max_iters = 8) (cfg : config) (e : expr) : expr =
       let e, cleaned = Cleanup.cleanup e in
       if changed || cleaned then go (i + 1) e else e
   in
-  go 0 e
+  Fault.point "simplify/result" (go 0 e)

@@ -297,4 +297,5 @@ and try_specialise (cenv : cenv) (ds : join_defn list) (body : expr) :
 (** Run call-pattern specialisation over a whole program. One call
     specialises one constructor layer; the pipeline's rounds peel
     nested layers. *)
-let run (e : expr) : expr = spec_expr Ident.Map.empty Ident.Map.empty e
+let run (e : expr) : expr =
+  Fault.point "spec-constr/result" (spec_expr Ident.Map.empty Ident.Map.empty e)

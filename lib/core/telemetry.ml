@@ -112,7 +112,20 @@ let with_counters c f =
   current := Some c;
   Fun.protect ~finally:(fun () -> current := saved) f
 
+(* An optional per-tick observer, orthogonal to the collector: {!Guard}
+   installs one to meter a pass's rewrite budget, so a pass that loops
+   rewriting forever is cut off even though each individual rewrite is
+   legitimate. The observer runs whether or not a collector is
+   installed, and may raise (that is the point). *)
+let observer : (int -> unit) option ref = ref None
+
+let with_observer h f =
+  let saved = !observer in
+  observer := Some h;
+  Fun.protect ~finally:(fun () -> observer := saved) f
+
 let tick ?(n = 1) t =
+  (match !observer with None -> () | Some h -> h n);
   match !current with
   | None -> ()
   | Some c ->

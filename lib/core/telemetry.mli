@@ -68,6 +68,12 @@ val with_counters : counters -> (unit -> 'a) -> 'a
     installed collector; a no-op when none is installed. *)
 val tick : ?n:int -> tick -> unit
 
+(** [with_observer h f] additionally calls [h n] on every {!tick} for
+    the dynamic extent of [f] (nesting saves and restores), whether or
+    not a collector is installed. {!Guard} uses this to meter a pass's
+    rewrite budget; the observer may raise to cut the pass off. *)
+val with_observer : (int -> unit) -> (unit -> 'a) -> 'a
+
 val get : counters -> tick -> int
 
 (** Sum over all ticks. *)

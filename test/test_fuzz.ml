@@ -1,0 +1,154 @@
+(** Tests for {!Fj_core.Gen} and {!Fj_core.Fuzz}: the generator is
+    deterministic from a seed (the replay contract), produces only
+    Lint-clean programs, the shrinker minimizes while preserving the
+    failing predicate, the differential oracle passes on a healthy
+    compiler and catches an injected pass bug. *)
+
+open Fj_core
+open Util
+
+let seed_determinism () =
+  (* Same seed, fresh supply: byte-identical programs, even across
+     interleaved generations (the fjc replay contract). *)
+  let a = Sexp.write (Gen.program_of_seed 7) in
+  let _noise = Gen.program_of_seed 99 in
+  let b = Sexp.write (Gen.program_of_seed 7) in
+  Alcotest.(check string) "seed 7 replays" a b;
+  let c = Sexp.write (Gen.program_of_seed 8) in
+  Alcotest.(check bool) "distinct seeds differ" true (a <> c)
+
+let generated_programs_lint () =
+  for seed = 0 to 49 do
+    let e = Gen.program_of_seed seed in
+    match Lint.lint_result dc e with
+    | Ok _ -> ()
+    | Error err ->
+        Alcotest.failf "seed %d does not lint: %a@.%s" seed Lint.pp_error err
+          (Sexp.write e)
+  done
+
+let generated_programs_are_closed () =
+  for seed = 0 to 49 do
+    let e = Gen.program_of_seed seed in
+    if not (Ident.Set.is_empty (Syntax.free_vars e)) then
+      Alcotest.failf "seed %d is open: %s" seed (Sexp.write e)
+  done
+
+(* The size parameter is a budget, not a target; hunt for a seed that
+   actually spent it so shrinking has something to do. *)
+let large_program () =
+  let rec pick seed =
+    if seed > 200 then Alcotest.fail "no large generated program found"
+    else
+      let e = Gen.program_of_seed seed ~size:40 in
+      if Syntax.size e > 20 then e else pick (seed + 1)
+  in
+  pick 0
+
+let shrink_candidates_no_larger () =
+  let e = large_program () in
+  let n = Syntax.size e in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Fmt.str "candidate size %d <= %d" (Syntax.size c) n)
+        true
+        (Syntax.size c <= n))
+    (Gen.shrink e)
+
+let minimize_reaches_local_minimum () =
+  (* A predicate any subterm-rich program satisfies: size above a
+     floor. Minimize must end at a program still failing, no larger
+     than the input, with no failing shrink candidate left. The size
+     parameter is a budget, not a target, so hunt for a seed that
+     actually spent it. *)
+  let e = large_program () in
+  let failing c = Lint.well_typed dc c && Syntax.size c > 3 in
+  let m = Gen.minimize ~failing e in
+  Alcotest.(check bool) "still failing" true (failing m);
+  Alcotest.(check bool) "no larger" true (Syntax.size m <= Syntax.size e);
+  Alcotest.(check bool) "locally minimal" true
+    (not
+       (List.exists
+          (fun c -> Syntax.size c < Syntax.size m && failing c)
+          (Gen.shrink m)))
+
+let oracle_passes_on_healthy_compiler () =
+  let s = Fuzz.run ~seed:1 ~count:40 () in
+  Alcotest.(check int) "cases" 40 s.Fuzz.cases;
+  (match s.Fuzz.failures with
+  | [] -> ()
+  | f :: _ -> Alcotest.failf "unexpected failure: %a" Fuzz.pp_failure f);
+  Alcotest.(check bool) "mostly not skipped" true (s.Fuzz.passed > 30)
+
+let oracle_catches_injected_bug () =
+  let s =
+    Fault.with_armed
+      [ ("simplify/result", Fault.Ill_typed) ]
+      (fun () -> Fuzz.run ~seed:1 ~count:3 ())
+  in
+  Alcotest.(check bool) "found the bug" true (s.Fuzz.failures <> []);
+  List.iter
+    (fun (f : Fuzz.failure) ->
+      Alcotest.(check string) "classified as a pass abort" "pass-aborted"
+        f.Fuzz.f_kind;
+      (* The minimized counterexample must itself be a valid replayable
+         program. *)
+      Alcotest.(check bool) "counterexample lints" true
+        (Lint.well_typed dc f.Fuzz.f_program);
+      Alcotest.(check bool) "counterexample no larger" true
+        (Syntax.size f.Fuzz.f_program <= f.Fuzz.f_size_orig))
+    s.Fuzz.failures
+
+let failure_json_shape () =
+  let s =
+    Fault.with_armed
+      [ ("simplify/result", Fault.Raise) ]
+      (fun () -> Fuzz.run ~seed:5 ~count:1 ())
+  in
+  match s.Fuzz.failures with
+  | [] -> Alcotest.fail "expected a failure"
+  | f :: _ -> (
+      let str = Telemetry.Json.to_string (Fuzz.failure_json f) in
+      match Telemetry.Json.parse str with
+      | Error m -> Alcotest.failf "failure JSON does not parse: %s" m
+      | Ok (Telemetry.Json.Obj fields) ->
+          List.iter
+            (fun k ->
+              if not (List.mem_assoc k fields) then
+                Alcotest.failf "failure JSON lacks %S" k)
+            [ "seed"; "mode"; "kind"; "detail"; "size_orig"; "size_min";
+              "program" ]
+      | Ok _ -> Alcotest.fail "failure JSON is not an object")
+
+let run_outcome_reifies_fuel () =
+  (* Satellite: the evaluator's fuel exhaustion is an outcome, not an
+     exception — the property a fuzz oracle over generated (possibly
+     expensive) programs depends on. *)
+  let _, loop =
+    Fj_surface.Prelude.compile
+      "def main = let rec go i = go (i + 1) in go 0"
+  in
+  (match Eval.run_outcome ~fuel:1_000 loop with
+  | Eval.Fuel_exhausted -> ()
+  | Eval.Finished _ -> Alcotest.fail "a divergent program finished"
+  | Eval.Crashed m -> Alcotest.failf "a divergent program got stuck: %s" m);
+  let _, fine = Fj_surface.Prelude.compile "def main = 1 + 2" in
+  match Eval.run_outcome ~fuel:1_000 fine with
+  | Eval.Finished (t, _) ->
+      Alcotest.(check string) "answer" "3" (Fmt.str "%a" Eval.pp_tree t)
+  | Eval.Fuel_exhausted -> Alcotest.fail "1 + 2 ran out of fuel"
+  | Eval.Crashed m -> Alcotest.failf "1 + 2 got stuck: %s" m
+
+let tests =
+  [
+    test "generation is deterministic from the seed" seed_determinism;
+    test "generated programs lint" generated_programs_lint;
+    test "generated programs are closed" generated_programs_are_closed;
+    test "shrink candidates never grow" shrink_candidates_no_larger;
+    test "minimize reaches a local minimum" minimize_reaches_local_minimum;
+    test "oracle passes on the healthy compiler" oracle_passes_on_healthy_compiler;
+    test "oracle catches an injected pass bug" oracle_catches_injected_bug;
+    test "failure JSON has the documented shape" failure_json_shape;
+    test "evaluator fuel exhaustion is an outcome" run_outcome_reifies_fuel;
+  ]

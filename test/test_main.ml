@@ -29,5 +29,7 @@ let () =
       ("profile", Test_profile.tests);
       ("decision", Test_decision.tests);
       ("integration", Test_integration.tests);
+      ("guard", Test_guard.tests);
+      ("fuzz", Test_fuzz.tests);
       ("properties", Test_qcheck.tests);
     ]

@@ -13,257 +13,22 @@
 
 open Fj_core
 open Syntax
-module B = Builder
-module G = QCheck.Gen
 
 let dc = Datacon.builtins
 
 (* ------------------------------------------------------------------ *)
-(* A generator of well-typed terms                                     *)
+(* The generator                                                       *)
 (* ------------------------------------------------------------------ *)
 
-type genv = {
-  vars : (Types.t * var) list;  (** In-scope term variables. *)
-  labels : (var * Types.t list) list;
-      (** In-scope join points (label, parameter types); only usable in
-          tail position. *)
-}
-
-let maybe_int = B.maybe_ty Types.int
-let list_int = B.list_ty Types.int
-let i2i = Types.Arrow (Types.int, Types.int)
-
-let scrutinee_types = [ Types.bool; maybe_int; list_int ]
-let all_types = [ Types.int; Types.bool; maybe_int; list_int; i2i ]
-
-let gen_ty : Types.t G.t = G.oneofl all_types
-
-let vars_of env ty =
-  List.filter_map
-    (fun (t, v) -> if Types.equal t ty then Some v else None)
-    env.vars
-
-(* A canonical inhabitant of any generated type (fallback leaf). *)
-let rec default_of (ty : Types.t) : expr =
-  match ty with
-  | Types.Arrow (a, b) ->
-      let x = mk_var "d" a in
-      Lam (x, default_of b)
-  | _ ->
-      if Types.equal ty Types.int then B.int 0
-      else if Types.equal ty Types.bool then B.false_
-      else if Types.equal ty maybe_int then B.nothing Types.int
-      else if Types.equal ty list_int then B.nil Types.int
-      else invalid_arg "default_of: unexpected type"
-
-(* Leaf expressions of each type. *)
-let gen_leaf env ty : expr G.t =
-  let vs = vars_of env ty in
-  let var_gens = List.map (fun v -> G.return (Var v)) vs in
-  let base =
-    if Types.equal ty Types.int then [ G.map B.int (G.int_bound 100) ]
-    else if Types.equal ty Types.bool then
-      [ G.oneofl [ B.true_; B.false_ ] ]
-    else if Types.equal ty maybe_int then [ G.return (B.nothing Types.int) ]
-    else if Types.equal ty list_int then [ G.return (B.nil Types.int) ]
-    else if Types.equal ty i2i then
-      [ G.return (B.lam "l" Types.int (fun x -> B.add x (B.int 1))) ]
-    else [ G.return (default_of ty) ]
-  in
-  G.oneof (base @ var_gens)
-
-(* [tail] controls whether jumps to in-scope labels may be emitted. *)
-let rec gen ~tail env ty n : expr G.t =
-  let open G in
-  if n <= 0 then gen_leaf env ty
-  else
-    let sub = n / 2 in
-    let no_labels = { env with labels = [] } in
-    let candidates =
-      [
-        (* leaf *)
-        (3, gen_leaf env ty);
-        (* let *)
-        ( 2,
-          gen_ty >>= fun rty ->
-          gen ~tail:false no_labels rty sub >>= fun rhs ->
-          let x = mk_var "x" rty in
-          gen ~tail { env with vars = (rty, x) :: env.vars } ty sub
-          >|= fun body -> Let (NonRec (x, rhs), body) );
-        (* case: scrutinee keeps no labels (conservative); branches
-           inherit tail-ness. *)
-        ( 3,
-          oneofl scrutinee_types >>= fun sty ->
-          gen ~tail:false no_labels sty sub >>= fun scrut ->
-          gen_alts ~tail env sty ty sub >|= fun alts -> Case (scrut, alts) );
-        (* application *)
-        ( 2,
-          gen ~tail:false no_labels Types.int sub >>= fun arg ->
-          gen ~tail:false no_labels (Types.Arrow (Types.int, ty)) sub
-          >|= fun f -> App (f, arg) );
-        (* join point: one Int parameter; rhs and body are both tail
-           (rhs may also use outer labels). *)
-        ( 2,
-          let x = mk_var "p" Types.int in
-          let jv = mk_join_var "j" [] [ x ] in
-          gen ~tail:true
-            { env with vars = (Types.int, x) :: env.vars }
-            ty sub
-          >>= fun rhs ->
-          gen ~tail:true
-            { env with labels = (jv, [ Types.int ]) :: env.labels }
-            ty sub
-          >|= fun body ->
-          Join
-            (JNonRec { j_var = jv; j_tyvars = []; j_params = [ x ]; j_rhs = rhs }, body)
-        );
-      ]
-    in
-    (* arithmetic at Int *)
-    let candidates =
-      if Types.equal ty Types.int then
-        ( 2,
-          gen ~tail:false no_labels Types.int sub >>= fun a ->
-          gen ~tail:false no_labels Types.int sub >|= fun b -> B.add a b )
-        :: ( 1,
-             gen ~tail:false no_labels Types.int sub >>= fun a ->
-             gen ~tail:false no_labels Types.int sub >|= fun b -> B.mul a b )
-        :: candidates
-      else candidates
-    in
-    let candidates =
-      if Types.equal ty Types.bool then
-        ( 2,
-          gen ~tail:false no_labels Types.int sub >>= fun a ->
-          gen ~tail:false no_labels Types.int sub >|= fun b -> B.lt a b )
-        :: candidates
-      else candidates
-    in
-    let candidates =
-      if Types.equal ty maybe_int then
-        ( 2,
-          gen ~tail:false no_labels Types.int sub >|= fun a ->
-          B.just Types.int a )
-        :: candidates
-      else candidates
-    in
-    let candidates =
-      if Types.equal ty list_int then
-        ( 2,
-          gen ~tail:false no_labels Types.int sub >>= fun h ->
-          gen ~tail:false no_labels list_int sub >|= fun t ->
-          B.cons Types.int h t )
-        :: candidates
-      else candidates
-    in
-    let candidates =
-      if Types.equal ty i2i then
-        ( 2,
-          let x = mk_var "a" Types.int in
-          gen ~tail:false
-            { vars = (Types.int, x) :: env.vars; labels = [] }
-            Types.int sub
-          >|= fun body -> Lam (x, body) )
-        :: candidates
-      else candidates
-    in
-    (* bounded recursive join point: a loop over a decreasing counter,
-       so evaluation always terminates. The loop body may jump to the
-       loop itself (with n-1) or to outer labels. *)
-    let candidates =
-      ( 1,
-        let open G in
-        let n = mk_var "n" Types.int in
-        let jv = mk_join_var "loop" [] [ n ] in
-        int_range 1 5 >>= fun start ->
-        gen ~tail:true
-          { env with vars = (Types.int, n) :: env.vars }
-          ty (sub / 2)
-        >>= fun base ->
-        (* The non-jump branch sees only OUTER labels, so the counter
-           strictly decreases and the loop always terminates. *)
-        gen ~tail:true
-          { vars = (Types.int, n) :: env.vars; labels = env.labels }
-          ty (sub / 2)
-        >|= fun step_tail ->
-        let rhs =
-          B.if_
-            (B.le (Var n) (B.int 0))
-            base
-            (Case
-               ( B.gt (Var n) (B.int 2),
-                 [
-                   {
-                     alt_pat = PCon (Datacon.builtin "True", []);
-                     alt_rhs = Jump (jv, [], [ B.sub (Var n) (B.int 1) ], ty);
-                   };
-                   {
-                     alt_pat = PCon (Datacon.builtin "False", []);
-                     alt_rhs = step_tail;
-                   };
-                 ] ))
-        in
-        Join
-          ( JRec [ { j_var = jv; j_tyvars = []; j_params = [ n ]; j_rhs = rhs } ],
-            Jump (jv, [], [ B.int start ], ty) ) )
-      :: candidates
-    in
-    (* jumps, only in tail position *)
-    let candidates =
-      if tail && env.labels <> [] then
-        ( 4,
-          oneofl env.labels >>= fun (jv, ptys) ->
-          let rec gen_args = function
-            | [] -> return []
-            | pty :: rest ->
-                gen ~tail:false no_labels pty (sub / 2) >>= fun a ->
-                gen_args rest >|= fun args -> a :: args
-          in
-          gen_args ptys >|= fun args -> Jump (jv, [], args, ty) )
-        :: candidates
-      else candidates
-    in
-    frequency candidates
-
-and gen_alts ~tail env sty rty n : alt list G.t =
-  let open G in
-  if Types.equal sty Types.bool then
-    gen ~tail env rty n >>= fun t ->
-    gen ~tail env rty n >|= fun f ->
-    [
-      { alt_pat = PCon (Datacon.builtin "True", []); alt_rhs = t };
-      { alt_pat = PCon (Datacon.builtin "False", []); alt_rhs = f };
-    ]
-  else if Types.equal sty maybe_int then
-    let x = mk_var "mx" Types.int in
-    gen ~tail env rty n >>= fun nothing_rhs ->
-    gen ~tail { env with vars = (Types.int, x) :: env.vars } rty n
-    >|= fun just_rhs ->
-    [
-      { alt_pat = PCon (Datacon.builtin "Nothing", []); alt_rhs = nothing_rhs };
-      { alt_pat = PCon (Datacon.builtin "Just", [ x ]); alt_rhs = just_rhs };
-    ]
-  else
-    (* List Int *)
-    let h = mk_var "h" Types.int in
-    let t = mk_var "t" list_int in
-    gen ~tail env rty n >>= fun nil_rhs ->
-    gen ~tail
-      { env with vars = (Types.int, h) :: (list_int, t) :: env.vars }
-      rty n
-    >|= fun cons_rhs ->
-    [
-      { alt_pat = PCon (Datacon.builtin "Nil", []); alt_rhs = nil_rhs };
-      { alt_pat = PCon (Datacon.builtin "Cons", [ h; t ]); alt_rhs = cons_rhs };
-    ]
-
-let gen_program : expr G.t =
-  let open G in
-  gen_ty >>= fun ty ->
-  int_range 2 24 >>= fun n -> gen ~tail:true { vars = []; labels = [] } ty n
+(* The well-typed term generator grew out of this file and now lives
+   in the library ({!Fj_core.Gen}), shared with the [fjc fuzz]
+   differential harness. QCheck's [Gen.t] is [Random.State.t -> 'a],
+   so the library's direct-style generator plugs straight in. *)
+let gen_program : expr QCheck.Gen.t = fun st -> Gen.program st
 
 let arb_program =
   QCheck.make ~print:(fun e -> Pretty.to_string e) gen_program
+
 
 (* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
