@@ -68,6 +68,37 @@ let run_bounded ~what e =
       fail "%s: evaluation stuck: %s" what m;
       raise Skip_row
 
+(* ------------------------------------------------------------------ *)
+(* Wall-clock rigor                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Evaluator wall-clock is measured as [timing_warmup] discarded
+   iterations followed by [timing_samples] measured ones (monotonic
+   clock); the JSON reports exact median and p95 over the sorted
+   samples, not single-shot numbers. *)
+let timing_warmup = 1
+let timing_samples = 5
+
+let timed_samples f =
+  for _ = 1 to timing_warmup do
+    ignore (f ())
+  done;
+  List.init timing_samples (fun _ ->
+      let t0 = Telemetry.now_ms () in
+      ignore (f ());
+      Telemetry.now_ms () -. t0)
+
+(* Exact rank-[ceil (q * n)] percentile of the sorted samples. *)
+let percentile q samples =
+  match List.sort compare samples with
+  | [] -> 0.0
+  | sorted ->
+      let n = List.length sorted in
+      let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+      List.nth sorted (max 0 (min (n - 1) (rank - 1)))
+
+let median = percentile 0.5
+
 let report_failures () =
   match List.rev !failures with
   | [] -> 0
@@ -92,6 +123,8 @@ type measurement = {
   delta_pct : float;  (** (join - base) / base * 100, the Table 1 metric. *)
   base_report : Pipeline.report;  (** Optimizer telemetry, baseline. *)
   join_report : Pipeline.report;  (** Optimizer telemetry, join points. *)
+  base_eval_ms : float list;  (** Measured eval wall-clock samples. *)
+  join_eval_ms : float list;
 }
 
 let opt_config mode denv =
@@ -126,6 +159,8 @@ let measure (prog : Bench_programs.program) : measurement option =
       let tj, sj = run joins in
       ignore (check_tree ~what:(prog.name ^ " (baseline)") t0 tb);
       ignore (check_tree ~what:(prog.name ^ " (join-points)") t0 tj);
+      let base_eval_ms = timed_samples (fun () -> run base) in
+      let join_eval_ms = timed_samples (fun () -> run joins) in
       let delta_pct =
         if sb.words = 0 then 0.0
         else
@@ -144,6 +179,8 @@ let measure (prog : Bench_programs.program) : measurement option =
           delta_pct;
           base_report;
           join_report;
+          base_eval_ms;
+          join_eval_ms;
         }
       with Skip_row -> None)
 
@@ -207,6 +244,23 @@ let telemetry_table (ms : measurement list) =
         (Pipeline.contified m.join_report)
         (try List.assoc "case_of_case" (Pipeline.ticks m.join_report)
          with Not_found -> 0))
+    ms
+
+(* Eval wall-clock, warmup + measured samples (see [timed_samples]);
+   single-shot timings on sub-millisecond programs are mostly noise,
+   so the table shows median and p95 of the measured iterations. *)
+let timing_table (ms : measurement list) =
+  Fmt.pr "@.%s@." (String.make 76 '-');
+  Fmt.pr "Eval wall-clock ms (%d warmup + %d measured) %9s %8s %9s %8s@."
+    timing_warmup timing_samples "base p50" "p95" "join p50" "p95";
+  Fmt.pr "%s@." (String.make 76 '-');
+  List.iter
+    (fun m ->
+      Fmt.pr "%-40s %9.3f %8.3f %9.3f %8.3f@." m.prog.name
+        (median m.base_eval_ms)
+        (percentile 0.95 m.base_eval_ms)
+        (median m.join_eval_ms)
+        (percentile 0.95 m.join_eval_ms))
     ms
 
 (* The decision ledger behind the ticks: how many rewrites each
@@ -395,7 +449,7 @@ let cps_table () =
    so the repository accumulates a perf trajectory and CI can detect
    delta_pct regressions against it (see EXPERIMENTS.md for the
    schema). *)
-let bench_json ~quick (groups : (string * measurement list) list) =
+let bench_json ~quick ~metrics (groups : (string * measurement list) list) =
   let open Telemetry.Json in
   let program_json group (m : measurement) =
     Obj
@@ -409,6 +463,18 @@ let bench_json ~quick (groups : (string * measurement list) list) =
         ("base_jumps", Int m.base_jumps);
         ("join_jumps", Int m.join_jumps);
         ("delta_pct", Float m.delta_pct);
+        (* Additive fj-bench/1 fields (schema-compatible): measured
+           wall-clock summaries, exact over the sorted samples. *)
+        ( "timing",
+          Obj
+            [
+              ("warmup", Int timing_warmup);
+              ("samples", Int timing_samples);
+              ("base_eval_ms_median", Float (median m.base_eval_ms));
+              ("base_eval_ms_p95", Float (percentile 0.95 m.base_eval_ms));
+              ("join_eval_ms_median", Float (median m.join_eval_ms));
+              ("join_eval_ms_p95", Float (percentile 0.95 m.join_eval_ms));
+            ] );
         ( "optimizer",
           Obj
             [
@@ -445,11 +511,16 @@ let bench_json ~quick (groups : (string * measurement list) list) =
              (fun (g, ms) -> List.map (program_json g) ms)
              groups) );
       ("suites", Arr (List.map suite_json groups));
+      (* The harness-wide registry: counters plus latency histogram
+         summaries (count / p50 / p95 / max) for eval.ms, eval.steps,
+         pass.duration_ms, … — everything published while the suite
+         ran. Additive fj-bench/1 field. *)
+      ("metrics", Metrics.to_json metrics);
       ("failures", Arr (List.map (fun m -> Str m) (List.rev !failures)));
     ]
 
-let write_json path ~quick groups =
-  let json = Telemetry.Json.to_string (bench_json ~quick groups) in
+let write_json path ~quick ~metrics groups =
+  let json = Telemetry.Json.to_string (bench_json ~quick ~metrics groups) in
   match open_out path with
   | exception Sys_error m -> fail "cannot write %s: %s" path m
   | oc ->
@@ -537,10 +608,16 @@ let () =
   Fmt.pr "System F_J benchmark harness — reproducing PLDI'17 Table 1@.";
   Fmt.pr "(allocation words counted by the Fig. 3 abstract machine;@.";
   Fmt.pr " Allocs column = (join-points - baseline) / baseline)@.";
+  (* Harness-wide metrics registry: every instrumented component
+     (Eval, Bmachine, pipeline runs outside their own report scope)
+     publishes into it for the duration of the suite. *)
+  let metrics = Metrics.create () in
+  Metrics.with_registry metrics @@ fun () ->
   let m1 = table1_group "spectral" Bench_programs.spectral in
   let m2 = table1_group "real" Bench_programs.real in
   let m3 = table1_group "shootout" Bench_programs.shootout in
   telemetry_table (m1 @ m2 @ m3);
+  timing_table (m1 @ m2 @ m3);
   decision_table (m1 @ m2 @ m3);
   fusion_table 400;
   machine_table ();
@@ -549,7 +626,7 @@ let () =
   if not quick then bechamel_benches ();
   (match json_path with
   | Some path ->
-      write_json path ~quick
+      write_json path ~quick ~metrics
         [ ("spectral", m1); ("real", m2); ("shootout", m3) ]
   | None -> ());
   let rc = report_failures () in

@@ -323,16 +323,37 @@ let dump_cmd =
 
 let trace_cmd =
   let doc = "Optimise and emit the structured JSON trace of the pipeline." in
-  let run file no_prelude mode iters out inline_threshold dup_threshold
-      policy faults =
+  let run file no_prelude mode iters out perfetto inline_threshold
+      dup_threshold policy faults =
     arm_faults faults;
     let l = load ~no_prelude file in
-    let cfg =
-      pipeline_config ~inline_threshold ~dup_threshold ~policy mode iters l
-    in
-    let _, r = Pipeline.run_report cfg l.core in
-    report_incidents r;
-    write_output ~what:"trace" out (Pipeline.report_to_json r)
+    match perfetto with
+    | Some dest ->
+        (* Chrome trace-event export: compile under {e every}
+           configuration so the three timelines sit side by side, one
+           Perfetto track each. Same shared [--out]-style writer as
+           every other structured output. *)
+        let reports =
+          List.map
+            (fun mode ->
+              let cfg =
+                pipeline_config ~inline_threshold ~dup_threshold ~policy mode
+                  iters l
+              in
+              let _, r = Pipeline.run_report cfg l.core in
+              report_incidents r;
+              r)
+            [ Pipeline.Baseline; Pipeline.Join_points; Pipeline.No_cc ]
+        in
+        write_output ~what:"perfetto trace" dest
+          (Telemetry.Json.to_string (Pipeline.perfetto_json ~file reports))
+    | None ->
+        let cfg =
+          pipeline_config ~inline_threshold ~dup_threshold ~policy mode iters l
+        in
+        let _, r = Pipeline.run_report cfg l.core in
+        report_incidents r;
+        write_output ~what:"trace" out (Pipeline.report_to_json r)
   in
   let out_flag =
     Arg.(
@@ -341,11 +362,23 @@ let trace_cmd =
       & info [ "out"; "o" ] ~docv:"PATH"
           ~doc:"Where to write the trace; $(b,-) for stdout.")
   in
+  let perfetto_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "perfetto" ] ~docv:"PATH"
+          ~doc:
+            "Instead of the single-configuration trace, compile under \
+             $(b,every) configuration and write Chrome trace-event JSON \
+             (one Perfetto track per configuration, histogram summaries \
+             under otherData) to $(docv); $(b,-) for stdout. Load it in \
+             ui.perfetto.dev or chrome://tracing.")
+  in
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
       const run $ file_arg $ no_prelude_flag $ mode_flag $ iters_flag
-      $ out_flag $ inline_threshold_flag $ dup_threshold_flag $ policy_flag
-      $ fault_flag)
+      $ out_flag $ perfetto_flag $ inline_threshold_flag $ dup_threshold_flag
+      $ policy_flag $ fault_flag)
 
 (* ------------------------------------------------------------------ *)
 (* stats                                                               *)
@@ -812,8 +845,21 @@ let fuzz_cmd =
      configuration vs the unoptimised seed (results, Lint, evaluation \
      strategies, the zero-allocation join invariant)."
   in
-  let run seed count size fuel out verbose faults =
+  let run seed count size fuel out verbose heartbeat flight faults =
     arm_faults faults;
+    (* Flight recorder: heartbeats go to stderr so they interleave with
+       (rather than corrupt) the per-case progress on stdout. *)
+    let on_heartbeat hb =
+      if heartbeat > 0 then Fmt.epr "fjc: %a@." Fuzz.pp_heartbeat hb
+    in
+    let recorder =
+      if heartbeat = 0 && flight = None then None
+      else
+        Some
+          (Fuzz.recorder
+             ~every:(if heartbeat > 0 then heartbeat else max_int)
+             ~on_heartbeat ())
+    in
     let on_case case_seed v =
       match v with
       | Fuzz.Pass ->
@@ -824,7 +870,14 @@ let fuzz_cmd =
           Fmt.pr "seed %d: FAIL %s under %s (minimizing...)@." case_seed kind
             mode
     in
-    let s = Fuzz.run ~size ~fuel ~on_case ~seed ~count () in
+    let s = Fuzz.run ~size ~fuel ~on_case ?recorder ~seed ~count () in
+    let flight_rc =
+      match (flight, recorder) with
+      | Some dest, Some r ->
+          write_output ~what:"flight recording" dest
+            (Telemetry.Json.to_string (Fuzz.flight_json r))
+      | _ -> 0
+    in
     Fmt.pr "fuzz: %d case(s): %d passed, %d skipped, %d failed@." s.Fuzz.cases
       s.Fuzz.passed s.Fuzz.skipped
       (List.length s.Fuzz.failures);
@@ -844,7 +897,7 @@ let fuzz_cmd =
               (write_output ~what:"counterexample" path
                  (Telemetry.Json.to_string (Fuzz.failure_json f))))
           s.Fuzz.failures);
-    if s.Fuzz.failures = [] then 0 else 1
+    if s.Fuzz.failures <> [] then 1 else flight_rc
   in
   let seed_flag =
     Arg.(
@@ -886,10 +939,30 @@ let fuzz_cmd =
       value & flag
       & info [ "verbose"; "v" ] ~doc:"Report every case, not just failures.")
   in
+  let heartbeat_flag =
+    Arg.(
+      value
+      & opt int Fuzz.default_heartbeat_every
+      & info [ "heartbeat" ] ~docv:"N"
+          ~doc:
+            "Print a heartbeat line (cases/sec, incident count, latency \
+             histogram snapshot) to stderr every $(docv) cases, plus one \
+             at the end of the run; $(b,0) silences them.")
+  in
+  let flight_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight" ] ~docv:"PATH"
+          ~doc:
+            "After the run, write the flight recording (bounded ring of \
+             recent spans as Perfetto-loadable trace events, all \
+             heartbeats, metrics) as JSON to $(docv); $(b,-) for stdout.")
+  in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const run $ seed_flag $ count_flag $ size_flag $ fuel_flag $ out_flag
-      $ verbose_flag $ fault_flag)
+      $ verbose_flag $ heartbeat_flag $ flight_flag $ fault_flag)
 
 (* ------------------------------------------------------------------ *)
 (* main                                                                *)

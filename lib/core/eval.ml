@@ -324,8 +324,8 @@ let match_alt (dc_opt : [ `Con of Datacon.t | `Lit of Literal.t ]) alts =
 (** Run [e] in [env0]. Raises {!Stuck} on type errors, {!Out_of_fuel}
     when [fuel] machine steps are exhausted. [profile] attaches a
     per-site profiler (see {!Profile}). *)
-let eval ?(mode = By_need) ?(fuel = max_int) ?(env = empty_env) ?profile e :
-    value * stats =
+let eval_machine ?(mode = By_need) ?(fuel = max_int) ?(env = empty_env)
+    ?profile e : value * stats =
   let cfg = { mode; stats = fresh_stats (); fuel; prof = profile } in
   let tick site depth =
     cfg.stats.steps <- cfg.stats.steps + 1;
@@ -563,6 +563,25 @@ let eval ?(mode = By_need) ?(fuel = max_int) ?(env = empty_env) ?profile e :
   in
   let v = run Profile.main_site env e [] 0 in
   (v, cfg.stats)
+
+(* The public entry point: the machine run is a root span (cat
+   ["eval"]) annotated with its step/word counts, and publishes into
+   the innermost metrics registry — both no-ops unless an observability
+   collector/registry is installed (the per-step hot loop above is
+   never touched). *)
+let eval ?mode ?fuel ?env ?profile e : value * stats =
+  let (v, stats), dur =
+    Span.with_span_timed ~cat:"eval" "eval" (fun () ->
+        let (v, stats) = eval_machine ?mode ?fuel ?env ?profile e in
+        Span.annotate "steps" (Telemetry.Json.Int stats.steps);
+        Span.annotate "words" (Telemetry.Json.Int stats.words);
+        Span.annotate "jumps" (Telemetry.Json.Int stats.jumps);
+        (v, stats))
+  in
+  Metrics.observe "eval.ms" dur;
+  Metrics.observe "eval.steps" (float_of_int stats.steps);
+  Metrics.observe "eval.words" (float_of_int stats.words);
+  (v, stats)
 
 (* ------------------------------------------------------------------ *)
 (* Observation                                                         *)

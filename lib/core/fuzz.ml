@@ -40,7 +40,10 @@ let check_program ?(fuel = default_fuel) (e : expr) : verdict =
     fail "seed" "generator-ill-typed" "generated program does not lint"
   else
     let seed_prof = Profile.create ~trace_cap:0 () in
-    match Eval.run_outcome ~fuel ~profile:seed_prof e with
+    match
+      Span.with_span ~cat:"fuzz" "seed-eval" (fun () ->
+          Eval.run_outcome ~fuel ~profile:seed_prof e)
+    with
     | Eval.Fuel_exhausted -> Skip "seed program exhausts the fuel budget"
     | Eval.Crashed m -> fail "seed" "seed-stuck" m
     | Eval.Finished (t0, _) -> (
@@ -60,7 +63,10 @@ let check_program ?(fuel = default_fuel) (e : expr) : verdict =
         (* Strategy agreement: call-by-name must reach the same answer
            (more steps, so give it a larger budget; a timeout is only a
            skip). *)
-        match Eval.run_outcome ~mode:Eval.By_name ~fuel:(8 * fuel) e with
+        match
+          Span.with_span ~cat:"fuzz" "by-name-eval" (fun () ->
+              Eval.run_outcome ~mode:Eval.By_name ~fuel:(8 * fuel) e)
+        with
         | Eval.Crashed m -> fail "seed" "strategy-disagree" ("by-name stuck: " ^ m)
         | Eval.Finished (t1, _) when not (Eval.equal_tree t0 t1) ->
             fail "seed" "strategy-disagree"
@@ -70,7 +76,10 @@ let check_program ?(fuel = default_fuel) (e : expr) : verdict =
               | [] -> Pass
               | mode :: rest -> (
                   let mname = Pipeline.mode_name mode in
-                  match optimize mode e with
+                  match
+                    Span.with_span ~cat:"fuzz" ("compile " ^ mname) (fun () ->
+                        optimize mode e)
+                  with
                   | Error detail -> fail mname "pass-aborted" detail
                   | Ok e' -> (
                       if not (Lint.well_typed dc e') then
@@ -79,7 +88,10 @@ let check_program ?(fuel = default_fuel) (e : expr) : verdict =
                       else
                         let prof = Profile.create ~trace_cap:0 () in
                         match
-                          Eval.run_outcome ~fuel:(8 * fuel) ~profile:prof e'
+                          Span.with_span ~cat:"fuzz" ("run " ^ mname)
+                            (fun () ->
+                              Eval.run_outcome ~fuel:(8 * fuel) ~profile:prof
+                                e')
                         with
                         | Eval.Fuel_exhausted ->
                             Skip
@@ -149,39 +161,191 @@ type summary = {
   failures : failure list;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type heartbeat = {
+  hb_cases : int;
+  hb_total : int;
+  hb_elapsed_ms : float;
+  hb_rate : float;
+  hb_passed : int;
+  hb_skipped : int;
+  hb_incidents : int;
+  hb_epoch_ms : float;
+  hb_histograms : (string * Metrics.summary) list;
+}
+
+let pp_heartbeat ppf (h : heartbeat) =
+  Fmt.pf ppf "heartbeat cases=%d/%d elapsed=%.1fs rate=%.1f/s pass=%d skip=%d \
+              incidents=%d"
+    h.hb_cases h.hb_total (h.hb_elapsed_ms /. 1000.0) h.hb_rate h.hb_passed
+    h.hb_skipped h.hb_incidents;
+  List.iter
+    (fun (name, (s : Metrics.summary)) ->
+      if name = "fuzz.case_ms" || name = "eval.ms" then
+        Fmt.pf ppf " | %s p50=%.1f p95=%.1f max=%.1f" name s.Metrics.h_p50
+          s.Metrics.h_p95 s.Metrics.h_max)
+    h.hb_histograms
+
+let heartbeat_json (h : heartbeat) =
+  Telemetry.Json.(
+    Obj
+      [
+        ("cases", Int h.hb_cases);
+        ("total", Int h.hb_total);
+        ("elapsed_ms", Float h.hb_elapsed_ms);
+        ("cases_per_sec", Float h.hb_rate);
+        ("passed", Int h.hb_passed);
+        ("skipped", Int h.hb_skipped);
+        ("incidents", Int h.hb_incidents);
+        ("epoch_ms", Float h.hb_epoch_ms);
+        ( "histograms",
+          Obj
+            (List.map
+               (fun (k, s) -> (k, Metrics.summary_json s))
+               h.hb_histograms) );
+      ])
+
+type recorder = {
+  r_spans : Span.collector;
+  r_metrics : Metrics.t;
+  r_every : int;
+  r_on_heartbeat : heartbeat -> unit;
+  mutable r_heartbeats : heartbeat list;  (* newest first *)
+}
+
+let default_ring_cap = 256
+let default_heartbeat_every = 100
+
+let recorder ?(ring_cap = default_ring_cap)
+    ?(every = default_heartbeat_every) ?(on_heartbeat = fun _ -> ()) () =
+  {
+    r_spans = Span.create ~cap:ring_cap ();
+    r_metrics = Metrics.create ();
+    r_every = max 1 every;
+    r_on_heartbeat = on_heartbeat;
+    r_heartbeats = [];
+  }
+
+let recent_spans r = Span.spans r.r_spans
+let dropped_spans r = Span.dropped r.r_spans
+let heartbeats r = List.rev r.r_heartbeats
+let recorder_metrics r = r.r_metrics
+
+let flight_json r =
+  Telemetry.Json.(
+    Obj
+      [
+        ("schema", Str "fj-flight/1");
+        ( "traceEvents",
+          Arr
+            (Span.thread_name_event ~pid:1 ~tid:1 "fuzz"
+            :: Span.trace_events ~pid:1 ~tid:1 r.r_spans) );
+        ("displayTimeUnit", Str "ms");
+        ("dropped_spans", Int (Span.dropped r.r_spans));
+        ("heartbeats", Arr (List.map heartbeat_json (heartbeats r)));
+        ("metrics", Metrics.to_json r.r_metrics);
+      ])
+
+let emit_heartbeat (r : recorder) ~t_start ~cases ~total ~passed ~skipped
+    ~incidents =
+  let elapsed_ms = Telemetry.now_ms () -. t_start in
+  let hb =
+    {
+      hb_cases = cases;
+      hb_total = total;
+      hb_elapsed_ms = elapsed_ms;
+      hb_rate =
+        (if elapsed_ms <= 0.0 then 0.0
+         else float_of_int cases /. (elapsed_ms /. 1000.0));
+      hb_passed = passed;
+      hb_skipped = skipped;
+      hb_incidents = incidents;
+      hb_epoch_ms = Telemetry.epoch_ms ();
+      hb_histograms = Metrics.histograms r.r_metrics;
+    }
+  in
+  r.r_heartbeats <- hb :: r.r_heartbeats;
+  r.r_on_heartbeat hb
+
 let run ?(size = Gen.default_size) ?(fuel = default_fuel)
-    ?(on_case = fun _ _ -> ()) ~seed ~count () : summary =
+    ?(on_case = fun _ _ -> ()) ?recorder ~seed ~count () : summary =
   let passed = ref 0 and skipped = ref 0 and failures = ref [] in
-  for i = 0 to count - 1 do
-    let case_seed = seed + i in
-    let e = Gen.program_of_seed ~size case_seed in
-    let v = check_program ~fuel e in
-    on_case case_seed v;
-    match v with
-    | Pass -> incr passed
-    | Skip _ -> incr skipped
-    | Fail { mode; kind; detail } ->
-        (* Minimize: candidates must still lint (shrinking is
-           structural, not type-directed) and still fail the oracle —
-           any failure kind counts, so the shrinker may surface an
-           even simpler neighbouring bug. *)
-        let failing e =
-          Lint.well_typed dc e
-          &&
-          match check_program ~fuel e with Fail _ -> true | _ -> false
-        in
-        let minimized = Gen.minimize ~failing e in
-        failures :=
-          {
-            f_seed = case_seed;
-            f_mode = mode;
-            f_kind = kind;
-            f_detail = detail;
-            f_size_orig = Syntax.size e;
-            f_program = minimized;
-          }
-          :: !failures
-  done;
+  let t_start = Telemetry.now_ms () in
+  let body () =
+    for i = 0 to count - 1 do
+      let case_seed = seed + i in
+      let e = Gen.program_of_seed ~size case_seed in
+      (* One span per case into the (ring-bounded) recorder, so a
+         wedged soak shows its most recent cases post mortem. *)
+      let v, case_ms =
+        Span.with_span_timed ~cat:"fuzz" (Fmt.str "case %d" case_seed)
+          (fun () ->
+            let v = check_program ~fuel e in
+            Span.annotate "verdict"
+              (Telemetry.Json.Str
+                 (match v with
+                 | Pass -> "pass"
+                 | Skip _ -> "skip"
+                 | Fail { kind; _ } -> kind));
+            v)
+      in
+      Metrics.observe "fuzz.case_ms" case_ms;
+      on_case case_seed v;
+      (match v with
+      | Pass ->
+          Metrics.incr "fuzz.pass";
+          incr passed
+      | Skip _ ->
+          Metrics.incr "fuzz.skip";
+          incr skipped
+      | Fail { mode; kind; detail } ->
+          Metrics.incr "fuzz.fail";
+          (* Minimize: candidates must still lint (shrinking is
+             structural, not type-directed) and still fail the oracle —
+             any failure kind counts, so the shrinker may surface an
+             even simpler neighbouring bug. *)
+          let failing e =
+            Lint.well_typed dc e
+            &&
+            match check_program ~fuel e with Fail _ -> true | _ -> false
+          in
+          let minimized =
+            Span.with_span ~cat:"fuzz" (Fmt.str "minimize %d" case_seed)
+              (fun () -> Gen.minimize ~failing e)
+          in
+          failures :=
+            {
+              f_seed = case_seed;
+              f_mode = mode;
+              f_kind = kind;
+              f_detail = detail;
+              f_size_orig = Syntax.size e;
+              f_program = minimized;
+            }
+            :: !failures);
+      match recorder with
+      | Some r when (i + 1) mod r.r_every = 0 && i + 1 < count ->
+          emit_heartbeat r ~t_start ~cases:(i + 1) ~total:count
+            ~passed:!passed ~skipped:!skipped
+            ~incidents:(List.length !failures)
+      | _ -> ()
+    done;
+    (* Always close with a final heartbeat: even a short smoke run
+       leaves one line saying what happened. *)
+    match recorder with
+    | Some r when count > 0 ->
+        emit_heartbeat r ~t_start ~cases:count ~total:count ~passed:!passed
+          ~skipped:!skipped ~incidents:(List.length !failures)
+    | _ -> ()
+  in
+  (match recorder with
+  | None -> body ()
+  | Some r ->
+      Span.with_collector r.r_spans (fun () ->
+          Metrics.with_registry r.r_metrics body));
   {
     cases = count;
     passed = !passed;

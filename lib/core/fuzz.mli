@@ -52,17 +52,84 @@ type summary = {
   failures : failure list;  (** Oldest first. *)
 }
 
+(** {1 Flight recorder}
+
+    Long soak runs need to be diagnosable without rerunning: the
+    recorder keeps a bounded ring of the most recent spans (cases,
+    per-configuration compiles and evaluations, minimizations) and
+    emits periodic heartbeat lines — progress, throughput, incident
+    count, and a snapshot of the latency histograms. *)
+
+(** One heartbeat: progress and throughput at an instant of the run.
+    [hb_incidents] counts the oracle failures found so far. *)
+type heartbeat = {
+  hb_cases : int;  (** Cases completed. *)
+  hb_total : int;  (** Cases planned. *)
+  hb_elapsed_ms : float;  (** Monotonic, since the run started. *)
+  hb_rate : float;  (** Cases per second. *)
+  hb_passed : int;
+  hb_skipped : int;
+  hb_incidents : int;
+  hb_epoch_ms : float;  (** Wall clock, for log correlation. *)
+  hb_histograms : (string * Metrics.summary) list;
+      (** Registry snapshot: [fuzz.case_ms], [eval.ms], … *)
+}
+
+(** One line: [heartbeat cases=200/1000 elapsed=1.3s rate=153.8/s
+    pass=197 skip=3 incidents=0 | fuzz.case_ms p50=4.2 p95=31.0
+    max=96.3 | eval.ms …]. *)
+val pp_heartbeat : Format.formatter -> heartbeat -> unit
+
+val heartbeat_json : heartbeat -> Telemetry.Json.t
+
+type recorder
+
+val default_ring_cap : int
+val default_heartbeat_every : int
+
+(** [recorder ()] — [ring_cap] bounds the retained spans (default
+    {!default_ring_cap}), [every] is the heartbeat period in cases
+    (default {!default_heartbeat_every}; a final heartbeat is always
+    emitted), [on_heartbeat] is called on each emission. *)
+val recorder :
+  ?ring_cap:int ->
+  ?every:int ->
+  ?on_heartbeat:(heartbeat -> unit) ->
+  unit ->
+  recorder
+
+(** The retained (most recent) spans, oldest first. *)
+val recent_spans : recorder -> Span.span list
+
+(** Spans evicted by the ring bound. *)
+val dropped_spans : recorder -> int
+
+(** Heartbeats emitted so far, oldest first. *)
+val heartbeats : recorder -> heartbeat list
+
+val recorder_metrics : recorder -> Metrics.t
+
+(** The post-mortem dump: [{schema: "fj-flight/1", traceEvents: [...],
+    dropped_spans, heartbeats, metrics}] — [traceEvents] is loadable
+    in Perfetto like the pipeline trace. *)
+val flight_json : recorder -> Telemetry.Json.t
+
 (** [run ~seed ~count ()] fuzzes [count] cases with seeds [seed],
     [seed+1], … — each case resets the {!Ident} supply
     ({!Gen.program_of_seed}), so any case replays in isolation from
     its printed seed. Failing cases are minimized (shrink candidates
     must lint and still fail the oracle) before being reported.
     [on_case] (if given) is called after each case with the seed and
-    its verdict — progress reporting for the CLI. *)
+    its verdict — progress reporting for the CLI. [recorder] (if
+    given) attaches a flight recorder: every case runs inside a span
+    feeding its ring, case latencies land in its metrics registry,
+    and heartbeats are emitted every [every] cases plus once at the
+    end. *)
 val run :
   ?size:int ->
   ?fuel:int ->
   ?on_case:(int -> verdict -> unit) ->
+  ?recorder:recorder ->
   seed:int ->
   count:int ->
   unit ->

@@ -142,8 +142,21 @@ let truncate_detail s =
 let protect ~limits ~datacons ~pass ~restored f (e : Syntax.expr) :
     (Syntax.expr * float, incident) result =
   let size_before = Syntax.size e in
-  let fail cause = Error { i_pass = pass; i_cause = cause; i_restored = restored } in
-  match with_budget limits.pass_fuel (fun () -> f e) with
+  (* A rollback is a structural decision, not timed work, but marking
+     it as a (near-zero) span puts the guard's verdict on the same
+     Perfetto track as the phases it judged; the cause counters feed
+     the metrics registry the heartbeats snapshot. *)
+  let fail cause =
+    Span.with_span ~cat:"guard" "rollback" (fun () ->
+        Span.annotate "cause" (Telemetry.Json.Str (cause_name cause)));
+    Metrics.incr "guard.rollbacks";
+    Metrics.incr ("guard.rollback." ^ cause_name cause);
+    Error { i_pass = pass; i_cause = cause; i_restored = restored }
+  in
+  match
+    with_budget limits.pass_fuel (fun () ->
+        Span.with_span ~cat:"guard" "body" (fun () -> f e))
+  with
   | exception Cutoff total -> fail (Fuel_exhausted { budget = total })
   | exception Stack_overflow -> fail (Exn "stack overflow")
   | exception exn -> fail (Exn (Printexc.to_string exn))
@@ -155,10 +168,16 @@ let protect ~limits ~datacons ~pass ~restored f (e : Syntax.expr) :
       if size_after > limit then
         fail (Size_exploded { size_before; size_after; limit })
       else
-        let lt0 = Telemetry.now_ms () in
-        match Lint.lint_result datacons e' with
-        | Ok _ -> Ok (e', Telemetry.now_ms () -. lt0)
-        | Error err ->
+        let result, lint_ms =
+          Span.with_span_timed ~cat:"guard" "lint" (fun () ->
+              match Lint.lint_result datacons e' with
+              | r -> Ok r
+              | exception exn -> Error exn)
+        in
+        Metrics.observe "guard.lint_ms" lint_ms;
+        match result with
+        | Ok (Ok _) -> Ok (e', lint_ms)
+        | Ok (Error err) ->
             fail (Lint_failed (truncate_detail (Fmt.str "%a" Lint.pp_error err)))
-        | exception exn ->
+        | Error exn ->
             fail (Lint_failed ("lint itself raised: " ^ Printexc.to_string exn)))

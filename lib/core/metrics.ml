@@ -1,0 +1,189 @@
+(** The metrics registry — see the interface for the design. *)
+
+(* Log buckets at quarter-powers of two: sample v > 0 lands in bucket
+   floor(4 * log2 v), i.e. boundaries 2^(i/4) — ~19% wide, constant
+   space for any stream length. Bucket min_int holds exact zeros. *)
+let bucket_of v = if v <= 0.0 then min_int else int_of_float (Float.floor (4.0 *. Float.log2 v))
+
+let bucket_lo i = if i = min_int then 0.0 else Float.pow 2.0 (float_of_int i /. 4.0)
+let bucket_hi i = if i = min_int then 0.0 else Float.pow 2.0 (float_of_int (i + 1) /. 4.0)
+
+type hist = {
+  mutable n : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  buckets : (int, int ref) Hashtbl.t;
+}
+
+type t = {
+  counters_tbl : (string, int ref) Hashtbl.t;
+  gauges_tbl : (string, float ref) Hashtbl.t;
+  hists_tbl : (string, hist) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters_tbl = Hashtbl.create 16;
+    gauges_tbl = Hashtbl.create 16;
+    hists_tbl = Hashtbl.create 16;
+  }
+
+let current : t option ref = ref None
+
+let with_registry r f =
+  let saved = !current in
+  current := Some r;
+  Fun.protect ~finally:(fun () -> current := saved) f
+
+let incr ?(by = 1) name =
+  match !current with
+  | None -> ()
+  | Some r -> (
+      match Hashtbl.find_opt r.counters_tbl name with
+      | Some c -> c := !c + by
+      | None -> Hashtbl.add r.counters_tbl name (ref by))
+
+let set_gauge name v =
+  match !current with
+  | None -> ()
+  | Some r -> (
+      match Hashtbl.find_opt r.gauges_tbl name with
+      | Some g -> g := v
+      | None -> Hashtbl.add r.gauges_tbl name (ref v))
+
+let observe name v =
+  match !current with
+  | None -> ()
+  | Some r ->
+      let v = Float.max 0.0 v in
+      let h =
+        match Hashtbl.find_opt r.hists_tbl name with
+        | Some h -> h
+        | None ->
+            let h =
+              {
+                n = 0;
+                sum = 0.0;
+                min_v = infinity;
+                max_v = neg_infinity;
+                buckets = Hashtbl.create 8;
+              }
+            in
+            Hashtbl.add r.hists_tbl name h;
+            h
+      in
+      h.n <- h.n + 1;
+      h.sum <- h.sum +. v;
+      if v < h.min_v then h.min_v <- v;
+      if v > h.max_v then h.max_v <- v;
+      let b = bucket_of v in
+      (match Hashtbl.find_opt h.buckets b with
+      | Some c -> Stdlib.incr c
+      | None -> Hashtbl.add h.buckets b (ref 1))
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type summary = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_p50 : float;
+  h_p95 : float;
+}
+
+(* Quantile from the buckets: walk them in order until the cumulative
+   count covers the target rank, estimate by the bucket's geometric
+   midpoint, and clamp into the exact observed [min, max]. *)
+let quantile (h : hist) q =
+  if h.n = 0 then 0.0
+  else begin
+    let sorted =
+      List.sort compare
+        (Hashtbl.fold (fun b c acc -> (b, !c) :: acc) h.buckets [])
+    in
+    let target =
+      Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int h.n)))
+    in
+    let rec go acc = function
+      | [] -> h.max_v
+      | (b, c) :: rest ->
+          let acc = acc + c in
+          if acc >= target then
+            if b = min_int then 0.0 else sqrt (bucket_lo b *. bucket_hi b)
+          else go acc rest
+    in
+    Float.min h.max_v (Float.max h.min_v (go 0 sorted))
+  end
+
+let summarize h =
+  {
+    h_count = h.n;
+    h_sum = h.sum;
+    h_min = (if h.n = 0 then 0.0 else h.min_v);
+    h_max = (if h.n = 0 then 0.0 else h.max_v);
+    h_p50 = quantile h 0.50;
+    h_p95 = quantile h 0.95;
+  }
+
+let counter_value r name =
+  match Hashtbl.find_opt r.counters_tbl name with Some c -> !c | None -> 0
+
+let gauge_value r name =
+  Option.map ( ! ) (Hashtbl.find_opt r.gauges_tbl name)
+
+let histogram r name =
+  Option.map summarize (Hashtbl.find_opt r.hists_tbl name)
+
+let sorted_bindings fold tbl =
+  List.sort (fun (a, _) (b, _) -> compare a b)
+    (fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let counters r =
+  List.map (fun (k, c) -> (k, !c)) (sorted_bindings Hashtbl.fold r.counters_tbl)
+
+let gauges r =
+  List.map (fun (k, g) -> (k, !g)) (sorted_bindings Hashtbl.fold r.gauges_tbl)
+
+let histograms r =
+  List.map (fun (k, h) -> (k, summarize h))
+    (sorted_bindings Hashtbl.fold r.hists_tbl)
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let summary_json (s : summary) =
+  Telemetry.Json.(
+    Obj
+      [
+        ("count", Int s.h_count);
+        ("sum", Float s.h_sum);
+        ("min", Float s.h_min);
+        ("max", Float s.h_max);
+        ("p50", Float s.h_p50);
+        ("p95", Float s.h_p95);
+      ])
+
+let to_json r =
+  let open Telemetry.Json in
+  let section name entries =
+    if entries = [] then [] else [ (name, Obj entries) ]
+  in
+  Obj
+    (section "counters" (List.map (fun (k, n) -> (k, Int n)) (counters r))
+    @ section "gauges" (List.map (fun (k, v) -> (k, Float v)) (gauges r))
+    @ section "histograms"
+        (List.map (fun (k, s) -> (k, summary_json s)) (histograms r)))
+
+let pp ppf r =
+  List.iter (fun (k, n) -> Fmt.pf ppf "%-32s %d@," k n) (counters r);
+  List.iter (fun (k, v) -> Fmt.pf ppf "%-32s %g@," k v) (gauges r);
+  List.iter
+    (fun (k, s) ->
+      Fmt.pf ppf "%-32s count=%d p50=%.3f p95=%.3f max=%.3f@," k s.h_count
+        s.h_p50 s.h_p95 s.h_max)
+    (histograms r)

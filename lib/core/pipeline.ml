@@ -98,6 +98,8 @@ type report = {
   mutable passes_rev : pass_record list;  (** Built newest-first. *)
   counters : Telemetry.counters;  (** Whole-run tick totals. *)
   ledger : Decision.t;  (** Whole-run decision ledger. *)
+  span_collector : Span.collector;  (** Hierarchical wall-clock spans. *)
+  metrics : Metrics.t;  (** Counters/gauges/histograms of the run. *)
 }
 
 let fresh_report (c : config) e =
@@ -110,9 +112,13 @@ let fresh_report (c : config) e =
     passes_rev = [];
     counters = Telemetry.create ();
     ledger = Decision.create ();
+    span_collector = Span.create ();
+    metrics = Metrics.create ();
   }
 
 let passes r = List.rev r.passes_rev
+let spans r = Span.spans r.span_collector
+let metrics r = r.metrics
 let trail r = List.map (fun p -> (p.pass, p.size_after)) (passes r)
 let ticks r = Telemetry.nonzero r.counters
 let total_ticks r = Telemetry.total r.counters
@@ -141,8 +147,13 @@ let pp_report ppf r =
   Telemetry.pp_table ppf r.counters;
   (let ds = decisions r in
    if ds <> [] then
-     Fmt.pf ppf "Decisions: %d fired, %d rejected@," (Decision.fired ds)
+     Fmt.pf ppf "@,Decisions: %d fired, %d rejected" (Decision.fired ds)
        (Decision.rejected ds));
+  (if Metrics.histograms r.metrics <> [] || Metrics.counters r.metrics <> []
+   then begin
+     Fmt.pf ppf "@,Metrics:@,";
+     Metrics.pp ppf r.metrics
+   end);
   Fmt.pf ppf "@]"
 
 let ticks_json l =
@@ -181,6 +192,8 @@ let report_json (r : report) =
         ("decisions", Decision.summary_json (decisions r));
         ("incidents", Arr (List.map Guard.incident_json (incidents r)));
         ("passes", Arr (List.map pass_record_json (passes r)));
+        ("metrics", Metrics.to_json r.metrics);
+        ("spans", Arr (List.map Span.span_json (spans r)));
       ])
 
 let report_to_json r = Telemetry.Json.to_string (report_json r)
@@ -198,7 +211,51 @@ let summary_json (r : report) =
         ("contified", Int (contified r));
         ("ticks", ticks_json (ticks r));
         ("decisions", Decision.summary_json (decisions r));
+        ("metrics", Metrics.to_json r.metrics);
       ])
+
+(** The Chrome trace-event / Perfetto envelope over one or more runs:
+    one track (tid) per report, named by its configuration, so the
+    Baseline / Join_points / No_cc compile timelines sit side by side;
+    the per-run metrics registries (histogram summaries included) ride
+    under [otherData]. Load the result in https://ui.perfetto.dev or
+    chrome://tracing. *)
+let perfetto_json ?file (rs : report list) =
+  let open Telemetry.Json in
+  let process_name =
+    Obj
+      [
+        ("ph", Str "M");
+        ("ts", Int 0);
+        ("name", Str "process_name");
+        ("pid", Int 1);
+        ("tid", Int 0);
+        ("args", Obj [ ("name", Str "fjc") ]);
+      ]
+  in
+  let events =
+    List.concat
+      (List.mapi
+         (fun i r ->
+           Span.thread_name_event ~pid:1 ~tid:(i + 1) r.mode
+           :: Span.trace_events ~pid:1 ~tid:(i + 1) r.span_collector)
+         rs)
+  in
+  Obj
+    [
+      ("traceEvents", Arr (process_name :: events));
+      ("displayTimeUnit", Str "ms");
+      ( "otherData",
+        Obj
+          ((match file with None -> [] | Some f -> [ ("file", Str f) ])
+          @ [
+              ("captured_epoch_ms", Float (Telemetry.epoch_ms ()));
+              ("configurations", Arr (List.map (fun r -> Str r.mode) rs));
+              ( "metrics",
+                Obj (List.map (fun r -> (r.mode, Metrics.to_json r.metrics)) rs)
+              );
+            ]) );
+    ]
 
 let simplify_config (c : config) : Simplify.config =
   {
@@ -226,36 +283,59 @@ let run_report (c : config) (e : expr) : expr * report =
     let size_before = size e in
     let snap = Telemetry.snapshot report.counters in
     let dsnap = Decision.snapshot report.ledger in
-    let t0 = Telemetry.now_ms () in
-    let e', lint_ms, incident =
-      match c.policy with
-      | Guard.Strict ->
-          let e' = f e in
-          let lint_ms =
-            if not c.lint_every_pass then 0.0
-            else begin
-              let lt0 = Telemetry.now_ms () in
-              (match Lint.lint_result c.datacons e' with
-              | Ok _ -> ()
-              | Error err -> raise (Pass_broke_lint (pass, err)));
-              Telemetry.now_ms () -. lt0
-            end
+    (* The pass runs inside a span whose measured duration {e is} the
+       record's [duration_ms] — the exported Perfetto event and the
+       trace-JSON field come from the same two clock reads, so they
+       can never drift apart. *)
+    let (e', lint_ms, incident), duration_ms =
+      Span.with_span_timed ~cat:"pass" pass (fun () ->
+          let result =
+            match c.policy with
+            | Guard.Strict ->
+                let e' = f e in
+                let lint_ms =
+                  if not c.lint_every_pass then 0.0
+                  else
+                    snd
+                      (Span.with_span_timed ~cat:"guard" "lint" (fun () ->
+                           match Lint.lint_result c.datacons e' with
+                           | Ok _ -> ()
+                           | Error err -> raise (Pass_broke_lint (pass, err))))
+                in
+                (e', lint_ms, None)
+            | Guard.Recover -> (
+                match
+                  Guard.protect ~limits:c.limits ~datacons:c.datacons ~pass
+                    ~restored:!last_good f e
+                with
+                | Ok (e', lint_ms) -> (e', lint_ms, None)
+                | Error incident -> (e, 0.0, Some incident))
           in
-          (e', lint_ms, None)
-      | Guard.Recover -> (
-          match
-            Guard.protect ~limits:c.limits ~datacons:c.datacons ~pass
-              ~restored:!last_good f e
-          with
-          | Ok (e', lint_ms) -> (e', lint_ms, None)
-          | Error incident -> (e, 0.0, Some incident))
+          let e', _, incident = result in
+          Span.annotate "size_before" (Telemetry.Json.Int size_before);
+          Span.annotate "size_after" (Telemetry.Json.Int (size e'));
+          (match incident with
+          | None -> ()
+          | Some i ->
+              Span.annotate "incident"
+                (Telemetry.Json.Str (Guard.cause_name i.Guard.i_cause)));
+          result)
     in
-    let t1 = Telemetry.now_ms () in
     if incident = None then last_good := pass;
+    (* The histogram family strips the round index: every "simplify
+       (i)" lands in one "pass.simplify.ms" distribution. *)
+    let family =
+      match String.index_opt pass ' ' with
+      | Some i -> String.sub pass 0 i
+      | None -> pass
+    in
+    Metrics.incr "pipeline.passes";
+    Metrics.observe "pass.duration_ms" duration_ms;
+    Metrics.observe (Fmt.str "pass.%s.ms" family) duration_ms;
     report.passes_rev <-
       {
         pass;
-        duration_ms = t1 -. t0;
+        duration_ms;
         lint_ms;
         size_before;
         size_after = size e';
@@ -335,11 +415,28 @@ let run_report (c : config) (e : expr) : expr * report =
     e
   in
   let e =
-    Telemetry.with_counters report.counters (fun () ->
-        Decision.with_ledger report.ledger body)
+    Span.with_collector report.span_collector @@ fun () ->
+    Metrics.with_registry report.metrics @@ fun () ->
+    let e =
+      Span.with_span ~cat:"pipeline" "compile" (fun () ->
+          Span.annotate "mode" (Telemetry.Json.Str report.mode);
+          Span.annotate "input_size" (Telemetry.Json.Int report.input_size);
+          let e =
+            Telemetry.with_counters report.counters (fun () ->
+                Decision.with_ledger report.ledger body)
+          in
+          Span.annotate "output_size" (Telemetry.Json.Int (size e));
+          Span.annotate "total_ticks"
+            (Telemetry.Json.Int (Telemetry.total report.counters));
+          e)
+    in
+    report.output_size <- size e;
+    report.total_ms <- Telemetry.now_ms () -. t_run0;
+    Metrics.incr "pipeline.runs";
+    Metrics.set_gauge "pipeline.output_size" (float_of_int report.output_size);
+    Metrics.observe "pipeline.total_ms" report.total_ms;
+    e
   in
-  report.output_size <- size e;
-  report.total_ms <- Telemetry.now_ms () -. t_run0;
   (e, report)
 
 let run c e = fst (run_report c e)

@@ -70,6 +70,17 @@ type report
 (** Passes in execution order. *)
 val passes : report -> pass_record list
 
+(** Completed hierarchical wall-clock spans of the run, oldest first:
+    a root ["compile"] span (cat ["pipeline"]) enclosing one span per
+    pass (cat ["pass"], whose duration {e equals} the corresponding
+    {!pass_record.duration_ms}) enclosing the guard phases (cat
+    ["guard"]: ["body"], ["lint"], ["rollback"]). *)
+val spans : report -> Span.span list
+
+(** The run's metrics registry: pass-duration histograms
+    ([pass.<family>.ms]), guard rollback counters, etc. *)
+val metrics : report -> Metrics.t
+
 (** (pass name, size after) in execution order — the legacy trail. *)
 val trail : report -> (string * int) list
 
@@ -105,8 +116,13 @@ val pp_report : Format.formatter -> report -> unit
 val report_to_json : report -> string
 
 (** Compact optimizer summary for benchmark trajectory files:
-    [{total_ms, total_ticks, contified, ticks, decisions}]. *)
+    [{total_ms, total_ticks, contified, ticks, decisions, metrics}]. *)
 val summary_json : report -> Telemetry.Json.t
+
+(** Chrome trace-event JSON over one or more runs — one Perfetto track
+    per report, named by its configuration; histogram summaries under
+    [otherData.metrics]. Loadable in https://ui.perfetto.dev. *)
+val perfetto_json : ?file:string -> report list -> Telemetry.Json.t
 
 (** Run the configured pipeline; also returns the structured trace. *)
 val run_report : config -> Syntax.expr -> Syntax.expr * report

@@ -1,0 +1,160 @@
+(** Hierarchical wall-clock spans — see the interface for the design. *)
+
+type span = {
+  sp_name : string;
+  sp_cat : string;
+  sp_start_ms : float;
+  sp_dur_ms : float;
+  sp_depth : int;
+  sp_args : (string * Telemetry.Json.t) list;
+}
+
+(* A span being timed: annotations accumulate until it closes. *)
+type open_span = {
+  o_name : string;
+  o_cat : string;
+  o_t0 : float;
+  o_depth : int;
+  mutable o_args : (string * Telemetry.Json.t) list;  (* newest first *)
+}
+
+type collector = {
+  completed : span Queue.t;  (* oldest first *)
+  cap : int option;
+  mutable open_stack : open_span list;  (* innermost first *)
+  mutable n_dropped : int;
+}
+
+let create ?cap () =
+  { completed = Queue.create (); cap; open_stack = []; n_dropped = 0 }
+
+(* The innermost installed collector; installation nests (save and
+   restore), exactly as Telemetry collectors do. *)
+let current : collector option ref = ref None
+
+let with_collector c f =
+  let saved = !current in
+  current := Some c;
+  Fun.protect ~finally:(fun () -> current := saved) f
+
+let record c (sp : span) =
+  (match c.cap with
+  | Some cap when Queue.length c.completed >= cap ->
+      ignore (Queue.pop c.completed);
+      c.n_dropped <- c.n_dropped + 1
+  | _ -> ());
+  Queue.push sp c.completed
+
+let annotate key v =
+  match !current with
+  | None -> ()
+  | Some c -> (
+      match c.open_stack with
+      | [] -> ()
+      | o :: _ -> o.o_args <- (key, v) :: List.remove_assoc key o.o_args)
+
+let with_span_timed ?(cat = "") name f =
+  match !current with
+  | None ->
+      let t0 = Telemetry.now_ms () in
+      let x = f () in
+      (x, Telemetry.now_ms () -. t0)
+  | Some c ->
+      let o =
+        {
+          o_name = name;
+          o_cat = cat;
+          o_t0 = Telemetry.now_ms ();
+          o_depth = List.length c.open_stack;
+          o_args = [];
+        }
+      in
+      c.open_stack <- o :: c.open_stack;
+      let dur = ref 0.0 in
+      let close ~raised =
+        (* [f] may itself have installed a different collector and
+           leaked an unbalanced stack only on raise; pop down to [o]
+           defensively so an exception cannot wedge the nesting. *)
+        (if raised then
+           o.o_args <- ("raised", Telemetry.Json.Bool true) :: o.o_args);
+        dur := Telemetry.now_ms () -. o.o_t0;
+        (match c.open_stack with
+        | o' :: rest when o' == o -> c.open_stack <- rest
+        | stack -> c.open_stack <- List.filter (fun o' -> not (o' == o)) stack);
+        record c
+          {
+            sp_name = o.o_name;
+            sp_cat = o.o_cat;
+            sp_start_ms = o.o_t0;
+            sp_dur_ms = !dur;
+            sp_depth = o.o_depth;
+            sp_args = List.rev o.o_args;
+          }
+      in
+      let x =
+        match f () with
+        | x ->
+            close ~raised:false;
+            x
+        | exception exn ->
+            close ~raised:true;
+            raise exn
+      in
+      (x, !dur)
+
+let with_span ?cat name f = fst (with_span_timed ?cat name f)
+
+let spans c = List.rev (Queue.fold (fun acc s -> s :: acc) [] c.completed)
+let dropped c = c.n_dropped
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export                                           *)
+(* ------------------------------------------------------------------ *)
+
+let us ms = int_of_float (Float.round (ms *. 1000.0))
+
+let event ?(pid = 1) ?(tid = 1) (sp : span) =
+  Telemetry.Json.(
+    Obj
+      [
+        ("ph", Str "X");
+        ("ts", Int (us sp.sp_start_ms));
+        ("dur", Int (us sp.sp_dur_ms));
+        ("name", Str sp.sp_name);
+        ("cat", Str (if sp.sp_cat = "" then "span" else sp.sp_cat));
+        ("pid", Int pid);
+        ("tid", Int tid);
+        ("args", Obj sp.sp_args);
+      ])
+
+let trace_events ?pid ?tid c =
+  let by_start =
+    List.stable_sort
+      (fun a b -> compare a.sp_start_ms b.sp_start_ms)
+      (spans c)
+  in
+  List.map (event ?pid ?tid) by_start
+
+let thread_name_event ?(pid = 1) ~tid name =
+  Telemetry.Json.(
+    Obj
+      [
+        ("ph", Str "M");
+        ("ts", Int 0);
+        ("name", Str "thread_name");
+        ("pid", Int pid);
+        ("tid", Int tid);
+        ("args", Obj [ ("name", Str name) ]);
+      ])
+
+let span_json (sp : span) =
+  Telemetry.Json.(
+    Obj
+      [
+        ("name", Str sp.sp_name);
+        ("cat", Str sp.sp_cat);
+        ("start_ms", Float sp.sp_start_ms);
+        ("dur_ms", Float sp.sp_dur_ms);
+        ("depth", Int sp.sp_depth);
+        ("args", Obj sp.sp_args);
+      ])

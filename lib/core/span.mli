@@ -1,0 +1,80 @@
+(** Hierarchical wall-clock spans — the timing backbone of the
+    observability layer.
+
+    A {!collector} is per-invocation (same discipline as
+    {!Telemetry.counters}: installed with {!with_collector} for a
+    dynamic extent, nothing global survives the run). Any code inside
+    that extent brackets work with {!with_span}; nesting is tracked by
+    an open-span stack, so a pass span encloses its guard phases and an
+    evaluator run encloses nothing but still records as a root span.
+    When no collector is installed {!with_span} just runs its body —
+    the machines stay instrumentable without paying for it.
+
+    Spans are measured on the monotonic clock ({!Telemetry.now_ms})
+    and export directly as Chrome trace-event JSON ("ph":"X" complete
+    events), loadable in Perfetto / chrome://tracing — see
+    {!trace_events}. A collector may be ring-bounded ([?cap]), which is
+    what the fuzz soak flight recorder uses: only the most recent
+    spans are retained and {!dropped} counts the evicted ones. *)
+
+(** One completed span. *)
+type span = {
+  sp_name : string;  (** e.g. ["simplify (0)"], ["lint"], ["eval"]. *)
+  sp_cat : string;
+      (** Coarse category: ["pipeline"], ["pass"], ["guard"],
+          ["eval"], ["machine"], ["fuzz"]. *)
+  sp_start_ms : float;  (** Monotonic, process origin. *)
+  sp_dur_ms : float;
+  sp_depth : int;  (** 0 for a root span, parents minus one below. *)
+  sp_args : (string * Telemetry.Json.t) list;
+      (** Annotations ({!annotate}), e.g. step counts. *)
+}
+
+type collector
+
+(** [create ?cap ()] — [cap] bounds the number of {e completed} spans
+    retained (oldest evicted first); default unbounded. *)
+val create : ?cap:int -> unit -> collector
+
+(** Install [c] as the innermost collector for the extent of the
+    callback (nesting saves and restores, as {!Telemetry.with_counters}
+    does). *)
+val with_collector : collector -> (unit -> 'a) -> 'a
+
+(** [with_span ~cat name f] times [f] and records a span into the
+    innermost collector (none installed: just runs [f]). The span is
+    recorded even when [f] raises, annotated with ["raised"]. *)
+val with_span : ?cat:string -> string -> (unit -> 'a) -> 'a
+
+(** As {!with_span}, and also returns the measured duration in ms —
+    taken from the very same two clock reads that the recorded span
+    holds, so a caller that stores the duration in its own record
+    (e.g. {!Pipeline.pass_record.duration_ms}) is {e exactly}
+    consistent with the exported span. *)
+val with_span_timed : ?cat:string -> string -> (unit -> 'a) -> 'a * float
+
+(** Attach an annotation to the innermost {e open} span (no collector
+    or no open span: a no-op). Later values win on key collision. *)
+val annotate : string -> Telemetry.Json.t -> unit
+
+(** {1 Reading} *)
+
+(** Completed spans, oldest first (by completion; children complete
+    before their parents). *)
+val spans : collector -> span list
+
+(** Number of completed spans evicted by the ring bound. *)
+val dropped : collector -> int
+
+(** {1 Chrome trace-event export} *)
+
+(** One ["ph":"X"] complete event per span: [ts]/[dur] in integer
+    microseconds, [name], [cat], the given [pid]/[tid], and the
+    annotations under [args]. Ordered by start time. *)
+val trace_events : ?pid:int -> ?tid:int -> collector -> Telemetry.Json.t list
+
+(** A ["ph":"M"] [thread_name] metadata event — names a Perfetto
+    track, e.g. one per pipeline configuration. *)
+val thread_name_event : ?pid:int -> tid:int -> string -> Telemetry.Json.t
+
+val span_json : span -> Telemetry.Json.t

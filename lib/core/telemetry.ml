@@ -163,15 +163,19 @@ let pp_table ppf (c : counters) =
 (* Clock                                                               *)
 (* ------------------------------------------------------------------ *)
 
-(* Wall clock clamped to be non-decreasing: the stdlib has no monotonic
-   clock and we avoid growing the dependency set, so a backwards NTP
-   step at worst makes one pass read as 0 ms. *)
-let last_ms = ref 0.0
+(* Durations are measured on the monotonic clock (CLOCK_MONOTONIC via
+   the bechamel stub, already a dependency of the package), so a
+   backwards NTP step can never make a pass or span read negative.
+   The origin is process start-up, keeping the values small enough
+   that the %.6g float printing below loses nothing. *)
+let origin_ns = Monotonic_clock.now ()
 
 let now_ms () =
-  let t = Unix.gettimeofday () *. 1000.0 in
-  if t > !last_ms then last_ms := t;
-  !last_ms
+  Int64.to_float (Int64.sub (Monotonic_clock.now ()) origin_ns) /. 1e6
+
+(* The wall clock, for the few places that report an absolute
+   timestamp (trace capture time, heartbeats) — never subtracted. *)
+let epoch_ms () = Unix.gettimeofday () *. 1000.0
 
 (* ------------------------------------------------------------------ *)
 (* JSON                                                                *)

@@ -95,9 +95,14 @@ val pp_table : Format.formatter -> counters -> unit
 
 (** {1 Clock} *)
 
-(** Milliseconds from an arbitrary origin; guaranteed non-decreasing
-    within the process (wall clock clamped to be monotone). *)
+(** Milliseconds since process start-up on the {e monotonic} clock:
+    duration arithmetic ([now_ms () -. t0]) can never go negative
+    under a wall-clock adjustment. Use for every duration. *)
 val now_ms : unit -> float
+
+(** Milliseconds since the Unix epoch (wall clock). Only for reporting
+    an absolute timestamp; never subtract two of these. *)
+val epoch_ms : unit -> float
 
 (** {1 JSON}
 

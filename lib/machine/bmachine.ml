@@ -83,7 +83,7 @@ let rec pp_value ppf = function
 
 (** Run a program. [fuel] bounds the instruction count; [profile]
     attaches a per-site profiler. *)
-let run ?(fuel = max_int) ?profile (p : program) : value * stats =
+let run_machine ?(fuel = max_int) ?profile (p : program) : value * stats =
   let stats = fresh_stats () in
   let p_alloc ~label ~kind words =
     match profile with
@@ -313,6 +313,25 @@ let run ?(fuel = max_int) ?profile (p : program) : value * stats =
     | _ -> stuck "applying a non-function value"
   in
   let v = exec Profile.main_site empty_env p.main [] 0 in
+  (v, stats)
+
+(* The public entry point: one root span (cat ["machine"]) per block
+   machine run, annotated with its step/jump/word counts, publishing
+   into the innermost metrics registry — no-ops when no observability
+   collector/registry is installed. *)
+let run ?fuel ?profile (p : program) : value * stats =
+  let open Fj_core in
+  let (v, stats), dur =
+    Span.with_span_timed ~cat:"machine" "bmachine" (fun () ->
+        let (v, stats) = run_machine ?fuel ?profile p in
+        Span.annotate "steps" (Telemetry.Json.Int stats.Mstats.steps);
+        Span.annotate "jumps" (Telemetry.Json.Int stats.Mstats.jumps);
+        Span.annotate "words" (Telemetry.Json.Int stats.Mstats.words);
+        (v, stats))
+  in
+  Metrics.observe "bmachine.ms" dur;
+  Metrics.observe "bmachine.steps" (float_of_int stats.Mstats.steps);
+  Metrics.observe "bmachine.words" (float_of_int stats.Mstats.words);
   (v, stats)
 
 (* ------------------------------------------------------------------ *)

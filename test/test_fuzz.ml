@@ -140,6 +140,82 @@ let run_outcome_reifies_fuel () =
   | Eval.Fuel_exhausted -> Alcotest.fail "1 + 2 ran out of fuel"
   | Eval.Crashed m -> Alcotest.failf "1 + 2 got stuck: %s" m
 
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let recorder_heartbeats () =
+  let hbs = ref [] in
+  let r =
+    Fuzz.recorder ~every:10 ~on_heartbeat:(fun hb -> hbs := hb :: !hbs) ()
+  in
+  let s = Fuzz.run ~recorder:r ~seed:0 ~count:25 () in
+  (* Periodic at 10 and 20, final at 25. *)
+  let hbs = List.rev !hbs in
+  Alcotest.(check int) "heartbeat count" 3 (List.length hbs);
+  Alcotest.(check (list int)) "progress points" [ 10; 20; 25 ]
+    (List.map (fun hb -> hb.Fuzz.hb_cases) hbs);
+  let last = List.nth hbs 2 in
+  Alcotest.(check int) "total planned" 25 last.Fuzz.hb_total;
+  Alcotest.(check int) "pass count matches summary" s.Fuzz.passed
+    last.Fuzz.hb_passed;
+  Alcotest.(check int) "incidents match summary"
+    (List.length s.Fuzz.failures)
+    last.Fuzz.hb_incidents;
+  Alcotest.(check bool) "rate is positive" true (last.Fuzz.hb_rate > 0.0);
+  Alcotest.(check bool) "case latency histogram snapshotted" true
+    (List.mem_assoc "fuzz.case_ms" last.Fuzz.hb_histograms);
+  (* The callback view and the recorder's retained list agree. *)
+  Alcotest.(check int) "recorder retains them" 3
+    (List.length (Fuzz.heartbeats r))
+
+let recorder_final_heartbeat_on_short_runs () =
+  (* Runs shorter than the period still end with one heartbeat. *)
+  let r = Fuzz.recorder ~every:100 () in
+  ignore (Fuzz.run ~recorder:r ~seed:3 ~count:4 ());
+  match Fuzz.heartbeats r with
+  | [ hb ] -> Alcotest.(check int) "covers the whole run" 4 hb.Fuzz.hb_cases
+  | hbs -> Alcotest.failf "expected 1 heartbeat, got %d" (List.length hbs)
+
+let recorder_ring_is_bounded () =
+  let cap = 16 in
+  let r = Fuzz.recorder ~ring_cap:cap ~every:max_int () in
+  ignore (Fuzz.run ~recorder:r ~seed:0 ~count:30 ());
+  Alcotest.(check bool)
+    (Fmt.str "retained %d <= cap" (List.length (Fuzz.recent_spans r)))
+    true
+    (List.length (Fuzz.recent_spans r) <= cap);
+  Alcotest.(check bool) "evictions counted" true (Fuzz.dropped_spans r > 0);
+  (* Case latencies landed in the recorder's registry. *)
+  match Metrics.histogram (Fuzz.recorder_metrics r) "fuzz.case_ms" with
+  | Some s -> Alcotest.(check int) "every case observed" 30 s.Metrics.h_count
+  | None -> Alcotest.fail "fuzz.case_ms histogram missing"
+
+let heartbeat_and_flight_json_well_formed () =
+  let r = Fuzz.recorder ~every:5 () in
+  ignore (Fuzz.run ~recorder:r ~seed:1 ~count:10 ());
+  List.iter
+    (fun hb ->
+      Alcotest.(check bool) "heartbeat JSON well-formed" true
+        (Telemetry.Json.is_well_formed
+           (Telemetry.Json.to_string (Fuzz.heartbeat_json hb))))
+    (Fuzz.heartbeats r);
+  let flight = Fuzz.flight_json r in
+  Alcotest.(check bool) "flight JSON well-formed" true
+    (Telemetry.Json.is_well_formed (Telemetry.Json.to_string flight));
+  match flight with
+  | Telemetry.Json.Obj fields ->
+      List.iter
+        (fun k ->
+          if not (List.mem_assoc k fields) then
+            Alcotest.failf "flight JSON lacks %S" k)
+        [ "schema"; "traceEvents"; "dropped_spans"; "heartbeats"; "metrics" ];
+      (match List.assoc "schema" fields with
+      | Telemetry.Json.Str "fj-flight/1" -> ()
+      | j ->
+          Alcotest.failf "wrong schema: %s" (Telemetry.Json.to_string j))
+  | _ -> Alcotest.fail "flight JSON is not an object"
+
 let tests =
   [
     test "generation is deterministic from the seed" seed_determinism;
@@ -151,4 +227,11 @@ let tests =
     test "oracle catches an injected pass bug" oracle_catches_injected_bug;
     test "failure JSON has the documented shape" failure_json_shape;
     test "evaluator fuel exhaustion is an outcome" run_outcome_reifies_fuel;
+    test "recorder emits periodic and final heartbeats" recorder_heartbeats;
+    test "short runs still get a final heartbeat"
+      recorder_final_heartbeat_on_short_runs;
+    test "flight ring is bounded, registry sees every case"
+      recorder_ring_is_bounded;
+    test "heartbeat and flight JSON are well-formed"
+      heartbeat_and_flight_json_well_formed;
   ]

@@ -26,6 +26,8 @@ let () =
       ("paper-examples", Test_paper_examples.tests);
       ("pipeline", Test_pipeline.tests);
       ("telemetry", Test_telemetry.tests);
+      ("span", Test_span.tests);
+      ("metrics", Test_metrics.tests);
       ("profile", Test_profile.tests);
       ("decision", Test_decision.tests);
       ("integration", Test_integration.tests);

@@ -1,0 +1,137 @@
+(** Tests for {!Fj_core.Metrics}: counters and gauges, the log-bucketed
+    histogram's quantile accuracy (within the documented ~19% bucket
+    resolution), publishing discipline (innermost registry, no-op when
+    none installed), and the JSON shape. *)
+
+open Fj_core
+open Util
+
+let counters_and_gauges () =
+  let r = Metrics.create () in
+  Metrics.with_registry r (fun () ->
+      Metrics.incr "a";
+      Metrics.incr ~by:4 "a";
+      Metrics.incr "b";
+      Metrics.set_gauge "g" 1.5;
+      Metrics.set_gauge "g" 2.5);
+  Alcotest.(check int) "counter accumulates" 5 (Metrics.counter_value r "a");
+  Alcotest.(check int) "independent counters" 1 (Metrics.counter_value r "b");
+  Alcotest.(check int) "absent counter reads 0" 0 (Metrics.counter_value r "z");
+  Alcotest.(check (option (float 0.0))) "gauge last-value-wins" (Some 2.5)
+    (Metrics.gauge_value r "g");
+  Alcotest.(check (option (float 0.0))) "absent gauge" None
+    (Metrics.gauge_value r "z")
+
+let no_registry_is_noop () =
+  Metrics.incr "orphan";
+  Metrics.set_gauge "orphan" 1.0;
+  Metrics.observe "orphan" 1.0
+
+let nested_registries () =
+  let outer = Metrics.create () in
+  let inner = Metrics.create () in
+  Metrics.with_registry outer (fun () ->
+      Metrics.incr "n";
+      Metrics.with_registry inner (fun () -> Metrics.incr "n");
+      Metrics.incr "n");
+  Alcotest.(check int) "outer sees its own" 2 (Metrics.counter_value outer "n");
+  Alcotest.(check int) "inner shadows" 1 (Metrics.counter_value inner "n")
+
+let histogram_summary_exact_fields () =
+  let r = Metrics.create () in
+  Metrics.with_registry r (fun () ->
+      List.iter (Metrics.observe "h") [ 1.0; 2.0; 4.0; 8.0; 100.0 ]);
+  match Metrics.histogram r "h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some s ->
+      Alcotest.(check int) "count" 5 s.Metrics.h_count;
+      Alcotest.(check (float 1e-9)) "sum exact" 115.0 s.Metrics.h_sum;
+      Alcotest.(check (float 1e-9)) "min exact" 1.0 s.Metrics.h_min;
+      Alcotest.(check (float 1e-9)) "max exact" 100.0 s.Metrics.h_max
+
+(* p50/p95 are bucket-interpolated: boundaries at 2^(i/4), so any
+   estimate is within a factor of 2^(1/4) ≈ 1.19 of the exact
+   percentile. Check that bound against known sample sets. *)
+let within_bucket_resolution ~exact got =
+  let ratio = got /. exact in
+  ratio >= 1.0 /. 1.2 && ratio <= 1.2
+
+let histogram_quantile_accuracy () =
+  let r = Metrics.create () in
+  (* 100 samples 1..100: exact p50 = 50, exact p95 = 95. *)
+  Metrics.with_registry r (fun () ->
+      for i = 1 to 100 do
+        Metrics.observe "lat" (float_of_int i)
+      done);
+  match Metrics.histogram r "lat" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some s ->
+      Alcotest.(check bool)
+        (Fmt.str "p50 %.2f within 19%% of 50" s.Metrics.h_p50)
+        true
+        (within_bucket_resolution ~exact:50.0 s.Metrics.h_p50);
+      Alcotest.(check bool)
+        (Fmt.str "p95 %.2f within 19%% of 95" s.Metrics.h_p95)
+        true
+        (within_bucket_resolution ~exact:95.0 s.Metrics.h_p95);
+      Alcotest.(check bool) "p50 <= p95" true
+        (s.Metrics.h_p50 <= s.Metrics.h_p95);
+      Alcotest.(check bool) "quantiles clamped to [min,max]" true
+        (s.Metrics.h_p50 >= s.Metrics.h_min
+        && s.Metrics.h_p95 <= s.Metrics.h_max)
+
+let histogram_single_sample () =
+  let r = Metrics.create () in
+  Metrics.with_registry r (fun () -> Metrics.observe "one" 7.0);
+  match Metrics.histogram r "one" with
+  | Some s ->
+      (* With one sample, clamping makes every statistic exact. *)
+      Alcotest.(check (float 1e-9)) "p50 = the sample" 7.0 s.Metrics.h_p50;
+      Alcotest.(check (float 1e-9)) "p95 = the sample" 7.0 s.Metrics.h_p95
+  | None -> Alcotest.fail "histogram missing"
+
+let negative_samples_clamp () =
+  let r = Metrics.create () in
+  Metrics.with_registry r (fun () -> Metrics.observe "neg" (-3.0));
+  match Metrics.histogram r "neg" with
+  | Some s ->
+      Alcotest.(check (float 1e-9)) "clamped to 0" 0.0 s.Metrics.h_min;
+      Alcotest.(check int) "still counted" 1 s.Metrics.h_count
+  | None -> Alcotest.fail "histogram missing"
+
+let json_shape () =
+  let r = Metrics.create () in
+  Metrics.with_registry r (fun () ->
+      Metrics.incr "c";
+      Metrics.set_gauge "g" 3.0;
+      Metrics.observe "h" 2.0);
+  let text = Telemetry.Json.to_string (Metrics.to_json r) in
+  Alcotest.(check bool) "well-formed" true (Telemetry.Json.is_well_formed text);
+  match Telemetry.Json.parse text with
+  | Ok (Telemetry.Json.Obj fields) ->
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) (k ^ " present") true (List.mem_assoc k fields))
+        [ "counters"; "gauges"; "histograms" ]
+  | Ok _ -> Alcotest.fail "not an object"
+  | Error m -> Alcotest.failf "does not parse: %s" m
+
+let empty_json_elides_sections () =
+  match Metrics.to_json (Metrics.create ()) with
+  | Telemetry.Json.Obj [] -> ()
+  | j ->
+      Alcotest.failf "empty registry should serialize to {}: %s"
+        (Telemetry.Json.to_string j)
+
+let tests =
+  [
+    test "counters and gauges" counters_and_gauges;
+    test "publishing without a registry is a no-op" no_registry_is_noop;
+    test "nested registries shadow" nested_registries;
+    test "histogram count/sum/min/max are exact" histogram_summary_exact_fields;
+    test "p50/p95 within log-bucket resolution" histogram_quantile_accuracy;
+    test "single-sample histogram is exact" histogram_single_sample;
+    test "negative samples clamp to zero" negative_samples_clamp;
+    test "to_json shape" json_shape;
+    test "empty registry serializes empty" empty_json_elides_sections;
+  ]

@@ -1,0 +1,295 @@
+(** Tests for {!Fj_core.Span} and the Chrome trace-event export:
+    nesting depth, the ring bound, annotation, exception safety, the
+    duration contract shared with {!Pipeline.pass_record}, and the
+    [Pipeline.perfetto_json] envelope (parses; every event carries
+    ph/name/pid/tid; "X" events carry ts/dur; one named track per
+    configuration; pass spans nest inside the root compile span with
+    durations consistent with the per-pass wall-clock fields). *)
+
+open Fj_core
+open Util
+
+let json_obj = function
+  | Telemetry.Json.Obj fields -> fields
+  | j -> Alcotest.failf "expected an object, got %s" (Telemetry.Json.to_string j)
+
+let field name j =
+  match List.assoc_opt name (json_obj j) with
+  | Some v -> v
+  | None ->
+      Alcotest.failf "missing field %S in %s" name (Telemetry.Json.to_string j)
+
+let int_field name j =
+  match field name j with
+  | Telemetry.Json.Int n -> n
+  | v -> Alcotest.failf "field %S not an int: %s" name (Telemetry.Json.to_string v)
+
+let str_field name j =
+  match field name j with
+  | Telemetry.Json.Str s -> s
+  | v -> Alcotest.failf "field %S not a string: %s" name (Telemetry.Json.to_string v)
+
+(* ------------------------------------------------------------------ *)
+(* The collector itself                                                *)
+(* ------------------------------------------------------------------ *)
+
+let nesting_and_depth () =
+  let c = Span.create () in
+  Span.with_collector c (fun () ->
+      Span.with_span ~cat:"outer" "a" (fun () ->
+          Span.with_span ~cat:"inner" "b" (fun () -> ());
+          Span.with_span ~cat:"inner" "c" (fun () -> ())));
+  match Span.spans c with
+  | [ b; c'; a ] ->
+      (* Children complete before their parents. *)
+      Alcotest.(check string) "first completed" "b" b.Span.sp_name;
+      Alcotest.(check string) "second completed" "c" c'.Span.sp_name;
+      Alcotest.(check string) "root completes last" "a" a.Span.sp_name;
+      Alcotest.(check int) "root depth" 0 a.Span.sp_depth;
+      Alcotest.(check int) "child depth" 1 b.Span.sp_depth;
+      Alcotest.(check string) "category kept" "outer" a.Span.sp_cat;
+      (* Children are contained in the parent's interval. *)
+      let inside (ch : Span.span) (p : Span.span) =
+        ch.sp_start_ms >= p.sp_start_ms
+        && ch.sp_start_ms +. ch.sp_dur_ms <= p.sp_start_ms +. p.sp_dur_ms +. 1e-6
+      in
+      Alcotest.(check bool) "b inside a" true (inside b a);
+      Alcotest.(check bool) "c inside a" true (inside c' a)
+  | ss -> Alcotest.failf "expected 3 spans, got %d" (List.length ss)
+
+let no_collector_is_noop () =
+  (* Publishing without an installed collector must be safe (and is
+     the fast path for the machines). *)
+  Span.with_span "orphan" (fun () -> Span.annotate "k" Telemetry.Json.Null);
+  let v, d = Span.with_span_timed "orphan" (fun () -> 42) in
+  Alcotest.(check int) "body result" 42 v;
+  Alcotest.(check bool) "duration non-negative" true (d >= 0.0)
+
+let ring_bound_drops_oldest () =
+  let c = Span.create ~cap:3 () in
+  Span.with_collector c (fun () ->
+      for i = 1 to 10 do
+        Span.with_span (Fmt.str "s%d" i) (fun () -> ())
+      done);
+  let names = List.map (fun s -> s.Span.sp_name) (Span.spans c) in
+  Alcotest.(check (list string)) "most recent retained" [ "s8"; "s9"; "s10" ]
+    names;
+  Alcotest.(check int) "evictions counted" 7 (Span.dropped c)
+
+let annotations_recorded () =
+  let c = Span.create () in
+  Span.with_collector c (fun () ->
+      Span.with_span "work" (fun () ->
+          Span.annotate "steps" (Telemetry.Json.Int 17);
+          Span.annotate "steps" (Telemetry.Json.Int 18)));
+  match Span.spans c with
+  | [ s ] ->
+      Alcotest.(check int) "later value wins" 18
+        (match List.assoc "steps" s.Span.sp_args with
+        | Telemetry.Json.Int n -> n
+        | _ -> -1)
+  | _ -> Alcotest.fail "expected one span"
+
+let exception_still_records () =
+  let c = Span.create () in
+  (try
+     Span.with_collector c (fun () ->
+         Span.with_span "boom" (fun () -> failwith "bang"))
+   with Failure _ -> ());
+  match Span.spans c with
+  | [ s ] ->
+      Alcotest.(check string) "span recorded" "boom" s.Span.sp_name;
+      Alcotest.(check bool) "marked raised" true
+        (List.mem_assoc "raised" s.Span.sp_args)
+  | ss -> Alcotest.failf "expected 1 span, got %d" (List.length ss)
+
+let timed_matches_span () =
+  let c = Span.create () in
+  let (), d =
+    Span.with_collector c (fun () ->
+        Span.with_span_timed "t" (fun () -> Sys.opaque_identity (ignore [ 1 ])))
+  in
+  match Span.spans c with
+  | [ s ] ->
+      (* The contract Pipeline relies on: the returned duration IS the
+         recorded span's duration, not a third clock read. *)
+      Alcotest.(check (float 0.0)) "identical duration" s.Span.sp_dur_ms d
+  | _ -> Alcotest.fail "expected one span"
+
+let trace_event_fields () =
+  let c = Span.create () in
+  Span.with_collector c (fun () ->
+      Span.with_span ~cat:"pass" "p" (fun () ->
+          Span.annotate "size" (Telemetry.Json.Int 3)));
+  match Span.trace_events ~pid:9 ~tid:4 c with
+  | [ ev ] ->
+      Alcotest.(check string) "ph" "X" (str_field "ph" ev);
+      Alcotest.(check string) "name" "p" (str_field "name" ev);
+      Alcotest.(check string) "cat" "pass" (str_field "cat" ev);
+      Alcotest.(check int) "pid" 9 (int_field "pid" ev);
+      Alcotest.(check int) "tid" 4 (int_field "tid" ev);
+      Alcotest.(check bool) "ts integer µs" true (int_field "ts" ev >= 0);
+      Alcotest.(check bool) "dur integer µs" true (int_field "dur" ev >= 0);
+      Alcotest.(check int) "args carried" 3 (int_field "size" (field "args" ev))
+  | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs)
+
+(* ------------------------------------------------------------------ *)
+(* The pipeline's Perfetto export                                      *)
+(* ------------------------------------------------------------------ *)
+
+let cc_src =
+  {|
+def main =
+  let rec go i acc =
+    if i > 50 then acc
+    else if odd i then go (i + 1) (acc + i)
+    else go (i + 1) acc
+  in go 1 0
+|}
+
+let report_for mode =
+  let denv, core = Fj_surface.Prelude.compile cc_src in
+  let cfg =
+    Pipeline.default_config ~mode ~datacons:denv ~inline_threshold:300 ()
+  in
+  snd (Pipeline.run_report cfg core)
+
+let all_modes = [ Pipeline.Baseline; Pipeline.Join_points; Pipeline.No_cc ]
+
+let perfetto_structure () =
+  let reports = List.map report_for all_modes in
+  let json = Pipeline.perfetto_json ~file:"test.fj" reports in
+  let text = Telemetry.Json.to_string json in
+  Alcotest.(check bool) "well-formed JSON" true
+    (Telemetry.Json.is_well_formed text);
+  let events =
+    match field "traceEvents" json with
+    | Telemetry.Json.Arr evs -> evs
+    | _ -> Alcotest.fail "traceEvents is not an array"
+  in
+  Alcotest.(check bool) "has events" true (List.length events > 0);
+  (* Every event has ph/name/pid/tid; complete events have ts+dur. *)
+  List.iter
+    (fun ev ->
+      let ph = str_field "ph" ev in
+      ignore (str_field "name" ev);
+      ignore (int_field "pid" ev);
+      ignore (int_field "tid" ev);
+      if ph = "X" then (
+        Alcotest.(check bool) "ts >= 0" true (int_field "ts" ev >= 0);
+        Alcotest.(check bool) "dur >= 0" true (int_field "dur" ev >= 0))
+      else Alcotest.(check string) "only X and M events" "M" ph)
+    events;
+  (* One named track per configuration. *)
+  let thread_names =
+    List.filter_map
+      (fun ev ->
+        if str_field "ph" ev = "M" && str_field "name" ev = "thread_name" then
+          Some (str_field "name" (field "args" ev), int_field "tid" ev)
+        else None)
+      events
+  in
+  List.iter
+    (fun mode ->
+      let mname = Pipeline.mode_name mode in
+      Alcotest.(check bool)
+        (Fmt.str "track for %s" mname)
+        true
+        (List.mem_assoc mname thread_names))
+    all_modes;
+  let tids = List.sort_uniq compare (List.map snd thread_names) in
+  Alcotest.(check int) "three distinct tids" 3 (List.length tids);
+  (* Histogram summaries folded into the envelope. *)
+  let other = field "otherData" json in
+  Alcotest.(check string) "file recorded" "test.fj" (str_field "file" other);
+  let metrics = json_obj (field "metrics" other) in
+  List.iter
+    (fun mode ->
+      let mname = Pipeline.mode_name mode in
+      match List.assoc_opt mname metrics with
+      | Some m ->
+          let hs = json_obj (field "histograms" m) in
+          Alcotest.(check bool)
+            (Fmt.str "%s has pass.duration_ms histogram" mname)
+            true
+            (List.mem_assoc "pass.duration_ms" hs);
+          let summary = List.assoc "pass.duration_ms" hs in
+          List.iter
+            (fun k -> ignore (field k summary))
+            [ "count"; "sum"; "min"; "max"; "p50"; "p95" ]
+      | None -> Alcotest.failf "no metrics for %s" mname)
+    all_modes
+
+let perfetto_durations_match_pass_records () =
+  let r = report_for Pipeline.Join_points in
+  let root, children =
+    match
+      List.partition (fun s -> s.Span.sp_depth = 0) (Pipeline.spans r)
+    with
+    | [ root ], rest -> (root, rest)
+    | roots, _ ->
+        Alcotest.failf "expected exactly one root span, got %d"
+          (List.length roots)
+  in
+  Alcotest.(check string) "root is the compile span" "compile"
+    root.Span.sp_name;
+  (* Every child lies inside the compile interval. *)
+  List.iter
+    (fun (s : Span.span) ->
+      Alcotest.(check bool)
+        (Fmt.str "%s nested in compile" s.sp_name)
+        true
+        (s.sp_start_ms >= root.sp_start_ms
+        && s.sp_start_ms +. s.sp_dur_ms
+           <= root.sp_start_ms +. root.sp_dur_ms +. 1e-6))
+    children;
+  (* Each pass record's wall clock IS its span's duration. The one
+     exception is the rules pass, whose record is renamed after the
+     fact; this config runs no rewrite rules, so it never appears. *)
+  let pass_spans =
+    List.filter (fun (s : Span.span) -> s.sp_cat = "pass") children
+  in
+  List.iter
+    (fun (p : Pipeline.pass_record) ->
+      match
+        List.find_opt (fun (s : Span.span) -> s.sp_name = p.pass) pass_spans
+      with
+      | Some s ->
+          Alcotest.(check (float 1e-9))
+            (Fmt.str "span dur = pass record %s" p.pass)
+            p.duration_ms s.sp_dur_ms
+      | None -> Alcotest.failf "no span for pass %s" p.pass)
+    (Pipeline.passes r);
+  (* And the compile span covers the sum of its (disjoint) passes. *)
+  let summed =
+    List.fold_left (fun acc (s : Span.span) -> acc +. s.sp_dur_ms) 0.0
+      pass_spans
+  in
+  Alcotest.(check bool) "pass spans fit in the compile span" true
+    (summed <= root.sp_dur_ms +. 1e-6)
+
+let report_json_carries_spans_and_metrics () =
+  let r = report_for Pipeline.Join_points in
+  let json = Pipeline.report_to_json r in
+  match Telemetry.Json.parse json with
+  | Ok obj ->
+      (match field "spans" obj with
+      | Telemetry.Json.Arr (_ :: _) -> ()
+      | _ -> Alcotest.fail "spans array empty or missing");
+      ignore (field "histograms" (field "metrics" obj))
+  | Error m -> Alcotest.failf "report JSON does not parse: %s" m
+
+let tests =
+  [
+    test "nesting, depth, completion order" nesting_and_depth;
+    test "no installed collector is a safe no-op" no_collector_is_noop;
+    test "ring bound retains the most recent spans" ring_bound_drops_oldest;
+    test "annotations attach to the open span" annotations_recorded;
+    test "a raising body still records its span" exception_still_records;
+    test "with_span_timed returns the recorded duration" timed_matches_span;
+    test "trace events carry ph/ts/dur/name/pid/tid" trace_event_fields;
+    test "perfetto export: tracks, fields, histograms" perfetto_structure;
+    test "pass spans nest and match per-pass wall clock"
+      perfetto_durations_match_pass_records;
+    test "report JSON carries spans and metrics" report_json_carries_spans_and_metrics;
+  ]

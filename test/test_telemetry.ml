@@ -118,6 +118,81 @@ let json_rejects_garbage () =
         (Telemetry.Json.is_well_formed s))
     [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "\"unterminated"; "{} trailing" ]
 
+(* ------------------------------------------------------------------ *)
+(* String escaping round-trips (satellite: the emitter and parser
+   must agree on every byte string we might put in a span name or a
+   fuzz counterexample)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let escape_roundtrip s =
+  let open Telemetry.Json in
+  let text = to_string (Str s) in
+  if not (is_well_formed text) then
+    Alcotest.failf "escaped %S emits ill-formed JSON: %s" s text;
+  match parse text with
+  | Ok (Str s') -> Alcotest.(check string) (Fmt.str "roundtrip %S" s) s s'
+  | Ok j -> Alcotest.failf "%S parsed to a non-string: %s" s (to_string j)
+  | Error m -> Alcotest.failf "escaped %S does not parse: %s" s m
+
+let string_escaping_control_chars () =
+  List.iter escape_roundtrip
+    [
+      "";
+      "plain";
+      "quote \" backslash \\ slash /";
+      "newline \n tab \t return \r";
+      "\x00\x01\x1f";  (* every escape class below 0x20 *)
+      "bell \b form-feed \012";
+      "mixed \"\\\n\x02 tail";
+    ]
+
+let string_escaping_multibyte_utf8 () =
+  (* Multi-byte UTF-8 passes through byte-for-byte (the emitter only
+     escapes ASCII control characters and the two JSON specials). *)
+  List.iter escape_roundtrip
+    [ "é"; "λx.x ⊢ ∀α"; "日本語"; "🙂 emoji"; "caf\xc3\xa9 \n \xe2\x8a\xa2" ]
+
+let unicode_escape_parsing () =
+  let open Telemetry.Json in
+  (* \u below 0x80 decodes to the character itself... *)
+  (match parse "\"\\u0041\\u000A\\u0009\"" with
+  | Ok (Str s) -> Alcotest.(check string) "ascii \\u decodes" "A\n\t" s
+  | Ok _ -> Alcotest.fail "not a string"
+  | Error m -> Alcotest.failf "\\u form does not parse: %s" m);
+  (* ...and emitting a control character uses the \u form, which must
+     parse back to the same byte. *)
+  match parse (to_string (Str "\x07")) with
+  | Ok (Str s) -> Alcotest.(check string) "control char survives" "\x07" s
+  | Ok _ -> Alcotest.fail "not a string"
+  | Error m -> Alcotest.failf "emitted control char does not parse: %s" m
+
+(* The property behind the hand-picked cases: EVERY byte string
+   round-trips through the emitter and parser. *)
+let string_roundtrip_property =
+  QCheck.Test.make ~count:500 ~name:"Json.Str round-trips any byte string"
+    QCheck.(string_gen (Gen.char_range '\x00' '\xff'))
+    (fun s ->
+      let open Telemetry.Json in
+      let text = to_string (Str s) in
+      is_well_formed text
+      &&
+      match parse text with Ok (Str s') -> s' = s | _ -> false)
+
+let now_ms_is_monotonic () =
+  (* Satellite: durations come off the monotonic clock — consecutive
+     reads never go backwards, and work advances them. *)
+  let a = Telemetry.now_ms () in
+  let x = ref 0 in
+  for i = 0 to 100_000 do
+    x := !x + i
+  done;
+  ignore (Sys.opaque_identity !x);
+  let b = Telemetry.now_ms () in
+  Alcotest.(check bool) "non-decreasing" true (b >= a);
+  (* And the epoch clock is a plausible wall-clock (after 2020). *)
+  Alcotest.(check bool) "epoch_ms is absolute" true
+    (Telemetry.epoch_ms () > 1.577e12)
+
 let contify_counted_standalone () =
   let denv, core = compile cc_src in
   ignore denv;
@@ -154,4 +229,10 @@ let tests =
     test "JSON parser rejects garbage" json_rejects_garbage;
     test "contify_counted counts per invocation" contify_counted_standalone;
     test "tree_mismatch locates the first divergence" tree_mismatch_reporting;
+    test "string escaping round-trips control chars"
+      string_escaping_control_chars;
+    test "string escaping passes multi-byte UTF-8" string_escaping_multibyte_utf8;
+    test "\\u escapes parse" unicode_escape_parsing;
+    QCheck_alcotest.to_alcotest string_roundtrip_property;
+    test "now_ms is monotonic, epoch_ms is absolute" now_ms_is_monotonic;
   ]
