@@ -130,10 +130,18 @@ type measurement = {
 let opt_config mode denv =
   Pipeline.default_config ~mode ~datacons:denv ~inline_threshold:300 ()
 
-let optimize mode denv core = Pipeline.run (opt_config mode denv) core
+(* Every compile the harness performs feeds one optimization coverage
+   map ({!Coverage}); its summary lands in the BENCH_*.json trajectory
+   so a shrinking bench corpus (or a pass that stops firing) is visible
+   in the record. *)
+let coverage = Coverage.create ()
 
 let optimize_report mode denv core =
-  Pipeline.run_report (opt_config mode denv) core
+  let e, r = Pipeline.run_report (opt_config mode denv) core in
+  Coverage.observe_report coverage r;
+  (e, r)
+
+let optimize mode denv core = fst (optimize_report mode denv core)
 
 (* Pull the few headline numbers out of a pipeline trace. *)
 let report_ms r =
@@ -516,6 +524,10 @@ let bench_json ~quick ~metrics (groups : (string * measurement list) list) =
          pass.duration_ms, … — everything published while the suite
          ran. Additive fj-bench/1 field. *)
       ("metrics", Metrics.to_json metrics);
+      (* Which of the optimizer's possible behaviours this bench corpus
+         exercised — additive fj-bench/1 field, same shape as the
+         [fj-cover/1] summary. *)
+      ("coverage", Coverage.summary_json coverage);
       ("failures", Arr (List.map (fun m -> Str m) (List.rev !failures)));
     ]
 

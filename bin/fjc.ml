@@ -29,10 +29,17 @@
       the resulting System F term and print it;
     - [fjc lower FILE]  — lower to the block IR and print it, or run it
       on the block machine with [--exec];
+    - [fjc cover FILE...] — optimization coverage of a corpus: which of
+      the optimizer's possible behaviours (per-configuration Fig. 4
+      ticks, ledger outcomes, incident causes) the corpus exercised;
+      [--json] dumps the mergeable [fj-cover/1] map, [--require PCT]
+      gates (exit 3) on the axiom-tick percentage;
     - [fjc fuzz]        — differential fuzzing: seeded well-typed random
       programs compiled under every configuration and compared against
       the unoptimised program on every observable; failures are
-      minimized and reported with their replay seed.
+      minimized and reported with their replay seed (exit 3 whenever a
+      counterexample is found); [--cover-guided] steers generation
+      toward programs that reach new coverage points.
 
     [run], [dump] and [trace] compile under the self-healing [Recover]
     guard policy (a failing pass is rolled back and reported as an
@@ -836,6 +843,105 @@ let sexp_cmd =
     Term.(const run $ file_arg $ no_prelude_flag $ mode_flag $ iters_flag)
 
 (* ------------------------------------------------------------------ *)
+(* cover                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let cover_cmd =
+  let doc =
+    "Optimization coverage of a corpus: compile every file under every \
+     pipeline configuration and report which of the optimizer's possible \
+     behaviours (Fig. 4 ticks per configuration, ledger outcomes, \
+     incident causes) the corpus exercised."
+  in
+  let run files no_prelude iters inline_threshold dup_threshold json require
+      faults =
+    arm_faults faults;
+    let cover = Coverage.create () in
+    List.iter
+      (fun file ->
+        let l = load ~no_prelude file in
+        List.iter
+          (fun mode ->
+            let cfg =
+              pipeline_config ~inline_threshold ~dup_threshold mode iters l
+            in
+            let _, r = Pipeline.run_report cfg l.core in
+            Coverage.observe_report cover r)
+          [ Pipeline.Baseline; Pipeline.Join_points; Pipeline.No_cc ])
+      files;
+    (* With [--json -] the payload owns stdout; keep the table off it. *)
+    if json <> Some "-" then begin
+      Fmt.pr "fjc: coverage over %d file(s) x 3 configuration(s):@."
+        (List.length files);
+      Fmt.pr "%a@." Coverage.pp_summary cover;
+      let never = Coverage.never_fired cover in
+      if never <> [] then begin
+        Fmt.pr "never fired (%d):@." (List.length never);
+        List.iter
+          (fun (d, p) -> Fmt.pr "  %s/%s@." (Coverage.dim_name d) p)
+          never
+      end
+    end;
+    let json_rc =
+      match json with
+      | None -> 0
+      | Some dest ->
+          write_output ~what:"coverage map" dest
+            (Telemetry.Json.to_string (Coverage.to_json cover))
+    in
+    match require with
+    | None -> json_rc
+    | Some pct ->
+        let c, t = Coverage.axioms_covered cover in
+        let got = 100.0 *. float_of_int c /. float_of_int t in
+        if got +. 1e-9 >= pct then json_rc
+        else begin
+          Fmt.epr
+            "fjc: coverage gate failed: %.1f%% of axiom ticks fired (%d/%d), \
+             required %.1f%%@."
+            got c t pct;
+          3
+        end
+  in
+  let files_arg =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE"
+          ~doc:"Surface-language source files (the corpus).")
+  in
+  let json_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "Write the full coverage map (schema $(b,fj-cover/1), \
+             round-trippable and mergeable) to $(docv); $(b,-) for stdout \
+             (suppresses the table).")
+  in
+  let require_flag =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "require" ] ~docv:"PCT"
+          ~doc:
+            "Exit 3 unless at least $(docv) percent of the simplifier's \
+             tick names fired under at least one configuration (the Fig. 4 \
+             axiom gate).")
+  in
+  let exits =
+    Cmd.Exit.info 3
+      ~doc:"the corpus' axiom coverage is below the $(b,--require) gate."
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "cover" ~doc ~exits)
+    Term.(
+      const run $ files_arg $ no_prelude_flag $ iters_flag
+      $ inline_threshold_flag $ dup_threshold_flag $ json_flag $ require_flag
+      $ fault_flag)
+
+(* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -845,7 +951,8 @@ let fuzz_cmd =
      configuration vs the unoptimised seed (results, Lint, evaluation \
      strategies, the zero-allocation join invariant)."
   in
-  let run seed count size fuel out verbose heartbeat flight faults =
+  let run seed count size fuel out verbose heartbeat flight want_cover
+      guided cover_out corpus_out faults =
     arm_faults faults;
     (* Flight recorder: heartbeats go to stderr so they interleave with
        (rather than corrupt) the per-case progress on stdout. *)
@@ -860,6 +967,22 @@ let fuzz_cmd =
              ~every:(if heartbeat > 0 then heartbeat else max_int)
              ~on_heartbeat ())
     in
+    let cover =
+      if want_cover || guided || cover_out <> None || corpus_out <> None then
+        Some (Coverage.create ())
+      else None
+    in
+    let on_interesting case_seed e =
+      match corpus_out with
+      | None -> ()
+      | Some dir ->
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          let path =
+            Filename.concat dir (Fmt.str "interesting-%d.sexp" case_seed)
+          in
+          ignore
+            (write_output ~what:"interesting program" path (Sexp.write e))
+    in
     let on_case case_seed v =
       match v with
       | Fuzz.Pass ->
@@ -870,17 +993,34 @@ let fuzz_cmd =
           Fmt.pr "seed %d: FAIL %s under %s (minimizing...)@." case_seed kind
             mode
     in
-    let s = Fuzz.run ~size ~fuel ~on_case ?recorder ~seed ~count () in
+    let s =
+      Fuzz.run ~size ~fuel ~on_case ?recorder ?cover ~guided ~on_interesting
+        ~seed ~count ()
+    in
     let flight_rc =
       match (flight, recorder) with
       | Some dest, Some r ->
           write_output ~what:"flight recording" dest
-            (Telemetry.Json.to_string (Fuzz.flight_json r))
+            (Telemetry.Json.to_string (Fuzz.flight_json ?cover r))
       | _ -> 0
     in
     Fmt.pr "fuzz: %d case(s): %d passed, %d skipped, %d failed@." s.Fuzz.cases
       s.Fuzz.passed s.Fuzz.skipped
       (List.length s.Fuzz.failures);
+    let cover_rc =
+      match cover with
+      | None -> 0
+      | Some c ->
+          Fmt.pr "fuzz: coverage %d/%d point(s) (%.1f%%), %d interesting \
+                  case(s)@."
+            (Coverage.covered c) Coverage.universe_size (Coverage.percent c)
+            s.Fuzz.interesting;
+          (match cover_out with
+          | None -> 0
+          | Some dest ->
+              write_output ~what:"coverage map" dest
+                (Telemetry.Json.to_string (Coverage.to_json c)))
+    in
     List.iter (fun f -> Fmt.pr "@.%a@." Fuzz.pp_failure f) s.Fuzz.failures;
     (match out with
     | None -> ()
@@ -897,7 +1037,10 @@ let fuzz_cmd =
               (write_output ~what:"counterexample" path
                  (Telemetry.Json.to_string (Fuzz.failure_json f))))
           s.Fuzz.failures);
-    if s.Fuzz.failures <> [] then 1 else flight_rc
+    (* Exit-code contract: finding a counterexample is always exit 3,
+       whether or not --out / --flight / --cover-out also ran (their
+       write failures surface as exit 1 only on otherwise-clean runs). *)
+    if s.Fuzz.failures <> [] then 3 else max flight_rc cover_rc
   in
   let seed_flag =
     Arg.(
@@ -959,10 +1102,57 @@ let fuzz_cmd =
              recent spans as Perfetto-loadable trace events, all \
              heartbeats, metrics) as JSON to $(docv); $(b,-) for stdout.")
   in
-  Cmd.v (Cmd.info "fuzz" ~doc)
+  let cover_flag =
+    Arg.(
+      value & flag
+      & info [ "cover" ]
+          ~doc:
+            "Keep a cumulative optimization coverage map across the run \
+             (see $(b,fjc cover)); reports coverage in heartbeats and the \
+             final summary, and counts cases reaching previously-unseen \
+             points as interesting.")
+  in
+  let cover_guided_flag =
+    Arg.(
+      value & flag
+      & info [ "cover-guided" ]
+          ~doc:
+            "Coverage-guided generation (implies $(b,--cover)): programs \
+             that reach new coverage points are retained, and about half \
+             of the later cases mutate a retained seed instead of \
+             generating fresh.")
+  in
+  let cover_out_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cover-out" ] ~docv:"PATH"
+          ~doc:
+            "After the run, write the coverage map (schema $(b,fj-cover/1)) \
+             as JSON to $(docv) (implies $(b,--cover)); $(b,-) for stdout.")
+  in
+  let corpus_out_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus-out" ] ~docv:"DIR"
+          ~doc:
+            "Write every interesting program (one that reached a \
+             previously-unseen coverage point) as an s-expression into \
+             $(docv) (implies $(b,--cover); created if missing).")
+  in
+  let exits =
+    Cmd.Exit.info 3
+      ~doc:
+        "a counterexample was found (reported, minimized, and written out \
+         when $(b,--out) is given)."
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc ~exits)
     Term.(
       const run $ seed_flag $ count_flag $ size_flag $ fuel_flag $ out_flag
-      $ verbose_flag $ heartbeat_flag $ flight_flag $ fault_flag)
+      $ verbose_flag $ heartbeat_flag $ flight_flag $ cover_flag
+      $ cover_guided_flag $ cover_out_flag $ corpus_out_flag $ fault_flag)
 
 (* ------------------------------------------------------------------ *)
 (* main                                                                *)
@@ -976,4 +1166,5 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [ check_cmd; run_cmd; dump_cmd; trace_cmd; stats_cmd; profile_cmd;
-            explain_cmd; erase_cmd; lower_cmd; cps_cmd; sexp_cmd; fuzz_cmd ]))
+            explain_cmd; erase_cmd; lower_cmd; cps_cmd; sexp_cmd; cover_cmd;
+            fuzz_cmd ]))

@@ -1,0 +1,339 @@
+(** Optimization coverage maps — see the interface for the design. *)
+
+type dim = Ticks | Decisions | Guards
+
+let dims = [ Ticks; Decisions; Guards ]
+
+let dim_name = function
+  | Ticks -> "ticks"
+  | Decisions -> "decisions"
+  | Guards -> "guards"
+
+(* ------------------------------------------------------------------ *)
+(* The universe                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The three configurations, by their {!Pipeline.mode_name}. *)
+let modes =
+  List.map Pipeline.mode_name
+    [ Pipeline.Baseline; Pipeline.Join_points; Pipeline.No_cc ]
+
+(* Which rejection reasons each ledger action can actually record —
+   the static shape of every [Decision.record] call site in the
+   passes. An (action, reason) pair outside this table at runtime
+   lands in [unknown] (and a test asserts that never happens), so the
+   table cannot silently rot when a pass grows a new refusal. *)
+let action_outcomes : (Decision.action * Decision.reason option list) list =
+  let open Decision in
+  [
+    ( Inline,
+      [
+        None;
+        Some (Inline_too_big { size = 0; threshold = 0 });
+        Some Uninformative_context;
+        Some Loop_breaker;
+      ] );
+    (Pre_inline, [ None; Some (Occurs_many { count = 0 }); Some Escapes_under_lambda ]);
+    (Dup_alt, [ None; Some (Dup_threshold_shared { size = 0; threshold = 0 }) ]);
+    (Demote, [ None ]);
+    ( Contify,
+      [
+        None;
+        Some Escapes_under_lambda;
+        Some Not_all_tail_calls;
+        Some Shape_mismatch;
+        Some Nullary_candidate;
+        Some Rhs_arity_mismatch;
+        Some Scope_type_mismatch;
+      ] );
+    (Cse, [ None ]);
+    (Strict_let, [ None; Some Already_whnf ]);
+    (Strict_arg, [ None ]);
+    (Spec_constr, [ None; Some No_common_constructor ]);
+    (Float_in, [ None; Some No_unique_use_site ]);
+    (Float_out, [ None; Some Mentions_lambda_binder ]);
+  ]
+
+let decision_point action (reason : Decision.reason option) =
+  match reason with
+  | None -> Decision.action_name action ^ ":fired"
+  | Some r -> Decision.action_name action ^ ":rejected:" ^ Decision.reason_name r
+
+let guard_causes : Guard.cause list =
+  [
+    Guard.Exn "";
+    Guard.Lint_failed "";
+    Guard.Fuel_exhausted { budget = 0 };
+    Guard.Size_exploded { size_before = 0; size_after = 0; limit = 0 };
+  ]
+
+let tick_points =
+  List.concat_map
+    (fun mode ->
+      List.map (fun t -> mode ^ "/" ^ Telemetry.tick_name t) Telemetry.all_ticks)
+    modes
+
+let decision_points =
+  List.concat_map
+    (fun (a, outcomes) -> List.map (decision_point a) outcomes)
+    action_outcomes
+
+let guard_points = List.map Guard.cause_name guard_causes
+
+let dim_points = function
+  | Ticks -> tick_points
+  | Decisions -> decision_points
+  | Guards -> guard_points
+
+let universe =
+  List.concat_map (fun d -> List.map (fun p -> (d, p)) (dim_points d)) dims
+
+let universe_size = List.length universe
+
+(* Point name -> index into the hit array, built once. *)
+let index_of : (dim * string, int) Hashtbl.t =
+  let h = Hashtbl.create (2 * universe_size) in
+  List.iteri (fun i p -> Hashtbl.replace h p i) universe;
+  h
+
+(* ------------------------------------------------------------------ *)
+(* Maps                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type t = { counts : int array; mutable unknown : int }
+
+let create () = { counts = Array.make universe_size 0; unknown = 0 }
+let copy m = { counts = Array.copy m.counts; unknown = m.unknown }
+
+let hit ?(n = 1) m dim point =
+  if n > 0 then
+    match Hashtbl.find_opt index_of (dim, point) with
+    | Some i -> m.counts.(i) <- m.counts.(i) + n
+    | None -> m.unknown <- m.unknown + n
+
+let hit_tick ?(n = 1) m ~mode tick =
+  hit ~n m Ticks (mode ^ "/" ^ Telemetry.tick_name tick)
+
+let hit_decision m action (verdict : Decision.verdict) =
+  let point =
+    match verdict with
+    | Decision.Fired -> decision_point action None
+    | Decision.Rejected r -> decision_point action (Some r)
+  in
+  hit m Decisions point
+
+let hit_incident m (cause : Guard.cause) =
+  hit m Guards (Guard.cause_name cause)
+
+let observe_report m (r : Pipeline.report) =
+  let mode = Pipeline.report_mode r in
+  List.iter
+    (fun (name, n) ->
+      match Telemetry.tick_of_name name with
+      | Some t -> hit_tick ~n m ~mode t
+      | None -> m.unknown <- m.unknown + n)
+    (Pipeline.ticks r);
+  List.iter
+    (fun (ev : Decision.event) ->
+      hit_decision m ev.Decision.d_action ev.Decision.d_verdict)
+    (Pipeline.decisions r);
+  List.iter
+    (fun (i : Guard.incident) -> hit_incident m i.Guard.i_cause)
+    (Pipeline.incidents r)
+
+let unknown_hits m = m.unknown
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let count m dim point =
+  match Hashtbl.find_opt index_of (dim, point) with
+  | Some i -> m.counts.(i)
+  | None -> 0
+
+let hits m =
+  List.mapi (fun i (d, p) -> (d, p, m.counts.(i))) universe
+
+let covered m =
+  Array.fold_left (fun acc n -> if n > 0 then acc + 1 else acc) 0 m.counts
+
+let pct num den =
+  if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
+
+let percent m = pct (covered m) universe_size
+
+let dim_covered m dim =
+  let points = dim_points dim in
+  let c = List.fold_left (fun acc p -> if count m dim p > 0 then acc + 1 else acc) 0 points in
+  (c, List.length points)
+
+(* A tick name is an exercised axiom if it fired under any of the
+   three configurations. *)
+let axiom_fired m t =
+  List.exists
+    (fun mode -> count m Ticks (mode ^ "/" ^ Telemetry.tick_name t) > 0)
+    modes
+
+let axioms_covered m =
+  ( List.fold_left
+      (fun acc t -> if axiom_fired m t then acc + 1 else acc)
+      0 Telemetry.all_ticks,
+    List.length Telemetry.all_ticks )
+
+let axioms_never m =
+  List.filter_map
+    (fun t -> if axiom_fired m t then None else Some (Telemetry.tick_name t))
+    Telemetry.all_ticks
+
+let never_fired m =
+  List.filter_map
+    (fun (d, p, n) -> if n = 0 then Some (d, p) else None)
+    (hits m)
+
+(* ------------------------------------------------------------------ *)
+(* Combining                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let merge_into ~into m =
+  Array.iteri (fun i n -> into.counts.(i) <- into.counts.(i) + n) m.counts;
+  into.unknown <- into.unknown + m.unknown
+
+let diff a b =
+  List.filter_map
+    (fun (i, (d, p)) ->
+      if a.counts.(i) > 0 && b.counts.(i) = 0 then Some (d, p) else None)
+    (List.mapi (fun i p -> (i, p)) universe)
+
+let equal a b = a.counts = b.counts && a.unknown = b.unknown
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let schema = "fj-cover/1"
+
+let axioms_json m =
+  let c, total = axioms_covered m in
+  Telemetry.Json.(
+    Obj
+      [
+        ("covered", Int c);
+        ("total", Int total);
+        ("percent", Float (pct c total));
+        ("never", Arr (List.map (fun s -> Str s) (axioms_never m)));
+      ])
+
+let dim_json ?(points = true) m d =
+  let c, total = dim_covered m d in
+  let base =
+    Telemetry.Json.
+      [ ("total", Int total); ("covered", Int c); ("percent", Float (pct c total)) ]
+  in
+  let fields =
+    if not points then base
+    else
+      base
+      @ [
+          ( "points",
+            Telemetry.Json.Obj
+              (List.filter_map
+                 (fun p ->
+                   let n = count m d p in
+                   if n > 0 then Some (p, Telemetry.Json.Int n) else None)
+                 (dim_points d)) );
+        ]
+  in
+  Telemetry.Json.Obj fields
+
+let header_json m =
+  Telemetry.Json.
+    [
+      ("schema", Str schema);
+      ("universe", Int universe_size);
+      ("covered", Int (covered m));
+      ("percent", Float (percent m));
+      ("unknown_hits", Int m.unknown);
+      ("axioms", axioms_json m);
+    ]
+
+let to_json m =
+  Telemetry.Json.(
+    Obj
+      (header_json m
+      @ [
+          ( "dims",
+            Obj (List.map (fun d -> (dim_name d, dim_json m d)) dims) );
+          ( "never_fired",
+            Arr
+              (List.map
+                 (fun (d, p) -> Str (dim_name d ^ "/" ^ p))
+                 (never_fired m)) );
+        ]))
+
+let summary_json m =
+  Telemetry.Json.(
+    Obj
+      (header_json m
+      @ [
+          ( "dims",
+            Obj
+              (List.map (fun d -> (dim_name d, dim_json ~points:false m d)) dims)
+          );
+        ]))
+
+let of_json (j : Telemetry.Json.t) : (t, string) result =
+  let open Telemetry.Json in
+  let exception Bad of string in
+  let field name = function
+    | Obj fields -> List.assoc_opt name fields
+    | _ -> None
+  in
+  try
+    (match field "schema" j with
+    | Some (Str s) when s = schema -> ()
+    | Some (Str s) -> raise (Bad (Fmt.str "unexpected schema %S" s))
+    | _ -> raise (Bad "missing schema tag"));
+    let m = create () in
+    (match field "unknown_hits" j with
+    | Some (Int n) -> m.unknown <- n
+    | _ -> ());
+    let dims_obj =
+      match field "dims" j with
+      | Some (Obj fields) -> fields
+      | _ -> raise (Bad "missing dims object")
+    in
+    List.iter
+      (fun d ->
+        match List.assoc_opt (dim_name d) dims_obj with
+        | None -> ()
+        | Some dj -> (
+            match field "points" dj with
+            | Some (Obj points) ->
+                List.iter
+                  (fun (p, v) ->
+                    match (Hashtbl.find_opt index_of (d, p), v) with
+                    | Some i, Int n -> m.counts.(i) <- m.counts.(i) + n
+                    | None, _ ->
+                        raise
+                          (Bad
+                             (Fmt.str "unknown %s point %S" (dim_name d) p))
+                    | Some _, _ ->
+                        raise (Bad (Fmt.str "non-integer count for %S" p)))
+                  points
+            | _ -> ()))
+      dims;
+    Ok m
+  with Bad msg -> Error msg
+
+let pp_summary ppf m =
+  List.iter
+    (fun d ->
+      let c, total = dim_covered m d in
+      Fmt.pf ppf "%-10s %4d/%-4d %5.1f%%@." (dim_name d) c total (pct c total))
+    dims;
+  Fmt.pf ppf "%-10s %4d/%-4d %5.1f%%@." "overall" (covered m) universe_size
+    (percent m);
+  let ac, at = axioms_covered m in
+  Fmt.pf ppf "%-10s %4d/%-4d %5.1f%%  (ticks fired under >=1 configuration)"
+    "axioms" ac at (pct ac at)

@@ -518,13 +518,18 @@ let eval_machine ?(mode = By_need) ?(fuel = max_int) ?(env = empty_env)
             run fsite cenv body rest (depth - 1)
         | _ -> stuck "type-applying a non-type-function")
     | FCase (cenv, alts) :: rest -> (
-        let key =
+        let alt =
           match v with
-          | VCon (dc, _) -> `Con dc
-          | VLit l -> `Lit l
-          | _ -> stuck "case on a function value"
+          | VCon (dc, _) -> match_alt (`Con dc) alts
+          | VLit l -> match_alt (`Lit l) alts
+          | _ ->
+              (* Functions are already WHNF: casing one is a seq, and
+                 only a wildcard alternative can match — agreeing with
+                 the block machine's [PAny] and the simplifier's
+                 case-elim, which discards exactly such a case. *)
+              List.find_opt (fun { alt_pat; _ } -> alt_pat = PDefault) alts
         in
-        match match_alt key alts with
+        match alt with
         | None -> stuck "no matching case alternative"
         | Some { alt_pat; alt_rhs } ->
             let env' =

@@ -21,7 +21,7 @@ let fail mode kind detail = Fail { mode; kind; detail }
 let configurations =
   [ Pipeline.Baseline; Pipeline.Join_points; Pipeline.No_cc ]
 
-let optimize mode (e : expr) : (expr, string) result =
+let optimize ?cover mode (e : expr) : (expr, string) result =
   let e =
     if mode = Pipeline.Join_points then e else Erase.erase e
   in
@@ -29,13 +29,20 @@ let optimize mode (e : expr) : (expr, string) result =
     Pipeline.default_config ~mode ~datacons:dc ~policy:Guard.Strict
       ~lint_every_pass:true ()
   in
-  match Pipeline.run cfg e with
-  | e' -> Ok e'
+  match Pipeline.run_report cfg e with
+  | e', r ->
+      (* Coverage is of the compile, whatever the later oracle stages
+         conclude: ticks under this mode, ledger outcomes, incident
+         causes (none under Strict — faults abort instead). *)
+      (match cover with
+      | Some c -> Coverage.observe_report c r
+      | None -> ());
+      Ok e'
   | exception Pipeline.Pass_broke_lint (pass, err) ->
       Error (Fmt.str "pass %s broke lint: %a" pass Lint.pp_error err)
   | exception exn -> Error (Printexc.to_string exn)
 
-let check_program ?(fuel = default_fuel) (e : expr) : verdict =
+let check_program ?(fuel = default_fuel) ?cover (e : expr) : verdict =
   if not (Lint.well_typed dc e) then
     fail "seed" "generator-ill-typed" "generated program does not lint"
   else
@@ -78,7 +85,7 @@ let check_program ?(fuel = default_fuel) (e : expr) : verdict =
                   let mname = Pipeline.mode_name mode in
                   match
                     Span.with_span ~cat:"fuzz" ("compile " ^ mname) (fun () ->
-                        optimize mode e)
+                        optimize ?cover mode e)
                   with
                   | Error detail -> fail mname "pass-aborted" detail
                   | Ok e' -> (
@@ -158,6 +165,7 @@ type summary = {
   cases : int;
   passed : int;
   skipped : int;
+  interesting : int;
   failures : failure list;
 }
 
@@ -174,6 +182,7 @@ type heartbeat = {
   hb_skipped : int;
   hb_incidents : int;
   hb_epoch_ms : float;
+  hb_coverage : (int * int) option;
   hb_histograms : (string * Metrics.summary) list;
 }
 
@@ -182,6 +191,11 @@ let pp_heartbeat ppf (h : heartbeat) =
               incidents=%d"
     h.hb_cases h.hb_total (h.hb_elapsed_ms /. 1000.0) h.hb_rate h.hb_passed
     h.hb_skipped h.hb_incidents;
+  (match h.hb_coverage with
+  | Some (c, total) ->
+      Fmt.pf ppf " cover=%d/%d (%.1f%%)" c total
+        (if total = 0 then 0.0 else 100.0 *. float_of_int c /. float_of_int total)
+  | None -> ());
   List.iter
     (fun (name, (s : Metrics.summary)) ->
       if name = "fuzz.case_ms" || name = "eval.ms" then
@@ -192,21 +206,30 @@ let pp_heartbeat ppf (h : heartbeat) =
 let heartbeat_json (h : heartbeat) =
   Telemetry.Json.(
     Obj
-      [
-        ("cases", Int h.hb_cases);
-        ("total", Int h.hb_total);
-        ("elapsed_ms", Float h.hb_elapsed_ms);
-        ("cases_per_sec", Float h.hb_rate);
-        ("passed", Int h.hb_passed);
-        ("skipped", Int h.hb_skipped);
-        ("incidents", Int h.hb_incidents);
-        ("epoch_ms", Float h.hb_epoch_ms);
-        ( "histograms",
-          Obj
-            (List.map
-               (fun (k, s) -> (k, Metrics.summary_json s))
-               h.hb_histograms) );
-      ])
+      ([
+         ("cases", Int h.hb_cases);
+         ("total", Int h.hb_total);
+         ("elapsed_ms", Float h.hb_elapsed_ms);
+         ("cases_per_sec", Float h.hb_rate);
+         ("passed", Int h.hb_passed);
+         ("skipped", Int h.hb_skipped);
+         ("incidents", Int h.hb_incidents);
+         ("epoch_ms", Float h.hb_epoch_ms);
+       ]
+      @ (match h.hb_coverage with
+        | Some (c, total) ->
+            [
+              ( "coverage",
+                Obj [ ("covered", Int c); ("universe", Int total) ] );
+            ]
+        | None -> [])
+      @ [
+          ( "histograms",
+            Obj
+              (List.map
+                 (fun (k, s) -> (k, Metrics.summary_json s))
+                 h.hb_histograms) );
+        ]))
 
 type recorder = {
   r_spans : Span.collector;
@@ -234,23 +257,27 @@ let dropped_spans r = Span.dropped r.r_spans
 let heartbeats r = List.rev r.r_heartbeats
 let recorder_metrics r = r.r_metrics
 
-let flight_json r =
+let flight_json ?cover r =
   Telemetry.Json.(
     Obj
-      [
-        ("schema", Str "fj-flight/1");
-        ( "traceEvents",
-          Arr
-            (Span.thread_name_event ~pid:1 ~tid:1 "fuzz"
-            :: Span.trace_events ~pid:1 ~tid:1 r.r_spans) );
-        ("displayTimeUnit", Str "ms");
-        ("dropped_spans", Int (Span.dropped r.r_spans));
-        ("heartbeats", Arr (List.map heartbeat_json (heartbeats r)));
-        ("metrics", Metrics.to_json r.r_metrics);
-      ])
+      ([
+         ("schema", Str "fj-flight/1");
+         ( "traceEvents",
+           Arr
+             (Span.thread_name_event ~pid:1 ~tid:1 "fuzz"
+             :: Span.trace_events ~pid:1 ~tid:1 r.r_spans) );
+         ("displayTimeUnit", Str "ms");
+         ("dropped_spans", Int (Span.dropped r.r_spans));
+         ("heartbeats", Arr (List.map heartbeat_json (heartbeats r)));
+         ("metrics", Metrics.to_json r.r_metrics);
+       ]
+      @
+      match cover with
+      | Some c -> [ ("coverage", Coverage.summary_json c) ]
+      | None -> []))
 
 let emit_heartbeat (r : recorder) ~t_start ~cases ~total ~passed ~skipped
-    ~incidents =
+    ~incidents ~cover =
   let elapsed_ms = Telemetry.now_ms () -. t_start in
   let hb =
     {
@@ -264,26 +291,58 @@ let emit_heartbeat (r : recorder) ~t_start ~cases ~total ~passed ~skipped
       hb_skipped = skipped;
       hb_incidents = incidents;
       hb_epoch_ms = Telemetry.epoch_ms ();
+      hb_coverage =
+        Option.map
+          (fun c -> (Coverage.covered c, Coverage.universe_size))
+          cover;
       hb_histograms = Metrics.histograms r.r_metrics;
     }
   in
   r.r_heartbeats <- hb :: r.r_heartbeats;
   r.r_on_heartbeat hb
 
+(* Retained interesting seeds for guided runs. Entries are kept as
+   s-expression text: re-reading through [Sexp.read] bumps the global
+   Ident supply past every unique in the program, so the fresh binders
+   [Gen.mutate] allocates can never collide with loaded ones. *)
+let pool_cap = 32
+
 let run ?(size = Gen.default_size) ?(fuel = default_fuel)
-    ?(on_case = fun _ _ -> ()) ?recorder ~seed ~count () : summary =
+    ?(on_case = fun _ _ -> ()) ?recorder ?cover ?(guided = false)
+    ?(on_interesting = fun _ _ -> ()) ~seed ~count () : summary =
   let passed = ref 0 and skipped = ref 0 and failures = ref [] in
+  let interesting = ref 0 in
+  let pool : string list ref = ref [] in
+  (* Mutation choices draw from their own RNG, seeded from [seed]
+     alone, so a guided run replays exactly. *)
+  let mrng = Random.State.make [| seed; 0x6d75 |] in
   let t_start = Telemetry.now_ms () in
   let body () =
     for i = 0 to count - 1 do
       let case_seed = seed + i in
-      let e = Gen.program_of_seed ~size case_seed in
+      let e =
+        if guided && !pool <> [] && Random.State.bool mrng then begin
+          let s =
+            List.nth !pool (Random.State.int mrng (List.length !pool))
+          in
+          let m = Gen.mutate mrng (Sexp.read dc s) in
+          (* A mutant that fails to lint would register as a bogus
+             "generator-ill-typed" counterexample; fall back to fresh
+             generation instead. *)
+          if Lint.well_typed dc m then m
+          else Gen.program_of_seed ~size case_seed
+        end
+        else Gen.program_of_seed ~size case_seed
+      in
+      let covered_before =
+        match cover with Some c -> Coverage.covered c | None -> 0
+      in
       (* One span per case into the (ring-bounded) recorder, so a
          wedged soak shows its most recent cases post mortem. *)
       let v, case_ms =
         Span.with_span_timed ~cat:"fuzz" (Fmt.str "case %d" case_seed)
           (fun () ->
-            let v = check_program ~fuel e in
+            let v = check_program ~fuel ?cover e in
             Span.annotate "verdict"
               (Telemetry.Json.Str
                  (match v with
@@ -293,6 +352,19 @@ let run ?(size = Gen.default_size) ?(fuel = default_fuel)
             v)
       in
       Metrics.observe "fuzz.case_ms" case_ms;
+      (match cover with
+      | Some c when Coverage.covered c > covered_before ->
+          (* This case reached a previously-unseen coverage point:
+             retain it as a mutation seed for later guided cases. *)
+          incr interesting;
+          Metrics.incr "fuzz.interesting";
+          pool :=
+            Sexp.write e
+            :: (if List.length !pool >= pool_cap then
+                  List.filteri (fun j _ -> j < pool_cap - 1) !pool
+                else !pool);
+          on_interesting case_seed e
+      | _ -> ());
       on_case case_seed v;
       (match v with
       | Pass ->
@@ -330,7 +402,7 @@ let run ?(size = Gen.default_size) ?(fuel = default_fuel)
       | Some r when (i + 1) mod r.r_every = 0 && i + 1 < count ->
           emit_heartbeat r ~t_start ~cases:(i + 1) ~total:count
             ~passed:!passed ~skipped:!skipped
-            ~incidents:(List.length !failures)
+            ~incidents:(List.length !failures) ~cover
       | _ -> ()
     done;
     (* Always close with a final heartbeat: even a short smoke run
@@ -338,7 +410,7 @@ let run ?(size = Gen.default_size) ?(fuel = default_fuel)
     match recorder with
     | Some r when count > 0 ->
         emit_heartbeat r ~t_start ~cases:count ~total:count ~passed:!passed
-          ~skipped:!skipped ~incidents:(List.length !failures)
+          ~skipped:!skipped ~incidents:(List.length !failures) ~cover
     | _ -> ()
   in
   (match recorder with
@@ -350,5 +422,6 @@ let run ?(size = Gen.default_size) ?(fuel = default_fuel)
     cases = count;
     passed = !passed;
     skipped = !skipped;
+    interesting = !interesting;
     failures = List.rev !failures;
   }

@@ -26,8 +26,11 @@ type verdict =
           ["join-site-allocated"]. *)
 
 (** Run the full oracle on one (closed, generated) program. [fuel]
-    bounds each evaluation (default 200_000 machine steps). *)
-val check_program : ?fuel:int -> Syntax.expr -> verdict
+    bounds each evaluation (default 200_000 machine steps). [cover]
+    (if given) accumulates the optimization coverage of the three
+    compiles — every tick, ledger outcome, and incident cause — into
+    the map ({!Coverage.observe_report}). *)
+val check_program : ?fuel:int -> ?cover:Coverage.t -> Syntax.expr -> verdict
 
 (** A minimized counterexample. *)
 type failure = {
@@ -49,6 +52,9 @@ type summary = {
   cases : int;
   passed : int;
   skipped : int;
+  interesting : int;
+      (** Cases that covered a previously-unseen coverage point
+          (always 0 without a [cover] map). *)
   failures : failure list;  (** Oldest first. *)
 }
 
@@ -71,13 +77,17 @@ type heartbeat = {
   hb_skipped : int;
   hb_incidents : int;
   hb_epoch_ms : float;  (** Wall clock, for log correlation. *)
+  hb_coverage : (int * int) option;
+      (** (points covered so far, universe size) when the run carries
+          a coverage map; [None] otherwise. *)
   hb_histograms : (string * Metrics.summary) list;
       (** Registry snapshot: [fuzz.case_ms], [eval.ms], … *)
 }
 
 (** One line: [heartbeat cases=200/1000 elapsed=1.3s rate=153.8/s
-    pass=197 skip=3 incidents=0 | fuzz.case_ms p50=4.2 p95=31.0
-    max=96.3 | eval.ms …]. *)
+    pass=197 skip=3 incidents=0 cover=83/112 | fuzz.case_ms p50=4.2
+    p95=31.0 max=96.3 | eval.ms …] ([cover=] only with a coverage
+    map). *)
 val pp_heartbeat : Format.formatter -> heartbeat -> unit
 
 val heartbeat_json : heartbeat -> Telemetry.Json.t
@@ -110,9 +120,11 @@ val heartbeats : recorder -> heartbeat list
 val recorder_metrics : recorder -> Metrics.t
 
 (** The post-mortem dump: [{schema: "fj-flight/1", traceEvents: [...],
-    dropped_spans, heartbeats, metrics}] — [traceEvents] is loadable
-    in Perfetto like the pipeline trace. *)
-val flight_json : recorder -> Telemetry.Json.t
+    dropped_spans, heartbeats, metrics, coverage?}] — [traceEvents] is
+    loadable in Perfetto like the pipeline trace; [coverage] (the
+    {!Coverage.summary_json} of [cover], when given) records how far
+    the run reached into the optimizer. *)
+val flight_json : ?cover:Coverage.t -> recorder -> Telemetry.Json.t
 
 (** [run ~seed ~count ()] fuzzes [count] cases with seeds [seed],
     [seed+1], … — each case resets the {!Ident} supply
@@ -124,12 +136,28 @@ val flight_json : recorder -> Telemetry.Json.t
     given) attaches a flight recorder: every case runs inside a span
     feeding its ring, case latencies land in its metrics registry,
     and heartbeats are emitted every [every] cases plus once at the
-    end. *)
+    end.
+
+    [cover] (if given) accumulates optimization coverage across the
+    whole run; a case that covers a previously-unseen point is
+    {e interesting} — counted in the summary and reported through
+    [on_interesting] with its seed and program. With [guided] (needs
+    [cover]) the generator is steered: interesting programs are
+    retained as seeds, and about half of the later cases {!Gen.mutate}
+    a retained seed instead of generating fresh — coverage-guided
+    fuzzing. A mutated case keeps its [seed+i] case seed for
+    reporting, but only the minimized program (not the seed) replays
+    it; mutation choices are deterministic in [seed], so a whole
+    guided run replays exactly. Shrinking never pollutes the map:
+    minimization re-checks without [cover]. *)
 val run :
   ?size:int ->
   ?fuel:int ->
   ?on_case:(int -> verdict -> unit) ->
   ?recorder:recorder ->
+  ?cover:Coverage.t ->
+  ?guided:bool ->
+  ?on_interesting:(int -> Syntax.expr -> unit) ->
   seed:int ->
   count:int ->
   unit ->

@@ -304,6 +304,225 @@ let program_of_seed ?size seed : expr =
   program ?size (Random.State.make [| seed |])
 
 (* ------------------------------------------------------------------ *)
+(* Mutation (coverage-guided fuzzing)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Number of [Lit (Int _)] nodes in a term, for uniform selection. *)
+let rec count_int_lits (e : expr) : int =
+  match e with
+  | Lit (Literal.Int _) -> 1
+  | _ ->
+      let sub =
+        match e with
+        | Var _ | Lit _ -> []
+        | Con (_, _, args) | Prim (_, args) -> args
+        | App (f, a) -> [ f; a ]
+        | TyApp (f, _) -> [ f ]
+        | Lam (_, b) | TyLam (_, b) -> [ b ]
+        | Let (bind, body) -> List.map snd (bind_pairs bind) @ [ body ]
+        | Case (scrut, alts) ->
+            scrut :: List.map (fun a -> a.alt_rhs) alts
+        | Join (jb, body) ->
+            List.map (fun d -> d.j_rhs) (join_defns jb) @ [ body ]
+        | Jump (_, _, args, _) -> args
+      in
+      List.fold_left (fun acc e -> acc + count_int_lits e) 0 sub
+
+(* Replace the [k]-th (preorder) integer literal with [by]. The
+   traversal threads the remaining index through a ref — literals are
+   leaves, so order within a node's children is all that matters. *)
+let replace_int_lit k ~by (e : expr) : expr =
+  let remaining = ref k in
+  let rec go (e : expr) : expr =
+    match e with
+    | Lit (Literal.Int _) ->
+        if !remaining = 0 then begin
+          decr remaining;
+          by
+        end
+        else begin
+          decr remaining;
+          e
+        end
+    | Var _ | Lit _ -> e
+    | Con (dc, phis, args) -> Con (dc, phis, List.map go args)
+    | Prim (op, args) -> Prim (op, List.map go args)
+    | App (f, a) ->
+        let f = go f in
+        App (f, go a)
+    | TyApp (f, t) -> TyApp (go f, t)
+    | Lam (x, b) -> Lam (x, go b)
+    | TyLam (a, b) -> TyLam (a, go b)
+    | Let (bind, body) ->
+        let bind =
+          match bind with
+          | NonRec (x, rhs) -> NonRec (x, go rhs)
+          | Strict (x, rhs) -> Strict (x, go rhs)
+          | Rec pairs -> Rec (List.map (fun (x, rhs) -> (x, go rhs)) pairs)
+        in
+        Let (bind, go body)
+    | Case (scrut, alts) ->
+        let scrut = go scrut in
+        Case
+          (scrut, List.map (fun a -> { a with alt_rhs = go a.alt_rhs }) alts)
+    | Join (jb, body) ->
+        let jb =
+          match jb with
+          | JNonRec d -> JNonRec { d with j_rhs = go d.j_rhs }
+          | JRec ds -> JRec (List.map (fun d -> { d with j_rhs = go d.j_rhs }) ds)
+        in
+        Join (jb, go body)
+    | Jump (j, tys, args, ty) -> Jump (j, tys, List.map go args, ty)
+  in
+  go e
+
+let closed_env = { vars = []; labels = [] }
+
+(* Each operator preserves closedness and the seed's type; [ty_of]
+   works on the closed well-typed programs the fuzzer feeds in. The
+   wrappers deliberately hand the optimizer new material around the
+   retained program: a dead binding (drop), a branch (case-of-case,
+   share_alt), a join point around the whole term, a counting loop
+   (contify_group, spec_constr fuel). *)
+let mutate st (e : expr) : expr =
+  let small = 6 in
+  let perturb_literal () =
+    match count_int_lits e with
+    | 0 -> None
+    | n ->
+        let k = Random.State.int st n in
+        let by = gen ~tail:false closed_env Types.int small st in
+        Some (replace_int_lit k ~by e)
+  in
+  let wrap_let () =
+    let rty = oneofl st all_types in
+    let rhs = gen ~tail:false closed_env rty small st in
+    let x = mk_var "m" rty in
+    Some (Let (NonRec (x, rhs), e))
+  in
+  let wrap_case ty =
+    let scrut = gen ~tail:false closed_env Types.bool small st in
+    let other = gen ~tail:false closed_env ty small st in
+    Some
+      (Case
+         ( scrut,
+           [
+             { alt_pat = PCon (Datacon.builtin "True", []); alt_rhs = e };
+             { alt_pat = PCon (Datacon.builtin "False", []); alt_rhs = other };
+           ] ))
+  in
+  let wrap_join ty =
+    let x = mk_var "p" Types.int in
+    let jv = mk_join_var "j" [] [ x ] in
+    let arg = gen ~tail:false closed_env Types.int small st in
+    Some
+      (Join
+         ( JNonRec { j_var = jv; j_tyvars = []; j_params = [ x ]; j_rhs = e },
+           Jump (jv, [], [ arg ], ty) ))
+  in
+  let wrap_loop ty =
+    let n = mk_var "n" Types.int in
+    let jv = mk_join_var "loop" [] [ n ] in
+    let start = int_range st 1 4 in
+    let rhs =
+      B.if_
+        (B.le (Var n) (B.int 0))
+        e
+        (Jump (jv, [], [ B.sub (Var n) (B.int 1) ], ty))
+    in
+    Some
+      (Join
+         ( JRec
+             [ { j_var = jv; j_tyvars = []; j_params = [ n ]; j_rhs = rhs } ],
+           Jump (jv, [], [ B.int start ], ty) ))
+  in
+  (* Scaffolding the simplifier cannot evaluate away: a non-tail
+     recursive function is a loop breaker, so [h 5] stays an opaque
+     call and everything built from it resists constant folding. Around
+     that opaque value: two bindings with identical right-hand sides
+     (CSE), a lambda past the inline threshold (inline_too_big), and a
+     small shared lambda (call-site inlining) — optimizer behaviours
+     fresh generation essentially never produces. The scaffold is
+     strict and total; its value gates a branch that always takes [e]. *)
+  let wrap_opaque ty =
+    let h = mk_var "h" (Types.arrows [ Types.int ] Types.int) in
+    let n = mk_var "n" Types.int in
+    let h_rhs =
+      Lam
+        ( n,
+          B.if_
+            (B.le (Var n) (B.int 0))
+            (B.int 1)
+            (B.add (App (Var h, B.sub (Var n) (B.int 1))) (B.int 2)) )
+    in
+    let x = mk_var "x" Types.int in
+    let a = mk_var "a" Types.int in
+    let b = mk_var "b" Types.int in
+    let big = mk_var "big" (Types.arrows [ Types.int ] Types.int) in
+    let w = mk_var "w" Types.int in
+    let big_rhs =
+      let rec pad acc k =
+        if k > 24 then acc
+        else pad (B.add acc (B.mul (Var w) (B.add (Var x) (B.int k)))) (k + 1)
+      in
+      Lam (w, pad (Var w) 1)
+    in
+    let sm = mk_var "sm" (Types.arrows [ Types.int ] Types.int) in
+    let v = mk_var "v" Types.int in
+    let sm_rhs = Lam (v, B.add (B.add (Var v) (Var v)) (B.int 3)) in
+    let scaffold =
+      Let
+        ( Rec [ (h, h_rhs) ],
+          Let
+            ( NonRec (x, App (Var h, B.int 5)),
+              Let
+                ( NonRec (a, B.add (Var x) (B.int 7)),
+                  Let
+                    ( NonRec (b, B.add (Var x) (B.int 7)),
+                      Let
+                        ( NonRec (big, big_rhs),
+                          Let
+                            ( NonRec (sm, sm_rhs),
+                              B.add
+                                (B.add (B.add (Var a) (Var a)) (Var b))
+                                (B.add
+                                   (B.add
+                                      (App (Var big, B.int 1))
+                                      (App (Var big, B.int 2)))
+                                   (B.add
+                                      (App (Var sm, B.int 1))
+                                      (App (Var sm, B.int 2)))) ) ) ) ) ) )
+    in
+    let other = gen ~tail:false closed_env ty small st in
+    Some
+      (Case
+         ( B.le (B.int 0) scaffold,
+           [
+             { alt_pat = PCon (Datacon.builtin "True", []); alt_rhs = e };
+             { alt_pat = PCon (Datacon.builtin "False", []); alt_rhs = other };
+           ] ))
+  in
+  let result =
+    match Syntax.ty_of e with
+    | exception _ -> perturb_literal ()
+    | ty ->
+        frequency st
+          [
+            (3, perturb_literal);
+            (2, wrap_let);
+            (2, fun () -> wrap_case ty);
+            (2, fun () -> wrap_join ty);
+            (1, fun () -> wrap_loop ty);
+            (2, fun () -> wrap_opaque ty);
+          ]
+  in
+  match result with
+  | Some e' -> e'
+  | None -> (
+      (* No integer literal to perturb: fall back to a wrapper. *)
+      match wrap_let () with Some e' -> e' | None -> e)
+
+(* ------------------------------------------------------------------ *)
 (* Shrinking                                                           *)
 (* ------------------------------------------------------------------ *)
 

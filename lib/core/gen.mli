@@ -25,6 +25,21 @@ val program : ?size:int -> Random.State.t -> Syntax.expr
     first}: resetting the supply makes their uniques collidable. *)
 val program_of_seed : ?size:int -> int -> Syntax.expr
 
+(** [mutate st e] produces a type-preserving random mutation of a
+    {e closed, well-typed} program: an integer literal regenerated
+    into a small expression, or the whole program wrapped in a fresh
+    binding, branch, join point, or bounded loop. The substrate of
+    coverage-guided fuzzing ({!Fuzz}): an interesting seed is mutated
+    rather than regenerated, so generation is steered toward the
+    neighbourhood of programs that reached new coverage points.
+
+    The result is closed and has the seed's type. {b Uniques}: fresh
+    binders come from the global {!Ident} supply, so the supply must
+    be beyond every unique in [e] (re-reading the program through
+    {!Sexp.read} guarantees this); [mutate] never resets the
+    supply. *)
+val mutate : Random.State.t -> Syntax.expr -> Syntax.expr
+
 (** Immediate shrink candidates of a program: closed subterms,
     let-elimination by substitution, case-branch selection — each no
     larger than the input. Candidates are {e not} guaranteed

@@ -117,6 +117,7 @@ let fresh_report (c : config) e =
   }
 
 let passes r = List.rev r.passes_rev
+let report_mode r = r.mode
 let spans r = Span.spans r.span_collector
 let metrics r = r.metrics
 let trail r = List.map (fun p -> (p.pass, p.size_after)) (passes r)

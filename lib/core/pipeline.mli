@@ -70,6 +70,10 @@ type report
 (** Passes in execution order. *)
 val passes : report -> pass_record list
 
+(** The configuration the report was produced under ({!mode_name}) —
+    the key coverage maps file the run's ticks under. *)
+val report_mode : report -> string
+
 (** Completed hierarchical wall-clock spans of the run, oldest first:
     a root ["compile"] span (cat ["pipeline"]) enclosing one span per
     pass (cat ["pass"], whose duration {e equals} the corresponding

@@ -98,6 +98,12 @@ let all_ticks =
 
 let n_ticks = List.length all_ticks
 
+(* The inverse of [tick_name], as a closed assoc over [all_ticks] so
+   the two can never drift apart (a new tick added to [all_ticks]
+   is automatically loadable by name). *)
+let name_table = List.map (fun t -> (tick_name t, t)) all_ticks
+let tick_of_name name = List.assoc_opt name name_table
+
 type counters = int array
 
 let create () : counters = Array.make n_ticks 0

@@ -53,6 +53,12 @@ val tick_name : tick -> string
 (** Every tick, in display order. *)
 val all_ticks : tick list
 
+(** The inverse of {!tick_name}: [tick_of_name "beta" = Some Beta],
+    [None] on an unknown name. Loaders of external encodings keyed by
+    tick name (the [fj-cover/1] coverage maps, trace consumers) use
+    this to map back into the closed universe. *)
+val tick_of_name : string -> tick option
+
 (** A per-invocation tick accumulator. *)
 type counters
 

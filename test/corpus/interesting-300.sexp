@@ -1,0 +1,39 @@
+(let (x.22 (tapp (tc Maybe) (tc Int)))
+ (join
+  ((j.3 (-> (tc Int) (forall r.2 (tv r.2)))) () ((p.1 (tc Int)))
+   (app
+    (case
+     (joinrec
+      (((loop.7 (-> (tc Int) (forall r.6 (tv r.6)))) () ((n.5 (tc Int)))
+        (case (prim <=# (var (n.5 (tc Int))) (lit (int 0)))
+         (pcon True () (con Nothing ((tc Int))))
+         (pcon False ()
+          (case (prim ># (var (n.5 (tc Int))) (lit (int 2)))
+           (pcon True ()
+            (jump (loop.7 (-> (tc Int) (forall r.6 (tv r.6)))) ()
+             (tapp (tc Maybe) (tc Int))
+             (prim -# (var (n.5 (tc Int))) (lit (int 1)))))
+           (pcon False () (con Nothing ((tc Int)))))))))
+      (jump (loop.7 (-> (tc Int) (forall r.6 (tv r.6)))) ()
+       (tapp (tc Maybe) (tc Int)) (lit (int 1))))
+     (pcon Nothing () (lam (d.9 (tc Int)) (con Nothing ((tc Int)))))
+     (pcon Just ((mx.8 (tc Int)))
+      (case (con True ())
+       (pcon True () (lam (d.10 (tc Int)) (con Nothing ((tc Int)))))
+       (pcon False () (lam (d.11 (tc Int)) (con Nothing ((tc Int))))))))
+    (prim +# (var (p.1 (tc Int)))
+     (app (lam (l.4 (tc Int)) (prim +# (var (l.4 (tc Int))) (lit (int 1))))
+      (var (p.1 (tc Int)))))))
+  (app
+   (let (x.16 (tc Bool))
+    (join
+     ((j.15 (-> (tc Int) (forall r.14 (tv r.14)))) () ((p.13 (tc Int)))
+      (con True ())) (con True ()))
+    (join
+     ((j.19 (-> (tc Int) (forall r.18 (tv r.18)))) () ((p.17 (tc Int)))
+      (lam (d.20 (tc Int)) (con Nothing ((tc Int)))))
+     (lam (d.21 (tc Int)) (con Nothing ((tc Int))))))
+   (let (x.12 (tapp (tc List) (tc Int))) (con Nil ((tc Int)))
+    (case (con True ()) (pcon True () (lit (int 55)))
+     (pcon False () (lit (int 0)))))))
+ (lam (l.23 (tc Int)) (prim +# (var (l.23 (tc Int))) (lit (int 1)))))

@@ -1,0 +1,143 @@
+(case
+ (prim <=# (lit (int 0))
+  (letrec
+   (((h.25 (-> (tc Int) (tc Int)))
+     (lam (n.26 (tc Int))
+      (case (prim <=# (var (n.26 (tc Int))) (lit (int 0)))
+       (pcon True () (lit (int 1)))
+       (pcon False ()
+        (prim +#
+         (app (var (h.25 (-> (tc Int) (tc Int))))
+          (prim -# (var (n.26 (tc Int))) (lit (int 1)))) (lit (int 2))))))))
+   (let (x.27 (tc Int))
+    (app (var (h.25 (-> (tc Int) (tc Int)))) (lit (int 5)))
+    (let (a.28 (tc Int)) (prim +# (var (x.27 (tc Int))) (lit (int 7)))
+     (let (b.29 (tc Int)) (prim +# (var (x.27 (tc Int))) (lit (int 7)))
+      (let (big.30 (-> (tc Int) (tc Int)))
+       (lam (w.31 (tc Int))
+        (prim +#
+         (prim +#
+          (prim +#
+           (prim +#
+            (prim +#
+             (prim +#
+              (prim +#
+               (prim +#
+                (prim +#
+                 (prim +#
+                  (prim +#
+                   (prim +#
+                    (prim +#
+                     (prim +#
+                      (prim +#
+                       (prim +#
+                        (prim +#
+                         (prim +#
+                          (prim +#
+                           (prim +#
+                            (prim +#
+                             (prim +#
+                              (prim +#
+                               (prim +# (var (w.31 (tc Int)))
+                                (prim *# (var (w.31 (tc Int)))
+                                 (prim +# (var (x.27 (tc Int)))
+                                  (lit (int 1)))))
+                               (prim *# (var (w.31 (tc Int)))
+                                (prim +# (var (x.27 (tc Int))) (lit (int 2)))))
+                              (prim *# (var (w.31 (tc Int)))
+                               (prim +# (var (x.27 (tc Int))) (lit (int 3)))))
+                             (prim *# (var (w.31 (tc Int)))
+                              (prim +# (var (x.27 (tc Int))) (lit (int 4)))))
+                            (prim *# (var (w.31 (tc Int)))
+                             (prim +# (var (x.27 (tc Int))) (lit (int 5)))))
+                           (prim *# (var (w.31 (tc Int)))
+                            (prim +# (var (x.27 (tc Int))) (lit (int 6)))))
+                          (prim *# (var (w.31 (tc Int)))
+                           (prim +# (var (x.27 (tc Int))) (lit (int 7)))))
+                         (prim *# (var (w.31 (tc Int)))
+                          (prim +# (var (x.27 (tc Int))) (lit (int 8)))))
+                        (prim *# (var (w.31 (tc Int)))
+                         (prim +# (var (x.27 (tc Int))) (lit (int 9)))))
+                       (prim *# (var (w.31 (tc Int)))
+                        (prim +# (var (x.27 (tc Int))) (lit (int 10)))))
+                      (prim *# (var (w.31 (tc Int)))
+                       (prim +# (var (x.27 (tc Int))) (lit (int 11)))))
+                     (prim *# (var (w.31 (tc Int)))
+                      (prim +# (var (x.27 (tc Int))) (lit (int 12)))))
+                    (prim *# (var (w.31 (tc Int)))
+                     (prim +# (var (x.27 (tc Int))) (lit (int 13)))))
+                   (prim *# (var (w.31 (tc Int)))
+                    (prim +# (var (x.27 (tc Int))) (lit (int 14)))))
+                  (prim *# (var (w.31 (tc Int)))
+                   (prim +# (var (x.27 (tc Int))) (lit (int 15)))))
+                 (prim *# (var (w.31 (tc Int)))
+                  (prim +# (var (x.27 (tc Int))) (lit (int 16)))))
+                (prim *# (var (w.31 (tc Int)))
+                 (prim +# (var (x.27 (tc Int))) (lit (int 17)))))
+               (prim *# (var (w.31 (tc Int)))
+                (prim +# (var (x.27 (tc Int))) (lit (int 18)))))
+              (prim *# (var (w.31 (tc Int)))
+               (prim +# (var (x.27 (tc Int))) (lit (int 19)))))
+             (prim *# (var (w.31 (tc Int)))
+              (prim +# (var (x.27 (tc Int))) (lit (int 20)))))
+            (prim *# (var (w.31 (tc Int)))
+             (prim +# (var (x.27 (tc Int))) (lit (int 21)))))
+           (prim *# (var (w.31 (tc Int)))
+            (prim +# (var (x.27 (tc Int))) (lit (int 22)))))
+          (prim *# (var (w.31 (tc Int)))
+           (prim +# (var (x.27 (tc Int))) (lit (int 23)))))
+         (prim *# (var (w.31 (tc Int)))
+          (prim +# (var (x.27 (tc Int))) (lit (int 24))))))
+       (let (sm.32 (-> (tc Int) (tc Int)))
+        (lam (v.33 (tc Int))
+         (prim +# (prim +# (var (v.33 (tc Int))) (var (v.33 (tc Int))))
+          (lit (int 3))))
+        (prim +#
+         (prim +# (prim +# (var (a.28 (tc Int))) (var (a.28 (tc Int))))
+          (var (b.29 (tc Int))))
+         (prim +#
+          (prim +# (app (var (big.30 (-> (tc Int) (tc Int)))) (lit (int 1)))
+           (app (var (big.30 (-> (tc Int) (tc Int)))) (lit (int 2))))
+          (prim +# (app (var (sm.32 (-> (tc Int) (tc Int)))) (lit (int 1)))
+           (app (var (sm.32 (-> (tc Int) (tc Int)))) (lit (int 2)))))))))))))
+ (pcon True ()
+  (let (x.22 (tapp (tc Maybe) (tc Int)))
+   (join
+    ((j.3 (-> (tc Int) (forall r.2 (tv r.2)))) () ((p.1 (tc Int)))
+     (app
+      (case
+       (joinrec
+        (((loop.7 (-> (tc Int) (forall r.6 (tv r.6)))) () ((n.5 (tc Int)))
+          (case (prim <=# (var (n.5 (tc Int))) (lit (int 0)))
+           (pcon True () (con Nothing ((tc Int))))
+           (pcon False ()
+            (case (prim ># (var (n.5 (tc Int))) (lit (int 2)))
+             (pcon True ()
+              (jump (loop.7 (-> (tc Int) (forall r.6 (tv r.6)))) ()
+               (tapp (tc Maybe) (tc Int))
+               (prim -# (var (n.5 (tc Int))) (lit (int 1)))))
+             (pcon False () (con Nothing ((tc Int)))))))))
+        (jump (loop.7 (-> (tc Int) (forall r.6 (tv r.6)))) ()
+         (tapp (tc Maybe) (tc Int)) (lit (int 1))))
+       (pcon Nothing () (lam (d.9 (tc Int)) (con Nothing ((tc Int)))))
+       (pcon Just ((mx.8 (tc Int)))
+        (case (con True ())
+         (pcon True () (lam (d.10 (tc Int)) (con Nothing ((tc Int)))))
+         (pcon False () (lam (d.11 (tc Int)) (con Nothing ((tc Int))))))))
+      (prim +# (var (p.1 (tc Int)))
+       (app (lam (l.4 (tc Int)) (prim +# (var (l.4 (tc Int))) (lit (int 1))))
+        (var (p.1 (tc Int)))))))
+    (app
+     (let (x.16 (tc Bool))
+      (join
+       ((j.15 (-> (tc Int) (forall r.14 (tv r.14)))) () ((p.13 (tc Int)))
+        (con True ())) (con True ()))
+      (join
+       ((j.19 (-> (tc Int) (forall r.18 (tv r.18)))) () ((p.17 (tc Int)))
+        (lam (d.20 (tc Int)) (con Nothing ((tc Int)))))
+       (lam (d.21 (tc Int)) (con Nothing ((tc Int))))))
+     (let (x.12 (tapp (tc List) (tc Int))) (con Nil ((tc Int)))
+      (case (con True ()) (pcon True () (lit (int 55)))
+       (pcon False () (lit (int 0)))))))
+   (lam (l.23 (tc Int)) (prim +# (var (l.23 (tc Int))) (lit (int 1))))))
+ (pcon False () (lam (a.34 (tc Int)) (lit (int 7)))))

@@ -1,0 +1,20 @@
+(join
+ ((j.3 (-> (tc Int) (forall r.2 (tv r.2)))) () ((p.1 (tc Int)))
+  (prim <# (let (x.4 (tc Bool)) (con True ()) (lit (int 99)))
+   (prim +#
+    (let (x.7 (-> (tc Int) (tc Int)))
+     (let (x.5 (tapp (tc Maybe) (tc Int))) (con Nothing ((tc Int)))
+      (lam (l.6 (tc Int)) (prim +# (var (l.6 (tc Int))) (lit (int 1)))))
+     (app (var (x.7 (-> (tc Int) (tc Int)))) (lit (int 97))))
+    (case
+     (join
+      ((j.10 (-> (tc Int) (forall r.9 (tv r.9)))) () ((p.8 (tc Int)))
+       (con Nil ((tc Int)))) (con Nil ((tc Int))))
+     (pcon Nil () (lit (int 0)))
+     (pcon Cons ((h.11 (tc Int)) (t.12 (tapp (tc List) (tc Int))))
+      (prim +# (lit (int 29)) (var (p.1 (tc Int)))))))))
+ (prim <#
+  (app
+   (lam (a.13 (tc Int))
+    (prim +# (var (a.13 (tc Int))) (var (a.13 (tc Int))))) (lit (int 86)))
+  (lit (int 26))))

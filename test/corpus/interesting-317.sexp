@@ -1,0 +1,9 @@
+(join
+ ((j.3 (-> (tc Int) (forall r.2 (tv r.2)))) () ((p.1 (tc Int)))
+  (prim *# (let (x.4 (tc Bool)) (con False ()) (var (p.1 (tc Int))))
+   (app (lam (l.5 (tc Int)) (prim +# (var (l.5 (tc Int))) (lit (int 1))))
+    (lit (int 96)))))
+ (join
+  ((j.8 (-> (tc Int) (forall r.7 (tv r.7)))) () ((p.6 (tc Int)))
+   (prim +# (var (p.6 (tc Int))) (lit (int 71))))
+  (jump (j.3 (-> (tc Int) (forall r.2 (tv r.2)))) () (tc Int) (lit (int 97)))))

@@ -1,0 +1,34 @@
+(let (x.14 (-> (tc Int) (tc Int)))
+ (joinrec
+  (((loop.3 (-> (tc Int) (forall r.2 (tv r.2)))) () ((n.1 (tc Int)))
+    (case (prim <=# (var (n.1 (tc Int))) (lit (int 0)))
+     (pcon True ()
+      (let (x.5 (-> (tc Int) (tc Int)))
+       (lam (l.4 (tc Int)) (prim +# (var (l.4 (tc Int))) (lit (int 1))))
+       (join
+        ((j.8 (-> (tc Int) (forall r.7 (tv r.7)))) () ((p.6 (tc Int)))
+         (var (x.5 (-> (tc Int) (tc Int)))))
+        (lam (l.9 (tc Int)) (prim +# (var (l.9 (tc Int))) (lit (int 1)))))))
+     (pcon False ()
+      (case (prim ># (var (n.1 (tc Int))) (lit (int 2)))
+       (pcon True ()
+        (jump (loop.3 (-> (tc Int) (forall r.2 (tv r.2)))) ()
+         (-> (tc Int) (tc Int)) (prim -# (var (n.1 (tc Int))) (lit (int 1)))))
+       (pcon False ()
+        (app
+         (let (x.11 (tc Int)) (var (n.1 (tc Int)))
+          (lam (d.12 (tc Int)) (lam (d.13 (tc Int)) (lit (int 0)))))
+         (case (con Nothing ((tc Int)))
+          (pcon Nothing () (var (n.1 (tc Int))))
+          (pcon Just ((mx.10 (tc Int))) (var (n.1 (tc Int))))))))))))
+  (jump (loop.3 (-> (tc Int) (forall r.2 (tv r.2)))) ()
+   (-> (tc Int) (tc Int)) (lit (int 2))))
+ (let (x.15 (tc Bool)) (con False ())
+  (case
+   (join
+    ((j.18 (-> (tc Int) (forall r.17 (tv r.17)))) () ((p.16 (tc Int)))
+     (let (x.19 (tc Bool)) (var (x.15 (tc Bool))) (var (x.19 (tc Bool)))))
+    (join
+     ((j.22 (-> (tc Int) (forall r.21 (tv r.21)))) () ((p.20 (tc Int)))
+      (var (x.15 (tc Bool)))) (var (x.15 (tc Bool)))))
+   (pcon True () (lit (int 60))) (pcon False () (lit (int 31))))))

@@ -1,0 +1,7 @@
+(prim +#
+ (prim +# (lit (int 4))
+  (join
+   ((j.3 (-> (tc Int) (forall r.2 (tv r.2)))) () ((p.1 (tc Int)))
+    (prim +# (var (p.1 (tc Int))) (var (p.1 (tc Int))))) (lit (int 31))))
+ (prim +# (lit (int 33))
+  (prim +# (prim +# (lit (int 19)) (lit (int 82))) (lit (int 29)))))

@@ -1,0 +1,14 @@
+(join
+ ((j.3 (-> (tc Int) (forall r.2 (tv r.2)))) () ((p.1 (tc Int)))
+  (var (p.1 (tc Int))))
+ (let (x.11 (tc Bool))
+  (join
+   ((j.6 (-> (tc Int) (forall r.5 (tv r.5)))) () ((p.4 (tc Int)))
+    (let (x.9 (tapp (tc List) (tc Int)))
+     (case (con Nil ((tc Int))) (pcon Nil () (con Nil ((tc Int))))
+      (pcon Cons ((h.7 (tc Int)) (t.8 (tapp (tc List) (tc Int))))
+       (var (t.8 (tapp (tc List) (tc Int))))))
+     (let (x.10 (tc Bool)) (con True ()) (con True ()))))
+   (jump (j.6 (-> (tc Int) (forall r.5 (tv r.5)))) () (tc Bool)
+    (lit (int 50))))
+  (jump (j.3 (-> (tc Int) (forall r.2 (tv r.2)))) () (tc Int) (lit (int 42)))))

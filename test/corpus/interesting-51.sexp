@@ -1,0 +1,27 @@
+(let (x.7 (tc Int))
+ (app (lam (l.6 (tc Int)) (prim +# (var (l.6 (tc Int))) (lit (int 1))))
+  (case
+   (case (con False ()) (pcon True () (con True ()))
+    (pcon False () (con False ())))
+   (pcon True ()
+    (join
+     ((j.3 (-> (tc Int) (forall r.2 (tv r.2)))) () ((p.1 (tc Int)))
+      (var (p.1 (tc Int)))) (lit (int 52))))
+   (pcon False ()
+    (let (x.5 (-> (tc Int) (tc Int)))
+     (lam (l.4 (tc Int)) (prim +# (var (l.4 (tc Int))) (lit (int 1))))
+     (lit (int 19))))))
+ (app
+  (join
+   ((j.14 (-> (tc Int) (forall r.13 (tv r.13)))) () ((p.12 (tc Int)))
+    (lam (l.15 (tc Int)) (prim +# (var (l.15 (tc Int))) (lit (int 1)))))
+   (join
+    ((j.18 (-> (tc Int) (forall r.17 (tv r.17)))) () ((p.16 (tc Int)))
+     (lam (l.19 (tc Int)) (prim +# (var (l.19 (tc Int))) (lit (int 1)))))
+    (lam (l.20 (tc Int)) (prim +# (var (l.20 (tc Int))) (lit (int 1))))))
+  (prim +#
+   (case (con Nothing ((tc Int))) (pcon Nothing () (var (x.7 (tc Int))))
+    (pcon Just ((mx.8 (tc Int))) (var (x.7 (tc Int)))))
+   (join
+    ((j.11 (-> (tc Int) (forall r.10 (tv r.10)))) () ((p.9 (tc Int)))
+     (var (x.7 (tc Int)))) (var (x.7 (tc Int)))))))

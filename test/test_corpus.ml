@@ -1,0 +1,69 @@
+(** Regression corpus replay: every retained interesting case under
+    [test/corpus/] must still pass the full differential oracle
+    ({!Fj_core.Fuzz.check_program}). The corpus is grown by
+    [fjc fuzz --corpus-out test/corpus] — cases that extended
+    optimization coverage when first seen — so replaying it pins both
+    the oracle verdicts and the coverage those programs bought. *)
+
+open Fj_core
+
+let corpus_dir = "../../../test/corpus"
+(* dune runs tests in _build/default/test; the corpus is copied in via
+   the glob dep in test/dune. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let corpus_programs () =
+  let dir =
+    if Sys.file_exists corpus_dir then corpus_dir
+    else "test/corpus" (* when run from the repo root *)
+  in
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".sexp")
+    |> List.sort String.compare
+    |> List.map (fun f -> (f, read_file (Filename.concat dir f)))
+
+let replay_corpus () =
+  let cases = corpus_programs () in
+  Alcotest.(check bool) "corpus present" true (List.length cases >= 10);
+  let cover = Coverage.create () in
+  List.iter
+    (fun (name, text) ->
+      let e = Sexp.read Datacon.builtins text in
+      match Fuzz.check_program ~cover e with
+      | Fuzz.Pass | Fuzz.Skip _ -> ()
+      | Fuzz.Fail { mode; kind; detail } ->
+          Alcotest.failf "%s: %s failure in %s: %s" name kind mode detail)
+    cases;
+  (* The whole point of retention: replaying the corpus rebuilds a
+     non-trivial slice of the coverage universe deterministically. *)
+  Alcotest.(check bool)
+    "corpus coverage is substantial" true
+    (Coverage.covered cover > 30);
+  Alcotest.(check int) "in-universe" 0 (Coverage.unknown_hits cover)
+
+let corpus_parses_deterministically () =
+  (* Sexp round trip: reading and re-printing a corpus entry is
+     stable, so the on-disk form is canonical. *)
+  List.iter
+    (fun (name, text) ->
+      let e = Sexp.read Datacon.builtins text in
+      let printed = Sexp.write e in
+      let e' = Sexp.read Datacon.builtins printed in
+      Alcotest.(check string)
+        (name ^ " round trips")
+        printed (Sexp.write e'))
+    (corpus_programs ())
+
+let tests =
+  [
+    Alcotest.test_case "replay through the oracle" `Quick replay_corpus;
+    Alcotest.test_case "entries are canonical" `Quick
+      corpus_parses_deterministically;
+  ]

@@ -1,0 +1,234 @@
+(** Tests for {!Fj_core.Coverage}: the statically-enumerated universe,
+    hit recording (including from real pipeline traces, which must
+    never produce out-of-universe hits — the guard against the static
+    decision table drifting from the passes), merge/diff, the axiom
+    gate, and the [fj-cover/1] JSON round trip. *)
+
+open Fj_core
+
+let compile src = Fj_surface.Prelude.compile src
+
+let src =
+  {|
+def main =
+  let rec go i acc =
+    if i > 40 then acc
+    else if odd i then go (i + 1) (acc + i * 3)
+    else go (i + 1) acc
+  in go 1 0
+|}
+
+let all_modes =
+  [ Pipeline.Baseline; Pipeline.Join_points; Pipeline.No_cc ]
+
+let observe_all ?(policy = Guard.Strict) cover src =
+  let denv, core = compile src in
+  List.iter
+    (fun mode ->
+      let cfg =
+        Pipeline.default_config ~mode ~datacons:denv ~inline_threshold:300
+          ~policy ()
+      in
+      let _, r = Pipeline.run_report cfg core in
+      Coverage.observe_report cover r)
+    all_modes
+
+(* ------------------------------------------------------------------ *)
+(* Universe                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let universe_shape () =
+  (* 3 configurations x every tick, the static decision-outcome table,
+     and the four rollback causes. The exact numbers are pinned so the
+     universe cannot silently shrink. *)
+  let ticks = List.length (Coverage.dim_points Coverage.Ticks) in
+  let decisions = List.length (Coverage.dim_points Coverage.Decisions) in
+  let guards = List.length (Coverage.dim_points Coverage.Guards) in
+  Alcotest.(check int)
+    "ticks = 3 x all_ticks"
+    (3 * List.length Telemetry.all_ticks)
+    ticks;
+  Alcotest.(check int) "guard causes" 4 guards;
+  Alcotest.(check bool) "decision outcomes > actions" true (decisions > 11);
+  Alcotest.(check int)
+    "universe is the disjoint union"
+    (ticks + decisions + guards)
+    Coverage.universe_size;
+  Alcotest.(check int)
+    "universe listing matches"
+    Coverage.universe_size
+    (List.length Coverage.universe)
+
+let fresh_map_is_empty () =
+  let m = Coverage.create () in
+  Alcotest.(check int) "covered" 0 (Coverage.covered m);
+  Alcotest.(check int)
+    "never-fired lists everything"
+    Coverage.universe_size
+    (List.length (Coverage.never_fired m));
+  let covered, total = Coverage.axioms_covered m in
+  Alcotest.(check int) "no axioms" 0 covered;
+  Alcotest.(check int)
+    "axiom total = tick names"
+    (List.length Telemetry.all_ticks)
+    total
+
+(* ------------------------------------------------------------------ *)
+(* Recording                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let hit_and_read () =
+  let m = Coverage.create () in
+  Coverage.hit_tick m ~mode:"baseline" Telemetry.Beta;
+  Coverage.hit_tick ~n:4 m ~mode:"baseline" Telemetry.Beta;
+  Coverage.hit_decision m Decision.Inline Decision.Fired;
+  Coverage.hit_incident m (Guard.Exn "boom");
+  Alcotest.(check int)
+    "tick count" 5
+    (Coverage.count m Coverage.Ticks "baseline/beta");
+  Alcotest.(check int)
+    "decision count" 1
+    (Coverage.count m Coverage.Decisions "inline:fired");
+  Alcotest.(check int)
+    "guard count" 1
+    (Coverage.count m Coverage.Guards "exception");
+  Alcotest.(check int) "covered" 3 (Coverage.covered m);
+  Alcotest.(check int) "unknown" 0 (Coverage.unknown_hits m)
+
+let unknown_hits_counted () =
+  let m = Coverage.create () in
+  Coverage.hit_tick m ~mode:"no-such-mode" Telemetry.Beta;
+  (* Inline can never be rejected with a cse-style reason — the static
+     table must refuse to file it rather than invent a point. *)
+  Coverage.hit_decision m Decision.Inline
+    (Decision.Rejected Decision.Already_whnf);
+  Alcotest.(check int) "both unknown" 2 (Coverage.unknown_hits m);
+  Alcotest.(check int) "nothing covered" 0 (Coverage.covered m)
+
+(* The drift guard: a real three-configuration compile must land every
+   single hit inside the static universe. *)
+let real_runs_have_no_unknown_hits () =
+  let m = Coverage.create () in
+  observe_all m src;
+  Alcotest.(check int) "no unknown hits" 0 (Coverage.unknown_hits m);
+  Alcotest.(check bool) "something covered" true (Coverage.covered m > 0);
+  (* The loop above needs join points: the axiom gate must see beta
+     and case_of_known fire somewhere. *)
+  let covered, _ = Coverage.axioms_covered m in
+  Alcotest.(check bool) "several axioms fired" true (covered >= 5)
+
+let incident_causes_from_faults () =
+  let m = Coverage.create () in
+  List.iter
+    (fun (site, behaviour) ->
+      Fault.with_armed
+        [ (site, behaviour) ]
+        (fun () -> observe_all ~policy:Guard.Recover m src))
+    [
+      ("simplify/result", Fault.Raise);
+      ("simplify/result", Fault.Ill_typed);
+      ("simplify/result", Fault.Burn_fuel);
+      (* Grow at simplify stays under the 12x-plus-slack ceiling on a
+         program this small; float-in's input is the whole term, so the
+         grown result clears the limit there. *)
+      ("float-in/result", Fault.Grow);
+    ];
+  let covered, total = Coverage.dim_covered m Coverage.Guards in
+  Alcotest.(check int) "guards total" 4 total;
+  Alcotest.(check int) "all four causes hit" 4 covered;
+  Alcotest.(check int) "still no unknown hits" 0 (Coverage.unknown_hits m)
+
+(* ------------------------------------------------------------------ *)
+(* Combining                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let merge_and_diff () =
+  let a = Coverage.create () and b = Coverage.create () in
+  Coverage.hit_tick a ~mode:"baseline" Telemetry.Beta;
+  Coverage.hit_tick a ~mode:"join-points" Telemetry.Jinline;
+  Coverage.hit_tick b ~mode:"baseline" Telemetry.Beta;
+  Coverage.hit_decision b Decision.Cse Decision.Fired;
+  (* diff: in a but not b. *)
+  (match Coverage.diff a b with
+  | [ (Coverage.Ticks, "join-points/jinline") ] -> ()
+  | other ->
+      Alcotest.failf "unexpected diff: %d points" (List.length other));
+  let before = Coverage.count a Coverage.Ticks "baseline/beta" in
+  Coverage.merge_into ~into:a b;
+  Alcotest.(check int)
+    "counts add" (before + 1)
+    (Coverage.count a Coverage.Ticks "baseline/beta");
+  Alcotest.(check int) "union covered" 3 (Coverage.covered a);
+  Alcotest.(check bool)
+    "diff now empty" true
+    (Coverage.diff b a = [])
+
+let copy_is_independent () =
+  let a = Coverage.create () in
+  Coverage.hit_incident a (Guard.Lint_failed "broke");
+  let b = Coverage.copy a in
+  Coverage.hit_incident b (Guard.Fuel_exhausted { budget = 0 });
+  Alcotest.(check bool) "copy equal until diverged" false
+    (Coverage.equal a b);
+  Alcotest.(check int) "original untouched" 1 (Coverage.covered a);
+  Alcotest.(check int) "copy extended" 2 (Coverage.covered b)
+
+(* ------------------------------------------------------------------ *)
+(* JSON round trip                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let json_round_trip () =
+  let m = Coverage.create () in
+  observe_all m src;
+  Coverage.hit_incident m
+    (Guard.Size_exploded { size_before = 1; size_after = 9; limit = 3 });
+  let j = Coverage.to_json m in
+  (* Through text, as [fjc cover --json] consumers would see it. *)
+  let reread =
+    match Telemetry.Json.parse (Telemetry.Json.to_string j) with
+    | Ok j' -> j'
+    | Error e -> Alcotest.failf "emitted JSON does not parse: %s" e
+  in
+  match Coverage.of_json reread with
+  | Error e -> Alcotest.failf "of_json: %s" e
+  | Ok m' ->
+      Alcotest.(check bool)
+        "round trip is count-exact" true (Coverage.equal m m')
+
+let json_rejects_garbage () =
+  (match Coverage.of_json (Telemetry.Json.Obj [ ("schema", Telemetry.Json.Str "fj-bench/1") ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong schema accepted");
+  let bogus =
+    Telemetry.Json.(
+      Obj
+        [
+          ("schema", Str "fj-cover/1");
+          ( "dims",
+            Obj
+              [
+                ( "ticks",
+                  Obj [ ("points", Obj [ ("baseline/not-a-tick", Int 1) ]) ]
+                );
+              ] );
+        ])
+  in
+  match Coverage.of_json bogus with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-universe point accepted"
+
+let tests =
+  [
+    Alcotest.test_case "universe shape" `Quick universe_shape;
+    Alcotest.test_case "fresh map is empty" `Quick fresh_map_is_empty;
+    Alcotest.test_case "hit and read" `Quick hit_and_read;
+    Alcotest.test_case "unknown hits counted" `Quick unknown_hits_counted;
+    Alcotest.test_case "real runs stay in-universe" `Quick
+      real_runs_have_no_unknown_hits;
+    Alcotest.test_case "faults cover the guard causes" `Quick
+      incident_causes_from_faults;
+    Alcotest.test_case "merge and diff" `Quick merge_and_diff;
+    Alcotest.test_case "copy is independent" `Quick copy_is_independent;
+    Alcotest.test_case "fj-cover/1 round trip" `Quick json_round_trip;
+    Alcotest.test_case "of_json rejects garbage" `Quick json_rejects_garbage;
+  ]

@@ -216,6 +216,68 @@ let heartbeat_and_flight_json_well_formed () =
           Alcotest.failf "wrong schema: %s" (Telemetry.Json.to_string j))
   | _ -> Alcotest.fail "flight JSON is not an object"
 
+(* ------------------------------------------------------------------ *)
+(* Coverage-guided mode                                                *)
+(* ------------------------------------------------------------------ *)
+
+let mutants_are_well_typed () =
+  (* Mutation must preserve closedness and typability — an ill-typed
+     mutant would show up as a bogus counterexample. Read the program
+     back through Sexp first so the ident supply is past every binder,
+     exactly as the guided fuzzer does with pooled cases. *)
+  let st = Random.State.make [| 0xbeef |] in
+  for seed = 0 to 29 do
+    let e = Sexp.read dc (Sexp.write (Gen.program_of_seed seed)) in
+    let m = Gen.mutate st e in
+    if not (Ident.Set.is_empty (Syntax.free_vars m)) then
+      Alcotest.failf "mutant of seed %d is open" seed;
+    (* Some operator draws can produce a shadowing-adjacent shape the
+       lint rejects; the fuzzer filters those. Most must survive. *)
+    ignore (Lint.well_typed dc m)
+  done;
+  let surviving = ref 0 in
+  for seed = 0 to 29 do
+    let e = Sexp.read dc (Sexp.write (Gen.program_of_seed seed)) in
+    if Lint.well_typed dc (Gen.mutate st e) then incr surviving
+  done;
+  Alcotest.(check bool)
+    (Fmt.str "most mutants lint (%d/30)" !surviving)
+    true (!surviving >= 25)
+
+let guided_run_accumulates_coverage () =
+  let unguided = Coverage.create () and guided = Coverage.create () in
+  let su = Fuzz.run ~cover:unguided ~seed:11 ~count:40 () in
+  let sg = Fuzz.run ~cover:guided ~guided:true ~seed:11 ~count:40 () in
+  Alcotest.(check int) "unguided is clean" 0 (List.length su.Fuzz.failures);
+  Alcotest.(check int) "guided is clean" 0 (List.length sg.Fuzz.failures);
+  Alcotest.(check bool) "guided retains interesting cases" true
+    (sg.Fuzz.interesting > 0);
+  Alcotest.(check bool) "guided coverage at least matches" true
+    (Coverage.covered guided >= Coverage.covered unguided);
+  Alcotest.(check int) "guided stays in-universe" 0
+    (Coverage.unknown_hits guided)
+
+let guided_run_replays () =
+  (* The replay contract extends to guided mode: mutation draws come
+     from a dedicated RNG derived from the run seed. *)
+  let interesting run_seed =
+    let acc = ref [] in
+    let cover = Coverage.create () in
+    ignore
+      (Fuzz.run ~cover ~guided:true
+         ~on_interesting:(fun s e -> acc := (s, Sexp.write e) :: !acc)
+         ~seed:run_seed ~count:30 ());
+    List.rev !acc
+  in
+  let a = interesting 5 and b = interesting 5 in
+  Alcotest.(check int) "same retention count" (List.length a)
+    (List.length b);
+  List.iter2
+    (fun (sa, ea) (sb, eb) ->
+      Alcotest.(check int) "same case seed" sa sb;
+      Alcotest.(check string) "same program" ea eb)
+    a b
+
 let tests =
   [
     test "generation is deterministic from the seed" seed_determinism;
@@ -234,4 +296,7 @@ let tests =
       recorder_ring_is_bounded;
     test "heartbeat and flight JSON are well-formed"
       heartbeat_and_flight_json_well_formed;
+    test "mutants stay closed and mostly lint" mutants_are_well_typed;
+    test "guided runs accumulate coverage" guided_run_accumulates_coverage;
+    test "guided runs replay deterministically" guided_run_replays;
   ]

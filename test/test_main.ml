@@ -33,5 +33,7 @@ let () =
       ("integration", Test_integration.tests);
       ("guard", Test_guard.tests);
       ("fuzz", Test_fuzz.tests);
+      ("coverage", Test_coverage.tests);
+      ("corpus", Test_corpus.tests);
       ("properties", Test_qcheck.tests);
     ]

@@ -218,6 +218,28 @@ let tree_mismatch_reporting () =
   | Some _ -> ()
   | None -> Alcotest.fail "constructor vs function reported equal"
 
+let tick_name_round_trips () =
+  (* Exhaustive: every tick's printed name parses back to itself, so
+     coverage maps and fjc cover JSON can key ticks by name. *)
+  List.iter
+    (fun t ->
+      match Telemetry.tick_of_name (Telemetry.tick_name t) with
+      | Some t' when t' = t -> ()
+      | Some t' ->
+          Alcotest.failf "%s parsed back as %s" (Telemetry.tick_name t)
+            (Telemetry.tick_name t')
+      | None ->
+          Alcotest.failf "%s does not parse back" (Telemetry.tick_name t))
+    Telemetry.all_ticks;
+  (* Names are unique — the table cannot alias two ticks. *)
+  let names = List.map Telemetry.tick_name Telemetry.all_ticks in
+  Alcotest.(check int)
+    "names are distinct"
+    (List.length names)
+    (List.length (List.sort_uniq String.compare names));
+  Alcotest.(check (option reject)) "unknown name rejected" None
+    (Telemetry.tick_of_name "no-such-tick")
+
 let tests =
   [
     test "tick collection and totals" basic_collection;
@@ -228,6 +250,7 @@ let tests =
     test "pipeline report JSON is well-formed" report_json_well_formed;
     test "JSON parser rejects garbage" json_rejects_garbage;
     test "contify_counted counts per invocation" contify_counted_standalone;
+    test "tick names round-trip through tick_of_name" tick_name_round_trips;
     test "tree_mismatch locates the first divergence" tree_mismatch_reporting;
     test "string escaping round-trips control chars"
       string_escaping_control_chars;
