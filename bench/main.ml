@@ -22,7 +22,9 @@
 
     Run: [dune exec bench/main.exe] (add [--quick] to skip bechamel;
     [--json PATH] additionally writes the machine-readable trajectory
-    file, e.g. [BENCH_2026-08.json] — see EXPERIMENTS.md). *)
+    file, e.g. [BENCH_2026-08.json] — see EXPERIMENTS.md;
+    [--warmup N] / [--samples N] control the wall-clock measurement
+    discipline, stamped into the JSON alongside the git commit). *)
 
 open Fj_core
 
@@ -75,15 +77,18 @@ let run_bounded ~what e =
 (* Evaluator wall-clock is measured as [timing_warmup] discarded
    iterations followed by [timing_samples] measured ones (monotonic
    clock); the JSON reports exact median and p95 over the sorted
-   samples, not single-shot numbers. *)
-let timing_warmup = 1
-let timing_samples = 5
+   samples, not single-shot numbers. Overridable with [--warmup N] /
+   [--samples N]; the chosen counts are stamped into the JSON so a
+   diff of two snapshots knows how trustworthy each side's medians
+   are. *)
+let timing_warmup = ref 1
+let timing_samples = ref 5
 
 let timed_samples f =
-  for _ = 1 to timing_warmup do
+  for _ = 1 to !timing_warmup do
     ignore (f ())
   done;
-  List.init timing_samples (fun _ ->
+  List.init !timing_samples (fun _ ->
       let t0 = Telemetry.now_ms () in
       ignore (f ());
       Telemetry.now_ms () -. t0)
@@ -260,7 +265,7 @@ let telemetry_table (ms : measurement list) =
 let timing_table (ms : measurement list) =
   Fmt.pr "@.%s@." (String.make 76 '-');
   Fmt.pr "Eval wall-clock ms (%d warmup + %d measured) %9s %8s %9s %8s@."
-    timing_warmup timing_samples "base p50" "p95" "join p50" "p95";
+    !timing_warmup !timing_samples "base p50" "p95" "join p50" "p95";
   Fmt.pr "%s@." (String.make 76 '-');
   List.iter
     (fun m ->
@@ -453,10 +458,21 @@ let cps_table () =
 (* The BENCH_*.json trajectory file                                    *)
 (* ------------------------------------------------------------------ *)
 
+(* The commit the snapshot was taken at, for the "commit" provenance
+   field; None outside a git checkout (or without git on PATH). *)
+let git_commit () =
+  match Unix.open_process_in "git rev-parse HEAD 2>/dev/null" with
+  | exception _ -> None
+  | ic -> (
+      let line = try Some (input_line ic) with End_of_file -> None in
+      match (Unix.close_process_in ic, line) with
+      | Unix.WEXITED 0, Some c when String.length c >= 7 -> Some c
+      | _ -> None)
+
 (* Machine-readable record of this run — committed as BENCH_<date>.json
    so the repository accumulates a perf trajectory and CI can detect
-   delta_pct regressions against it (see EXPERIMENTS.md for the
-   schema). *)
+   regressions against it with [fjc bench diff] (see EXPERIMENTS.md
+   for the schema). *)
 let bench_json ~quick ~metrics (groups : (string * measurement list) list) =
   let open Telemetry.Json in
   let program_json group (m : measurement) =
@@ -476,8 +492,8 @@ let bench_json ~quick ~metrics (groups : (string * measurement list) list) =
         ( "timing",
           Obj
             [
-              ("warmup", Int timing_warmup);
-              ("samples", Int timing_samples);
+              ("warmup", Int !timing_warmup);
+              ("samples", Int !timing_samples);
               ("base_eval_ms_median", Float (median m.base_eval_ms));
               ("base_eval_ms_p95", Float (percentile 0.95 m.base_eval_ms));
               ("join_eval_ms_median", Float (median m.join_eval_ms));
@@ -509,10 +525,17 @@ let bench_json ~quick ~metrics (groups : (string * measurement list) list) =
       tm.Unix.tm_mday
   in
   Obj
-    [
-      ("schema", Str "fj-bench/1");
-      ("date", Str date);
-      ("quick", Bool quick);
+    ([
+       ("schema", Str "fj-bench/1");
+       ("date", Str date);
+       ("quick", Bool quick);
+     ]
+    (* Provenance: which tree produced this snapshot. Additive
+       fj-bench/1 field, absent outside a git checkout. *)
+    @ (match git_commit () with
+      | Some c -> [ ("commit", Str c) ]
+      | None -> [])
+    @ [
       ( "programs",
         Arr
           (List.concat_map
@@ -529,7 +552,7 @@ let bench_json ~quick ~metrics (groups : (string * measurement list) list) =
          [fj-cover/1] summary. *)
       ("coverage", Coverage.summary_json coverage);
       ("failures", Arr (List.map (fun m -> Str m) (List.rev !failures)));
-    ]
+    ])
 
 let write_json path ~quick ~metrics groups =
   let json = Telemetry.Json.to_string (bench_json ~quick ~metrics groups) in
@@ -608,15 +631,32 @@ let bechamel_benches () =
 
 let () =
   let quick = Array.exists (( = ) "--quick") Sys.argv in
-  let json_path =
+  let opt_value name =
     let n = Array.length Sys.argv in
     let rec go i =
       if i >= n then None
-      else if Sys.argv.(i) = "--json" && i + 1 < n then Some Sys.argv.(i + 1)
+      else if Sys.argv.(i) = name && i + 1 < n then Some Sys.argv.(i + 1)
       else go (i + 1)
     in
     go 1
   in
+  let json_path = opt_value "--json" in
+  let int_opt name r =
+    match opt_value name with
+    | None -> ()
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some n when n >= 0 -> r := n
+        | _ ->
+            Fmt.epr "bench: %s expects a non-negative integer, got %S@." name v;
+            exit 2)
+  in
+  int_opt "--warmup" timing_warmup;
+  int_opt "--samples" timing_samples;
+  if !timing_samples < 1 then begin
+    Fmt.epr "bench: --samples must be at least 1@.";
+    exit 2
+  end;
   Fmt.pr "System F_J benchmark harness — reproducing PLDI'17 Table 1@.";
   Fmt.pr "(allocation words counted by the Fig. 3 abstract machine;@.";
   Fmt.pr " Allocs column = (join-points - baseline) / baseline)@.";

@@ -10,7 +10,11 @@
       "Core dumps" users pore over, Sec. 8); [--report] adds the
       per-pass trace and the simplifier-tick table;
     - [fjc trace FILE]  — optimise and write the structured JSON trace
-      of the whole pipeline ([--out -] for stdout);
+      of the whole pipeline, with per-pass GC/allocation accounting
+      ([--out -] for stdout); [--perfetto] exports Chrome trace-event
+      JSON with a GC counter track; [--folded] exports collapsed
+      flamegraph stacks instead ([--folded-weight words] weights by
+      compiler allocation);
     - [fjc stats FILE]  — run under every compiler configuration and
       tabulate allocations side by side ([--json] for machine-readable
       rows);
@@ -39,7 +43,11 @@
       the unoptimised program on every observable; failures are
       minimized and reported with their replay seed (exit 3 whenever a
       counterexample is found); [--cover-guided] steers generation
-      toward programs that reach new coverage points.
+      toward programs that reach new coverage points;
+    - [fjc bench diff OLD NEW] — align two [fj-bench/1] trajectory
+      files and report per-metric deltas; [--gate PCT] exits 3 on
+      regressions beyond the gate (and, for timings, beyond recorded
+      sample noise); [--md]/[--json] write report artifacts.
 
     [run], [dump] and [trace] compile under the self-healing [Recover]
     guard policy (a failing pass is rolled back and reported as an
@@ -330,8 +338,8 @@ let dump_cmd =
 
 let trace_cmd =
   let doc = "Optimise and emit the structured JSON trace of the pipeline." in
-  let run file no_prelude mode iters out perfetto inline_threshold
-      dup_threshold policy faults =
+  let run file no_prelude mode iters out perfetto folded folded_weight
+      inline_threshold dup_threshold policy faults =
     arm_faults faults;
     let l = load ~no_prelude file in
     match perfetto with
@@ -354,13 +362,20 @@ let trace_cmd =
         in
         write_output ~what:"perfetto trace" dest
           (Telemetry.Json.to_string (Pipeline.perfetto_json ~file reports))
-    | None ->
+    | None -> (
         let cfg =
           pipeline_config ~inline_threshold ~dup_threshold ~policy mode iters l
         in
         let _, r = Pipeline.run_report cfg l.core in
         report_incidents r;
-        write_output ~what:"trace" out (Pipeline.report_to_json r)
+        match folded with
+        | Some dest ->
+            (* Collapsed-stack flamegraph lines instead of the JSON
+               trace: pipe to flamegraph.pl / inferno, or load in
+               speedscope. *)
+            write_output ~what:"folded flamegraph" dest
+              (Pipeline.folded ~weight:folded_weight r)
+        | None -> write_output ~what:"trace" out (Pipeline.report_to_json r))
   in
   let out_flag =
     Arg.(
@@ -381,11 +396,35 @@ let trace_cmd =
              under otherData) to $(docv); $(b,-) for stdout. Load it in \
              ui.perfetto.dev or chrome://tracing.")
   in
+  let folded_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ] ~docv:"PATH"
+          ~doc:
+            "Instead of the JSON trace, write the compile's span tree as \
+             collapsed flamegraph stacks ($(b,frame;frame;frame WEIGHT) \
+             lines, exclusive weights) to $(docv); $(b,-) for stdout. \
+             Feed to flamegraph.pl, inferno-flamegraph, or speedscope.")
+  in
+  let folded_weight_flag =
+    Arg.(
+      value
+      & opt
+          (enum [ ("time", Span.Self_time); ("words", Span.Alloc_words) ])
+          Span.Self_time
+      & info [ "folded-weight" ] ~docv:"KIND"
+          ~doc:
+            "What $(b,--folded) weights count: $(b,time) (exclusive \
+             wall-clock microseconds, the default) or $(b,words) \
+             (exclusive words the compiler allocated — an allocation \
+             flamegraph).")
+  in
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
       const run $ file_arg $ no_prelude_flag $ mode_flag $ iters_flag
-      $ out_flag $ perfetto_flag $ inline_threshold_flag $ dup_threshold_flag
-      $ policy_flag $ fault_flag)
+      $ out_flag $ perfetto_flag $ folded_flag $ folded_weight_flag
+      $ inline_threshold_flag $ dup_threshold_flag $ policy_flag $ fault_flag)
 
 (* ------------------------------------------------------------------ *)
 (* stats                                                               *)
@@ -1155,6 +1194,124 @@ let fuzz_cmd =
       $ cover_guided_flag $ cover_out_flag $ corpus_out_flag $ fault_flag)
 
 (* ------------------------------------------------------------------ *)
+(* bench                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let bench_diff_cmd =
+  let doc =
+    "Compare two $(b,fj-bench/1) trajectory files (e.g. a committed \
+     BENCH_*.json baseline against a fresh run)."
+  in
+  let run old_file new_file gate gate_timing md json_out =
+    match (read_file old_file, read_file new_file) with
+    | exception Sys_error m ->
+        Fmt.epr "fjc: %s@." m;
+        1
+    | sold, snew -> (
+        match
+          Bench_diff.of_strings ?gate_pct:gate ~gate_timing
+            ~old_label:old_file ~new_label:new_file sold snew
+        with
+        | Error m ->
+            Fmt.epr "fjc: %s@." m;
+            1
+        | Ok d ->
+            (* Same stdout discipline as [fjc cover --json -]: a
+               machine-readable payload on stdout suppresses the
+               console table. *)
+            let to_stdout = md = Some "-" || json_out = Some "-" in
+            if not to_stdout then Fmt.pr "%a@." Bench_diff.pp d;
+            let rc_md =
+              match md with
+              | None -> 0
+              | Some dest ->
+                  write_output ~what:"bench diff (markdown)" dest
+                    (Bench_diff.to_markdown d)
+            in
+            let rc_json =
+              match json_out with
+              | None -> 0
+              | Some dest ->
+                  write_output ~what:"bench diff (json)" dest
+                    (Telemetry.Json.to_string (Bench_diff.to_json d))
+            in
+            (* The gate verdict wins over output-write failures, like
+               the fuzz exit-code contract. *)
+            match Bench_diff.regressions d with
+            | [] -> max rc_md rc_json
+            | rs ->
+                Fmt.epr "fjc: bench diff gate failed: %d regression(s)@."
+                  (List.length rs);
+                3)
+  in
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD" ~doc:"Baseline $(b,fj-bench/1) file.")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW" ~doc:"Candidate $(b,fj-bench/1) file.")
+  in
+  let gate_flag =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "gate" ] ~docv:"PCT"
+          ~doc:
+            "Exit 3 on any regression beyond $(docv): counts (words, \
+             steps, jumps) worsening by more than $(docv) percent, or the \
+             Table-1 delta_pct worsening by more than $(docv) points. \
+             Without this flag the diff only reports.")
+  in
+  let timing_gate_flag =
+    Arg.(
+      value & flag
+      & info [ "timing-gate" ]
+          ~doc:
+            "Let $(b,--gate) also trip on eval timing medians worsening \
+             beyond the recorded sample noise plus the gate percentage. \
+             Off by default: wall-clock medians only compare between \
+             runs on the same machine, so CI gates counts and delta_pct \
+             only.")
+  in
+  let md_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "md" ] ~docv:"PATH"
+          ~doc:
+            "Write the diff as a markdown table (the CI artifact) to \
+             $(docv); $(b,-) for stdout.")
+  in
+  let json_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "Write the diff (schema $(b,fj-bench-diff/1)) to $(docv); \
+             $(b,-) for stdout.")
+  in
+  let exits =
+    Cmd.Exit.info 3
+      ~doc:"the $(b,--gate) found at least one gated regression."
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "diff" ~doc ~exits)
+    Term.(
+      const run $ old_arg $ new_arg $ gate_flag $ timing_gate_flag $ md_flag
+      $ json_flag)
+
+let bench_cmd =
+  let doc = "Benchmark trajectory analytics." in
+  Cmd.group (Cmd.info "bench" ~doc) [ bench_diff_cmd ]
+
+(* ------------------------------------------------------------------ *)
 (* main                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1167,4 +1324,4 @@ let () =
        (Cmd.group ~default info
           [ check_cmd; run_cmd; dump_cmd; trace_cmd; stats_cmd; profile_cmd;
             explain_cmd; erase_cmd; lower_cmd; cps_cmd; sexp_cmd; cover_cmd;
-            fuzz_cmd ]))
+            fuzz_cmd; bench_cmd ]))

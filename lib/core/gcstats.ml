@@ -1,0 +1,87 @@
+(** GC accounting deltas for the compiler's own work — see the
+    interface for the design. *)
+
+type t = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+let zero =
+  {
+    minor_words = 0.0;
+    promoted_words = 0.0;
+    major_words = 0.0;
+    minor_collections = 0;
+    major_collections = 0;
+  }
+
+let snapshot () =
+  (* On OCaml 5 [Gc.quick_stat]'s word counters only advance at
+     collections — a delta across a pass that triggered none reads 0.
+     [Gc.minor_words] and [Gc.counters] read the live allocation
+     pointers instead, so deltas are word-exact; quick_stat still
+     supplies the collection counts (which only change at collections
+     by definition). *)
+  let minor_words = Gc.minor_words () in
+  let _, promoted_words, major_words = Gc.counters () in
+  let s = Gc.quick_stat () in
+  {
+    minor_words;
+    promoted_words;
+    major_words;
+    minor_collections = s.Gc.minor_collections;
+    major_collections = s.Gc.major_collections;
+  }
+
+let delta before after =
+  {
+    minor_words = after.minor_words -. before.minor_words;
+    promoted_words = after.promoted_words -. before.promoted_words;
+    major_words = after.major_words -. before.major_words;
+    minor_collections = after.minor_collections - before.minor_collections;
+    major_collections = after.major_collections - before.major_collections;
+  }
+
+let add a b =
+  {
+    minor_words = a.minor_words +. b.minor_words;
+    promoted_words = a.promoted_words +. b.promoted_words;
+    major_words = a.major_words +. b.major_words;
+    minor_collections = a.minor_collections + b.minor_collections;
+    major_collections = a.major_collections + b.major_collections;
+  }
+
+let alloc_words g = g.minor_words +. g.major_words -. g.promoted_words
+
+(* Word counters are integral values stored as floats; export them as
+   integers so JSON consumers (and the flamegraph weights) never see
+   "1.2e+06". *)
+let words w = Telemetry.Json.Int (int_of_float (Float.round w))
+
+let fields g =
+  [
+    ("gc_minor_words", words g.minor_words);
+    ("gc_promoted_words", words g.promoted_words);
+    ("gc_major_words", words g.major_words);
+    ("gc_minor_collections", Telemetry.Json.Int g.minor_collections);
+    ("gc_major_collections", Telemetry.Json.Int g.major_collections);
+  ]
+
+let to_json g =
+  Telemetry.Json.(
+    Obj
+      [
+        ("minor_words", words g.minor_words);
+        ("promoted_words", words g.promoted_words);
+        ("major_words", words g.major_words);
+        ("minor_collections", Int g.minor_collections);
+        ("major_collections", Int g.major_collections);
+      ])
+
+let pp ppf g =
+  Fmt.pf ppf "minor %.0fw promoted %.0fw major %.0fw collections %d/%d"
+    g.minor_words g.promoted_words g.major_words g.minor_collections
+    g.major_collections

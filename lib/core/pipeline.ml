@@ -79,6 +79,12 @@ type pass_record = {
   size_before : int;
   size_after : int;
   joins_after : int;  (** Join-point definitions after the pass. *)
+  shape_after : Syntax.measure;
+      (** Tree shape of the pass's output: nodes, depth, estimated
+          heap words. *)
+  gc : Gcstats.t;
+      (** What the {e compiler} allocated running this pass (GC delta
+          over the pass span, lint included). *)
   ticks : (string * int) list;  (** Ticks fired {e by this pass}. *)
   decisions : Decision.event list;
       (** Ledger entries recorded {e by this pass}. *)
@@ -95,6 +101,9 @@ type report = {
   input_size : int;
   mutable output_size : int;
   mutable total_ms : float;
+  mutable total_gc : Gcstats.t;
+      (** GC delta over the whole compile span: everything the run
+          allocated, passes and glue alike. *)
   mutable passes_rev : pass_record list;  (** Built newest-first. *)
   counters : Telemetry.counters;  (** Whole-run tick totals. *)
   ledger : Decision.t;  (** Whole-run decision ledger. *)
@@ -109,6 +118,7 @@ let fresh_report (c : config) e =
     input_size = size e;
     output_size = size e;
     total_ms = 0.0;
+    total_gc = Gcstats.zero;
     passes_rev = [];
     counters = Telemetry.create ();
     ledger = Decision.create ();
@@ -118,6 +128,9 @@ let fresh_report (c : config) e =
 
 let passes r = List.rev r.passes_rev
 let report_mode r = r.mode
+let total_gc r = r.total_gc
+let folded ?weight r = Span.folded ?weight r.span_collector
+let folded_stacks ?weight r = Span.folded_stacks ?weight r.span_collector
 let spans r = Span.spans r.span_collector
 let metrics r = r.metrics
 let trail r = List.map (fun p -> (p.pass, p.size_after)) (passes r)
@@ -135,11 +148,14 @@ let pp_report ppf r =
   Fmt.pf ppf "@[<v>";
   List.iter
     (fun p ->
-      Fmt.pf ppf "%-28s %8.3f ms   size %5d -> %5d   joins %3d@," p.pass
-        p.duration_ms p.size_before p.size_after p.joins_after)
+      Fmt.pf ppf "%-28s %8.3f ms   size %5d -> %5d   joins %3d   alloc %9.0fw@,"
+        p.pass p.duration_ms p.size_before p.size_after p.joins_after
+        (Gcstats.alloc_words p.gc))
     (passes r);
-  Fmt.pf ppf "%-28s %8.3f ms   size %5d -> %5d@," "TOTAL" r.total_ms
-    r.input_size r.output_size;
+  Fmt.pf ppf "%-28s %8.3f ms   size %5d -> %5d   %17s alloc %9.0fw@," "TOTAL"
+    r.total_ms r.input_size r.output_size ""
+    (Gcstats.alloc_words r.total_gc);
+  Fmt.pf ppf "GC: %a@," Gcstats.pp r.total_gc;
   (let is = incidents r in
    if is <> [] then begin
      Fmt.pf ppf "Incidents (%d):@," (List.length is);
@@ -170,6 +186,14 @@ let pass_record_json (p : pass_record) =
          ("size_before", Int p.size_before);
          ("size_after", Int p.size_after);
          ("joins_after", Int p.joins_after);
+         ( "shape_after",
+           Obj
+             [
+               ("nodes", Int p.shape_after.Syntax.m_nodes);
+               ("depth", Int p.shape_after.Syntax.m_depth);
+               ("heap_words", Int p.shape_after.Syntax.m_heap_words);
+             ] );
+         ("gc", Gcstats.to_json p.gc);
          ("ticks", ticks_json p.ticks);
          ("decisions", Decision.summary_json p.decisions);
        ]
@@ -187,6 +211,7 @@ let report_json (r : report) =
         ("input_size", Int r.input_size);
         ("output_size", Int r.output_size);
         ("total_ms", Float r.total_ms);
+        ("total_gc", Gcstats.to_json r.total_gc);
         ("total_ticks", Int (total_ticks r));
         ("contified", Int (contified r));
         ("ticks", ticks_json (ticks r));
@@ -208,6 +233,7 @@ let summary_json (r : report) =
     Obj
       [
         ("total_ms", Float r.total_ms);
+        ("total_gc", Gcstats.to_json r.total_gc);
         ("total_ticks", Int (total_ticks r));
         ("contified", Int (contified r));
         ("ticks", ticks_json (ticks r));
@@ -238,8 +264,42 @@ let perfetto_json ?file (rs : report list) =
     List.concat
       (List.mapi
          (fun i r ->
-           Span.thread_name_event ~pid:1 ~tid:(i + 1) r.mode
+           (* One GC counter sample per pass boundary (counter tracks
+              are per-process in the trace format, so the track name
+              carries the configuration): the per-pass allocation
+              profile plots right under the pass timeline. *)
+           let gc_counters =
+             List.filter_map
+               (fun (sp : Span.span) ->
+                 if sp.Span.sp_cat <> "pass" then None
+                 else
+                   Some
+                     (Span.counter_event ~pid:1 ~tid:(i + 1)
+                        ~name:(Fmt.str "gc_words/%s" r.mode)
+                        ~ts:(Span.us (sp.Span.sp_start_ms +. sp.Span.sp_dur_ms))
+                        Telemetry.Json.
+                          [
+                            ( "minor",
+                              Int
+                                (int_of_float
+                                   (Float.round sp.Span.sp_gc.Gcstats.minor_words))
+                            );
+                            ( "major",
+                              Int
+                                (int_of_float
+                                   (Float.round sp.Span.sp_gc.Gcstats.major_words))
+                            );
+                            ( "promoted",
+                              Int
+                                (int_of_float
+                                   (Float.round
+                                      sp.Span.sp_gc.Gcstats.promoted_words)) );
+                          ]))
+               (Span.spans r.span_collector)
+           in
+           (Span.thread_name_event ~pid:1 ~tid:(i + 1) r.mode
            :: Span.trace_events ~pid:1 ~tid:(i + 1) r.span_collector)
+           @ gc_counters)
          rs)
   in
   Obj
@@ -288,8 +348,8 @@ let run_report (c : config) (e : expr) : expr * report =
        record's [duration_ms] — the exported Perfetto event and the
        trace-JSON field come from the same two clock reads, so they
        can never drift apart. *)
-    let (e', lint_ms, incident), duration_ms =
-      Span.with_span_timed ~cat:"pass" pass (fun () ->
+    let (e', lint_ms, incident), duration_ms, gc =
+      Span.with_span_stats ~cat:"pass" pass (fun () ->
           let result =
             match c.policy with
             | Guard.Strict ->
@@ -333,6 +393,7 @@ let run_report (c : config) (e : expr) : expr * report =
     Metrics.incr "pipeline.passes";
     Metrics.observe "pass.duration_ms" duration_ms;
     Metrics.observe (Fmt.str "pass.%s.ms" family) duration_ms;
+    Metrics.observe "pass.alloc_words" (Gcstats.alloc_words gc);
     report.passes_rev <-
       {
         pass;
@@ -341,6 +402,10 @@ let run_report (c : config) (e : expr) : expr * report =
         size_before;
         size_after = size e';
         joins_after = count_joins e';
+        (* Measured outside the span on purpose: the measurement's own
+           allocation must not pollute the pass's GC delta. *)
+        shape_after = measure e';
+        gc;
         ticks = Telemetry.delta_since snap report.counters;
         decisions = Decision.events_since dsnap report.ledger;
         incident;
@@ -418,8 +483,8 @@ let run_report (c : config) (e : expr) : expr * report =
   let e =
     Span.with_collector report.span_collector @@ fun () ->
     Metrics.with_registry report.metrics @@ fun () ->
-    let e =
-      Span.with_span ~cat:"pipeline" "compile" (fun () ->
+    let e, _, total_gc =
+      Span.with_span_stats ~cat:"pipeline" "compile" (fun () ->
           Span.annotate "mode" (Telemetry.Json.Str report.mode);
           Span.annotate "input_size" (Telemetry.Json.Int report.input_size);
           let e =
@@ -431,6 +496,7 @@ let run_report (c : config) (e : expr) : expr * report =
             (Telemetry.Json.Int (Telemetry.total report.counters));
           e)
     in
+    report.total_gc <- total_gc;
     report.output_size <- size e;
     report.total_ms <- Telemetry.now_ms () -. t_run0;
     Metrics.incr "pipeline.runs";

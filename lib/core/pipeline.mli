@@ -54,6 +54,13 @@ type pass_record = {
   size_before : int;
   size_after : int;
   joins_after : int;
+  shape_after : Syntax.measure;
+      (** Tree shape of the pass's output: nodes, depth, estimated
+          heap words ({!Syntax.measure}). *)
+  gc : Gcstats.t;
+      (** What the {e compiler} allocated running this pass: the GC
+          delta over the pass span (lint time included), answering
+          "which pass allocates". *)
   ticks : (string * int) list;  (** Ticks fired by this pass. *)
   decisions : Decision.event list;
       (** Ledger entries recorded by this pass, oldest first. *)
@@ -85,6 +92,16 @@ val spans : report -> Span.span list
     ([pass.<family>.ms]), guard rollback counters, etc. *)
 val metrics : report -> Metrics.t
 
+(** The run's span tree as collapsed flamegraph stacks
+    ({!Span.folded_stacks}): exclusive weights, every span exactly
+    once, the line weights under the [compile] root summing to the
+    compile span's own total. *)
+val folded_stacks : ?weight:Span.weight -> report -> (string * int) list
+
+(** {!folded_stacks} rendered as folded text ({!Span.folded}) —
+    pipeable straight into flamegraph.pl / inferno / speedscope. *)
+val folded : ?weight:Span.weight -> report -> string
+
 (** (pass name, size after) in execution order — the legacy trail. *)
 val trail : report -> (string * int) list
 
@@ -108,23 +125,32 @@ val decision_summary : report -> (string * int) list
     empty under [Strict] (which aborts instead of rolling back). *)
 val incidents : report -> Guard.incident list
 
-(** Per-pass table followed by the GHC-style "Total ticks" table. *)
+(** GC delta over the whole compile span ({!Gcstats}): everything the
+    run allocated, passes and glue alike. *)
+val total_gc : report -> Gcstats.t
+
+(** Per-pass table (with per-pass compiler allocation) followed by a
+    GC summary line and the GHC-style "Total ticks" table. *)
 val pp_report : Format.formatter -> report -> unit
 
 (** The full trace as JSON: [{mode, policy, input_size, output_size,
-    total_ms, total_ticks, contified, ticks: {name: count}, decisions:
-    {fired, rejected, counts}, incidents: [incident], passes: [{name,
-    duration_ms, lint_ms, size_before, size_after, joins_after, ticks,
-    decisions, incident?}]}] — see {!Guard.incident_json} for the
-    incident shape. *)
+    total_ms, total_gc, total_ticks, contified, ticks: {name: count},
+    decisions: {fired, rejected, counts}, incidents: [incident],
+    passes: [{name, duration_ms, lint_ms, size_before, size_after,
+    joins_after, shape_after: {nodes, depth, heap_words}, gc, ticks,
+    decisions, incident?}]}] — see {!Guard.incident_json} and
+    {!Gcstats.to_json} for the nested shapes. *)
 val report_to_json : report -> string
 
 (** Compact optimizer summary for benchmark trajectory files:
-    [{total_ms, total_ticks, contified, ticks, decisions, metrics}]. *)
+    [{total_ms, total_gc, total_ticks, contified, ticks, decisions,
+    metrics}]. *)
 val summary_json : report -> Telemetry.Json.t
 
 (** Chrome trace-event JSON over one or more runs — one Perfetto track
-    per report, named by its configuration; histogram summaries under
+    per report, named by its configuration, plus a [gc_words/<mode>]
+    counter track with one sample per pass boundary (minor / major /
+    promoted words allocated by that pass); histogram summaries under
     [otherData.metrics]. Loadable in https://ui.perfetto.dev. *)
 val perfetto_json : ?file:string -> report list -> Telemetry.Json.t
 

@@ -197,6 +197,95 @@ let rec count_joins e =
       + List.fold_left (fun n d -> n + count_joins d.j_rhs) 0 ds
 
 (* ------------------------------------------------------------------ *)
+(* Tree-shape measure                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type measure = { m_nodes : int; m_depth : int; m_heap_words : int }
+
+(** One traversal computing node count, maximum nesting depth, and an
+    estimate of the OCaml heap words the tree occupies. The word model
+    is the runtime's: a block with [k] fields costs [k + 1] words
+    (header included), a list of [n] elements adds [n] 3-word cons
+    cells, a binder ({!var} record) is a 3-word block. Types hanging
+    off the tree are counted as the single pointer word their field
+    occupies (they are heavily shared); the estimate is consistent
+    across passes, which is what pass-boundary deltas need. *)
+let measure e =
+  let block k = 1 + k in
+  let conses n = 3 * n in
+  let var_w = block 2 in
+  let max_d = List.fold_left (fun acc (_, d, _) -> max acc d) 0 in
+  let sum_n = List.fold_left (fun acc (n, _, _) -> acc + n) 0 in
+  let sum_w = List.fold_left (fun acc (_, _, w) -> acc + w) 0 in
+  let rec go e =
+    match e with
+    | Var _ -> (1, 1, block 1 + var_w)
+    | Lit _ -> (1, 1, block 1 + block 1)
+    | Con (_, tys, es) ->
+        let ms = List.map go es in
+        ( 1 + sum_n ms,
+          1 + max_d ms,
+          block 3 + conses (List.length tys + List.length es) + sum_w ms )
+    | Prim (_, es) ->
+        let ms = List.map go es in
+        (1 + sum_n ms, 1 + max_d ms, block 2 + conses (List.length es) + sum_w ms)
+    | App (f, a) ->
+        let ms = [ go f; go a ] in
+        (1 + sum_n ms, 1 + max_d ms, block 2 + sum_w ms)
+    | TyApp (f, _) ->
+        let n, d, w = go f in
+        (1 + n, 1 + d, block 2 + w)
+    | Lam (_, b) ->
+        let n, d, w = go b in
+        (1 + n, 1 + d, block 2 + var_w + w)
+    | TyLam (_, b) ->
+        let n, d, w = go b in
+        (1 + n, 1 + d, block 2 + w)
+    | Let (b, body) ->
+        let pairs = bind_pairs b in
+        let ms = go body :: List.map (fun (_, rhs) -> go rhs) pairs in
+        ( 1 + sum_n ms,
+          1 + max_d ms,
+          block 2
+          + (List.length pairs * (var_w + conses 1 + block 2))
+          + sum_w ms )
+    | Case (scrut, alts) ->
+        let pat_w = function
+          | PCon (_, xs) -> block 2 + List.length xs * (var_w + conses 1)
+          | PLit _ -> block 1 + block 1
+          | PDefault -> 0
+        in
+        let ms = go scrut :: List.map (fun a -> go a.alt_rhs) alts in
+        let alts_w =
+          List.fold_left
+            (fun acc a -> acc + conses 1 + block 2 + pat_w a.alt_pat)
+            0 alts
+        in
+        (1 + sum_n ms, 1 + max_d ms, block 2 + alts_w + sum_w ms)
+    | Join (jb, body) ->
+        let ds = join_defns jb in
+        let ms = go body :: List.map (fun d -> go d.j_rhs) ds in
+        let defn_w =
+          List.fold_left
+            (fun acc d ->
+              acc + block 4 + var_w
+              + conses (List.length d.j_tyvars)
+              + (List.length d.j_params * (var_w + conses 1)))
+            0 ds
+        in
+        (1 + sum_n ms, 1 + max_d ms, block 2 + defn_w + sum_w ms)
+    | Jump (_, tys, es, _) ->
+        let ms = List.map go es in
+        ( 1 + sum_n ms,
+          1 + max_d ms,
+          block 4 + var_w
+          + conses (List.length tys + List.length es)
+          + sum_w ms )
+  in
+  let m_nodes, m_depth, m_heap_words = go e in
+  { m_nodes; m_depth; m_heap_words }
+
+(* ------------------------------------------------------------------ *)
 (* Free variables                                                      *)
 (* ------------------------------------------------------------------ *)
 

@@ -103,6 +103,26 @@ val size : expr -> int
 (** Number of join-point definitions in the term (telemetry). *)
 val count_joins : expr -> int
 
+(** Tree-shape statistics at a pass boundary: how big the term is, how
+    deep it nests, and roughly what it costs to {e hold} in the OCaml
+    heap — the denominator behind "which pass allocates" (a pass whose
+    GC delta dwarfs the tree it returned is churning, not building). *)
+type measure = {
+  m_nodes : int;
+      (** Every AST constructor, including the type-level ones that
+          {!size} ignores (TyApp/TyLam) — the true node count. *)
+  m_depth : int;  (** Maximum constructor-nesting depth; >= 1. *)
+  m_heap_words : int;
+      (** Estimated OCaml heap words the tree occupies: one header
+          word plus one word per field for each block, 3 words per
+          binder record and list cons cell. An estimate (types are
+          counted shallowly), but a {e consistent} one: deltas across
+          a pass are meaningful. *)
+}
+
+(** One traversal computing all three components. *)
+val measure : expr -> measure
+
 (** Free term variables, including free labels. *)
 val free_vars : expr -> Ident.Set.t
 

@@ -27,6 +27,7 @@ let () =
       ("pipeline", Test_pipeline.tests);
       ("telemetry", Test_telemetry.tests);
       ("span", Test_span.tests);
+      ("bench-diff", Test_bench_diff.tests);
       ("metrics", Test_metrics.tests);
       ("profile", Test_profile.tests);
       ("decision", Test_decision.tests);

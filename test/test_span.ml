@@ -2,9 +2,12 @@
     nesting depth, the ring bound, annotation, exception safety, the
     duration contract shared with {!Pipeline.pass_record}, and the
     [Pipeline.perfetto_json] envelope (parses; every event carries
-    ph/name/pid/tid; "X" events carry ts/dur; one named track per
-    configuration; pass spans nest inside the root compile span with
-    durations consistent with the per-pass wall-clock fields). *)
+    ph/name/pid/tid; "X" events carry ts/dur, "C" GC counter samples
+    carry word deltas; one named track per configuration; pass spans
+    nest inside the root compile span with durations consistent with
+    the per-pass wall-clock fields), plus the folded flamegraph
+    export (every span exactly once; exclusive weights sum to the
+    root's total; deterministic; allocation weighting). *)
 
 open Fj_core
 open Util
@@ -178,8 +181,30 @@ let perfetto_structure () =
       if ph = "X" then (
         Alcotest.(check bool) "ts >= 0" true (int_field "ts" ev >= 0);
         Alcotest.(check bool) "dur >= 0" true (int_field "dur" ev >= 0))
-      else Alcotest.(check string) "only X and M events" "M" ph)
+      else if ph = "C" then
+        (* GC counter samples: one per pass boundary, with the word
+           deltas under args. *)
+        List.iter
+          (fun k -> ignore (int_field k (field "args" ev)))
+          [ "minor"; "major"; "promoted" ]
+      else Alcotest.(check string) "only X/M/C events" "M" ph)
     events;
+  (* The GC counter track exists: one sample per pass span. *)
+  let counter_count =
+    List.length (List.filter (fun ev -> str_field "ph" ev = "C") events)
+  in
+  let pass_span_count =
+    List.fold_left
+      (fun acc r ->
+        acc
+        + List.length
+            (List.filter
+               (fun (s : Span.span) -> s.Span.sp_cat = "pass")
+               (Pipeline.spans r)))
+      0 reports
+  in
+  Alcotest.(check int) "one GC counter sample per pass span"
+    pass_span_count counter_count;
   (* One named track per configuration. *)
   let thread_names =
     List.filter_map
@@ -276,8 +301,192 @@ let report_json_carries_spans_and_metrics () =
       (match field "spans" obj with
       | Telemetry.Json.Arr (_ :: _) -> ()
       | _ -> Alcotest.fail "spans array empty or missing");
-      ignore (field "histograms" (field "metrics" obj))
+      ignore (field "histograms" (field "metrics" obj));
+      (* GC accounting rides in the trace JSON: whole-run totals plus
+         per-pass deltas and tree-shape stats. *)
+      ignore (int_field "minor_words" (field "total_gc" obj));
+      (match field "passes" obj with
+      | Telemetry.Json.Arr (p :: _) ->
+          ignore (int_field "minor_words" (field "gc" p));
+          let shape = field "shape_after" p in
+          Alcotest.(check bool) "nodes positive" true
+            (int_field "nodes" shape > 0);
+          Alcotest.(check bool) "depth positive" true
+            (int_field "depth" shape > 0);
+          Alcotest.(check bool) "heap words >= nodes" true
+            (int_field "heap_words" shape >= int_field "nodes" shape)
+      | _ -> Alcotest.fail "passes array empty or missing")
   | Error m -> Alcotest.failf "report JSON does not parse: %s" m
+
+(* ------------------------------------------------------------------ *)
+(* GC accounting                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let with_span_stats_measures_allocation () =
+  let c = Span.create () in
+  let (), _, gc =
+    Span.with_collector c (fun () ->
+        Span.with_span_stats "alloc" (fun () ->
+            ignore (Sys.opaque_identity (Array.make 1000 0.0))))
+  in
+  (* A 1000-element float array is ~1001 words; anything smaller means
+     the delta missed the allocation. *)
+  Alcotest.(check bool) "allocation observed" true
+    (Gcstats.alloc_words gc >= 1000.0);
+  (match Span.spans c with
+  | [ s ] ->
+      Alcotest.(check (float 0.0)) "span gc = returned gc"
+        (Gcstats.alloc_words gc)
+        (Gcstats.alloc_words s.Span.sp_gc)
+  | _ -> Alcotest.fail "expected one span");
+  (* And without a collector the stats still measure. *)
+  let (), _, gc' =
+    Span.with_span_stats "orphan" (fun () ->
+        ignore (Sys.opaque_identity (Array.make 1000 0.0)))
+  in
+  Alcotest.(check bool) "measures without collector" true
+    (Gcstats.alloc_words gc' >= 1000.0)
+
+let pass_records_carry_gc_and_shape () =
+  let r = report_for Pipeline.Join_points in
+  let ps = Pipeline.passes r in
+  Alcotest.(check bool) "has passes" true (ps <> []);
+  List.iter
+    (fun (p : Pipeline.pass_record) ->
+      Alcotest.(check bool)
+        (Fmt.str "%s gc non-negative" p.pass)
+        true
+        (Gcstats.alloc_words p.gc >= 0.0);
+      Alcotest.(check bool)
+        (Fmt.str "%s shape sane" p.pass)
+        true
+        (p.shape_after.Syntax.m_nodes > 0
+        && p.shape_after.Syntax.m_depth > 0
+        && p.shape_after.Syntax.m_heap_words >= p.shape_after.Syntax.m_nodes))
+    ps;
+  (* The optimizer does real work: someone allocated. *)
+  Alcotest.(check bool) "some pass allocates" true
+    (List.exists (fun (p : Pipeline.pass_record) ->
+         Gcstats.alloc_words p.gc > 0.0)
+       ps);
+  (* Pass deltas are slices of the same monotonic counters the run
+     total is a delta of, so the total dominates their sum. *)
+  let summed =
+    List.fold_left
+      (fun acc (p : Pipeline.pass_record) -> Gcstats.add acc p.gc)
+      Gcstats.zero ps
+  in
+  Alcotest.(check bool) "total >= sum of passes" true
+    (Gcstats.alloc_words (Pipeline.total_gc r)
+    >= Gcstats.alloc_words summed -. 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Folded (collapsed-stack) export                                     *)
+(* ------------------------------------------------------------------ *)
+
+let folded_structure_and_weights () =
+  let c = Span.create () in
+  Span.with_collector c (fun () ->
+      Span.with_span ~cat:"root cat" "main loop" (fun () ->
+          Span.with_span ~cat:"pass" "x" (fun () ->
+              ignore (Sys.opaque_identity (List.init 100 Fun.id)));
+          Span.with_span ~cat:"pass" "x" (fun () -> ());
+          Span.with_span ~cat:"guard" "lint check" (fun () -> ())));
+  let stacks = Span.folded_stacks c in
+  (* Root keeps its bare (sanitized) name; nested frames are cat:name;
+     duplicate stacks merge: 5 spans, 3 distinct stacks. *)
+  Alcotest.(check (list string))
+    "stacks, sorted and sanitized"
+    [ "main_loop"; "main_loop;guard:lint_check"; "main_loop;pass:x" ]
+    (List.map fst stacks);
+  List.iter
+    (fun (s, w) ->
+      Alcotest.(check bool) (Fmt.str "%s weight non-negative" s) true (w >= 0))
+    stacks;
+  (* Exclusive weights partition the root: their sum is the root
+     span's own total, up to one rounded microsecond per span. *)
+  let root_us =
+    match List.find (fun s -> s.Span.sp_depth = 0) (Span.spans c) with
+    | s -> Span.us s.Span.sp_dur_ms
+  in
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 stacks in
+  Alcotest.(check bool)
+    (Fmt.str "weights sum to root total (%d vs %d)" total root_us)
+    true
+    (abs (total - root_us) <= List.length (Span.spans c));
+  (* Deterministic: a second export is identical. *)
+  Alcotest.(check bool) "deterministic" true (stacks = Span.folded_stacks c);
+  (* The rendered text is one "stack weight" line per entry. *)
+  let lines = String.split_on_char '\n' (Span.folded c) in
+  Alcotest.(check int) "one line per stack" (List.length stacks)
+    (List.length lines);
+  List.iter
+    (fun line ->
+      match String.rindex_opt line ' ' with
+      | None -> Alcotest.failf "unparseable folded line: %s" line
+      | Some i ->
+          let w = String.sub line (i + 1) (String.length line - i - 1) in
+          (match int_of_string_opt w with
+          | Some _ -> ()
+          | None -> Alcotest.failf "non-integer weight in: %s" line);
+          Alcotest.(check bool) "no spaces in stack" true
+            (not
+               (String.contains
+                  (String.sub line 0 i)
+                  ' ')))
+    lines
+
+let folded_alloc_weight () =
+  let c = Span.create () in
+  Span.with_collector c (fun () ->
+      Span.with_span ~cat:"r" "root" (fun () ->
+          Span.with_span ~cat:"p" "hog" (fun () ->
+              ignore (Sys.opaque_identity (Array.make 5000 0.0)));
+          Span.with_span ~cat:"p" "lean" (fun () -> ())));
+  let stacks = Span.folded_stacks ~weight:Span.Alloc_words c in
+  let weight name =
+    match List.assoc_opt name stacks with
+    | Some w -> w
+    | None -> Alcotest.failf "missing stack %s" name
+  in
+  (* Exclusive words: the hog's 5000-word array lands on the hog's
+     frame, not the root's. *)
+  Alcotest.(check bool) "hog heavy" true (weight "root;p:hog" >= 5000);
+  Alcotest.(check bool) "hog dominates root self" true
+    (weight "root;p:hog" > weight "root")
+
+let pipeline_folded_covers_compile () =
+  let r = report_for Pipeline.Join_points in
+  let stacks = Pipeline.folded_stacks r in
+  Alcotest.(check bool) "has stacks" true (stacks <> []);
+  List.iter
+    (fun (s, _) ->
+      Alcotest.(check bool)
+        (Fmt.str "%s rooted at compile" s)
+        true
+        (s = "compile" || String.length s > 8 && String.sub s 0 8 = "compile;"))
+    stacks;
+  (* Every pass span surfaces as a frame. *)
+  List.iter
+    (fun (p : Pipeline.pass_record) ->
+      let frame =
+        "compile;pass:"
+        ^ String.map (function ' ' -> '_' | c -> c) p.pass
+      in
+      Alcotest.(check bool) (Fmt.str "stack for %s" p.pass) true
+        (List.mem_assoc frame stacks))
+    (Pipeline.passes r);
+  let root_us =
+    match
+      List.find (fun s -> s.Span.sp_depth = 0) (Pipeline.spans r)
+    with
+    | s -> Span.us s.Span.sp_dur_ms
+  in
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 stacks in
+  Alcotest.(check bool)
+    (Fmt.str "weights sum to compile total (%d vs %d)" total root_us)
+    true
+    (abs (total - root_us) <= List.length (Pipeline.spans r))
 
 let tests =
   [
@@ -292,4 +501,11 @@ let tests =
     test "pass spans nest and match per-pass wall clock"
       perfetto_durations_match_pass_records;
     test "report JSON carries spans and metrics" report_json_carries_spans_and_metrics;
+    test "with_span_stats measures allocation" with_span_stats_measures_allocation;
+    test "pass records carry GC deltas and tree shape"
+      pass_records_carry_gc_and_shape;
+    test "folded export: structure, weights, determinism"
+      folded_structure_and_weights;
+    test "folded export: allocation weighting" folded_alloc_weight;
+    test "pipeline folded stacks cover the compile" pipeline_folded_covers_compile;
   ]
