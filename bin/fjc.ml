@@ -2,7 +2,10 @@
 
     Subcommands:
 
-    - [fjc check FILE]  — parse, typecheck, and Lint the elaborated core;
+    - [fjc check FILE...] — static analysis: the join-discipline verifier,
+      constant/shape propagation, liveness, and the missed-optimization
+      report; [--json] emits the [fj-check/1] schema (exit 3 on
+      discipline errors; [--require-clean] gates on warnings too);
     - [fjc run FILE]    — compile and evaluate [main] (choose the
       optimisation mode with [--mode]); prints the result and the
       abstract machine's allocation statistics;
@@ -246,14 +249,142 @@ let report_incidents (r : Pipeline.report) =
 (* ------------------------------------------------------------------ *)
 
 let check_cmd =
-  let doc = "Parse, typecheck, and Lint a program." in
-  let run file no_prelude =
-    let l = load ~no_prelude file in
-    let ty = Result.get_ok (Lint.lint_result l.denv l.core) in
-    Fmt.pr "%s: OK, main : %a@." file Types.pp ty;
-    0
+  let doc =
+    "Statically analyse programs: the join-point discipline verifier, \
+     constant/shape propagation, liveness, and the missed-optimization \
+     report (sites the analysis proves foldable or dead that survived the \
+     Join_points pipeline, each naming the pass that declined and its \
+     ledger reason)."
   in
-  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ file_arg $ no_prelude_flag)
+  (* One row per input file. Surface files elaborate through the usual
+     front end; [.sexp] files are read as raw Core so a deliberately
+     ill-formed tree reaches the verifier (and exits 3 as a finding)
+     instead of dying in the front end. *)
+  let run files no_prelude iters inline_threshold dup_threshold json_out
+      require_clean =
+    let check_file file =
+      if Filename.check_suffix file ".sexp" then
+        match Sexp.read Datacon.builtins (read_file file) with
+        | exception exn ->
+            Error
+              (Diagnostic.error "unreadable" ~site:"<top>"
+                 (Printexc.to_string exn))
+        | core -> Ok (Datacon.builtins, core)
+      else
+        let l = load ~no_prelude file in
+        Ok (l.denv, l.core)
+    in
+    let results =
+      List.map
+        (fun file ->
+          match check_file file with
+          | Error d ->
+              ( file,
+                {
+                  Absint.c_diagnostics = [ d ];
+                  c_errors = 1;
+                  c_warnings = 0;
+                  c_iterations = 0;
+                  c_value = Absint.Top;
+                } )
+          | Ok (denv, core) ->
+              let cfg =
+                pipeline_config ~inline_threshold ~dup_threshold
+                  Pipeline.Join_points iters { denv; core }
+              in
+              (file, Absint.check ~config:cfg core))
+        files
+    in
+    let total_errors, total_warnings =
+      List.fold_left
+        (fun (e, w) (_, (r : Absint.check_result)) ->
+          (e + r.Absint.c_errors, w + r.Absint.c_warnings))
+        (0, 0) results
+    in
+    (* With [--json -] the payload owns stdout (the cover/diff rule). *)
+    if json_out <> Some "-" then
+      List.iter
+        (fun (file, (r : Absint.check_result)) ->
+          Fmt.pr "%s: %d error(s), %d warning(s), %d fixpoint round(s), \
+                  value %s@."
+            file r.Absint.c_errors r.Absint.c_warnings r.Absint.c_iterations
+            (Absint.aval_to_string r.Absint.c_value);
+          List.iter
+            (fun d -> Fmt.pr "  %a@." Diagnostic.pp d)
+            r.Absint.c_diagnostics)
+        results;
+    let json_rc =
+      match json_out with
+      | None -> 0
+      | Some dest ->
+          let file_json (file, (r : Absint.check_result)) =
+            Telemetry.Json.(
+              Obj
+                [
+                  ("file", Str file);
+                  ("errors", Int r.Absint.c_errors);
+                  ("warnings", Int r.Absint.c_warnings);
+                  ("fixpoint_iterations", Int r.Absint.c_iterations);
+                  ("abstract", Str (Absint.aval_to_string r.Absint.c_value));
+                  ( "diagnostics",
+                    Arr (List.map Diagnostic.to_json r.Absint.c_diagnostics)
+                  );
+                ])
+          in
+          write_output ~what:"check report" dest
+            (Telemetry.Json.to_string
+               Telemetry.Json.(
+                 Obj
+                   [
+                     ("schema", Str "fj-check/1");
+                     ("files", Arr (List.map file_json results));
+                     ("errors", Int total_errors);
+                     ("warnings", Int total_warnings);
+                   ]))
+    in
+    if total_errors > 0 || (require_clean && total_warnings > 0) then 3
+    else json_rc
+  in
+  let files_arg =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Surface-language source files, or raw Core s-expressions \
+             ($(b,.sexp)).")
+  in
+  let json_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "Write the diagnostics (schema $(b,fj-check/1), one element \
+             per diagnostic round-trippable through the $(b,Diagnostic) \
+             JSON codec) to $(docv); $(b,-) for stdout (suppresses the \
+             console report).")
+  in
+  let require_clean_flag =
+    Arg.(
+      value & flag
+      & info [ "require-clean" ]
+          ~doc:
+            "Exit 3 on $(i,any) diagnostic, warnings included — the CI \
+             posture; by default only discipline errors gate.")
+  in
+  let exits =
+    Cmd.Exit.info 3
+      ~doc:
+        "the analysis found discipline errors (or, with \
+         $(b,--require-clean), any diagnostic)."
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc ~exits)
+    Term.(
+      const run $ files_arg $ no_prelude_flag $ iters_flag
+      $ inline_threshold_flag $ dup_threshold_flag $ json_flag
+      $ require_clean_flag)
 
 (* ------------------------------------------------------------------ *)
 (* run                                                                 *)
@@ -991,7 +1122,7 @@ let fuzz_cmd =
      strategies, the zero-allocation join invariant)."
   in
   let run seed count size fuel out verbose heartbeat flight want_cover
-      guided cover_out corpus_out faults =
+      guided absint cover_out corpus_out faults =
     arm_faults faults;
     (* Flight recorder: heartbeats go to stderr so they interleave with
        (rather than corrupt) the per-case progress on stdout. *)
@@ -1033,8 +1164,8 @@ let fuzz_cmd =
             mode
     in
     let s =
-      Fuzz.run ~size ~fuel ~on_case ?recorder ?cover ~guided ~on_interesting
-        ~seed ~count ()
+      Fuzz.run ~size ~fuel ~on_case ?recorder ?cover ~guided ~absint
+        ~on_interesting ~seed ~count ()
     in
     let flight_rc =
       match (flight, recorder) with
@@ -1161,6 +1292,16 @@ let fuzz_cmd =
              of the later cases mutate a retained seed instead of \
              generating fresh.")
   in
+  let absint_flag =
+    Arg.(
+      value & flag
+      & info [ "absint" ]
+          ~doc:
+            "Also run the analysis-soundness oracle on every case: the \
+             $(b,Absint) discipline verifier must be clean and the \
+             concrete result must lie in the concretization of the \
+             abstract one, on the seed and on every optimised output.")
+  in
   let cover_out_flag =
     Arg.(
       value
@@ -1191,7 +1332,8 @@ let fuzz_cmd =
     Term.(
       const run $ seed_flag $ count_flag $ size_flag $ fuel_flag $ out_flag
       $ verbose_flag $ heartbeat_flag $ flight_flag $ cover_flag
-      $ cover_guided_flag $ cover_out_flag $ corpus_out_flag $ fault_flag)
+      $ cover_guided_flag $ absint_flag $ cover_out_flag $ corpus_out_flag
+      $ fault_flag)
 
 (* ------------------------------------------------------------------ *)
 (* bench                                                               *)

@@ -1,0 +1,107 @@
+(** Structured static-analysis diagnostics — see the interface. *)
+
+type severity = Error | Warning
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | _ -> None
+
+type t = {
+  d_check : string;
+  d_severity : severity;
+  d_site : string;
+  d_message : string;
+  d_pass : string option;
+  d_reason : string option;
+}
+
+let error check ~site message =
+  {
+    d_check = check;
+    d_severity = Error;
+    d_site = site;
+    d_message = message;
+    d_pass = None;
+    d_reason = None;
+  }
+
+let warning ?pass ?reason check ~site message =
+  {
+    d_check = check;
+    d_severity = Warning;
+    d_site = site;
+    d_message = message;
+    d_pass = pass;
+    d_reason = reason;
+  }
+
+let is_error d = d.d_severity = Error
+
+let pp ppf d =
+  Fmt.pf ppf "%s[%s] at %s: %s"
+    (severity_name d.d_severity)
+    d.d_check d.d_site d.d_message;
+  match (d.d_pass, d.d_reason) with
+  | Some p, Some r -> Fmt.pf ppf " (%s declined: %s)" p r
+  | Some p, None -> Fmt.pf ppf " (%s declined)" p
+  | None, _ -> ()
+
+let to_json d =
+  Telemetry.Json.(
+    Obj
+      ([
+         ("check", Str d.d_check);
+         ("severity", Str (severity_name d.d_severity));
+         ("site", Str d.d_site);
+         ("message", Str d.d_message);
+       ]
+      @ (match d.d_pass with Some p -> [ ("pass", Str p) ] | None -> [])
+      @
+      match d.d_reason with Some r -> [ ("reason", Str r) ] | None -> []))
+
+let of_json (j : Telemetry.Json.t) : (t, string) result =
+  match j with
+  | Telemetry.Json.Obj fields ->
+      let str name =
+        match List.assoc_opt name fields with
+        | Some (Telemetry.Json.Str s) -> Ok s
+        | Some _ -> Error (Fmt.str "field %S is not a string" name)
+        | None -> Error (Fmt.str "missing field %S" name)
+      in
+      let opt_str name =
+        match List.assoc_opt name fields with
+        | Some (Telemetry.Json.Str s) -> Ok (Some s)
+        | Some _ -> Error (Fmt.str "field %S is not a string" name)
+        | None -> Ok None
+      in
+      let ( let* ) = Result.bind in
+      let* check = str "check" in
+      let* sev = str "severity" in
+      let* severity =
+        match severity_of_string sev with
+        | Some s -> Ok s
+        | None -> Error (Fmt.str "unknown severity %S" sev)
+      in
+      let* site = str "site" in
+      let* message = str "message" in
+      let* pass = opt_str "pass" in
+      let* reason = opt_str "reason" in
+      Ok
+        {
+          d_check = check;
+          d_severity = severity;
+          d_site = site;
+          d_message = message;
+          d_pass = pass;
+          d_reason = reason;
+        }
+  | _ -> Error "diagnostic is not an object"
+
+let count ds =
+  List.fold_left
+    (fun (e, w) d ->
+      match d.d_severity with Error -> (e + 1, w) | Warning -> (e, w + 1))
+    (0, 0) ds

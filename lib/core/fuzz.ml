@@ -42,7 +42,30 @@ let optimize ?cover mode (e : expr) : (expr, string) result =
       Error (Fmt.str "pass %s broke lint: %a" pass Lint.pp_error err)
   | exception exn -> Error (Printexc.to_string exn)
 
-let check_program ?(fuel = default_fuel) ?cover (e : expr) : verdict =
+(* The analysis-soundness oracle ([--absint]): the discipline verifier
+   must be clean on a Lint-clean tree, and the concrete machine result
+   must lie in the concretization of the abstract one. Runs on the
+   seed and on every optimised output, so the differential fuzzer
+   doubles as a fuzzer for the analysis itself. *)
+let absint_verdict ~absint mname (e : expr) (t : Eval.tree) : verdict option
+    =
+  if not absint then None
+  else
+    Span.with_span ~cat:"fuzz" ("absint " ^ mname) @@ fun () ->
+    match List.filter Diagnostic.is_error (Absint.verify e) with
+    | d :: _ ->
+        Some (fail mname "absint-discipline" (Fmt.str "%a" Diagnostic.pp d))
+    | [] ->
+        let r = Absint.analyze e in
+        if Absint.concretizes r.Absint.r_value t then None
+        else
+          Some
+            (fail mname "absint-unsound"
+               (Fmt.str "machine result outside the concretization of %s"
+                  (Absint.aval_to_string r.Absint.r_value)))
+
+let check_program ?(fuel = default_fuel) ?cover ?(absint = false) (e : expr)
+    : verdict =
   if not (Lint.well_typed dc e) then
     fail "seed" "generator-ill-typed" "generated program does not lint"
   else
@@ -54,6 +77,9 @@ let check_program ?(fuel = default_fuel) ?cover (e : expr) : verdict =
     | Eval.Fuel_exhausted -> Skip "seed program exhausts the fuel budget"
     | Eval.Crashed m -> fail "seed" "seed-stuck" m
     | Eval.Finished (t0, _) -> (
+        match absint_verdict ~absint "seed" e t0 with
+        | Some v -> v
+        | None -> (
         (* Sites (of any kind) that already allocate in the unoptimised
            run. A join body is free to allocate — its result value is
            the program's allocation, not the machinery's — and contify
@@ -108,6 +134,9 @@ let check_program ?(fuel = default_fuel) ?cover (e : expr) : verdict =
                                  mname)
                         | Eval.Crashed m -> fail mname "output-stuck" m
                         | Eval.Finished (t, _) -> (
+                            match absint_verdict ~absint mname e' t with
+                            | Some v -> v
+                            | None -> (
                             match Eval.tree_mismatch t0 t with
                             | Some where ->
                                 fail mname "result-mismatch" where
@@ -125,9 +154,9 @@ let check_program ?(fuel = default_fuel) ?cover (e : expr) : verdict =
                                     fail mname "join-site-allocated"
                                       (Fmt.str "join site %s allocated %d words"
                                          s.site_label s.s_words)
-                                | None -> modes rest))))
+                                | None -> modes rest)))))
             in
-            modes configurations))
+            modes configurations)))
 
 (* ------------------------------------------------------------------ *)
 (* Counterexamples                                                     *)
@@ -309,7 +338,8 @@ let pool_cap = 32
 
 let run ?(size = Gen.default_size) ?(fuel = default_fuel)
     ?(on_case = fun _ _ -> ()) ?recorder ?cover ?(guided = false)
-    ?(on_interesting = fun _ _ -> ()) ~seed ~count () : summary =
+    ?(absint = false) ?(on_interesting = fun _ _ -> ()) ~seed ~count () :
+    summary =
   let passed = ref 0 and skipped = ref 0 and failures = ref [] in
   let interesting = ref 0 in
   let pool : string list ref = ref [] in
@@ -342,7 +372,7 @@ let run ?(size = Gen.default_size) ?(fuel = default_fuel)
       let v, case_ms =
         Span.with_span_timed ~cat:"fuzz" (Fmt.str "case %d" case_seed)
           (fun () ->
-            let v = check_program ~fuel ?cover e in
+            let v = check_program ~fuel ?cover ~absint e in
             Span.annotate "verdict"
               (Telemetry.Json.Str
                  (match v with
@@ -382,7 +412,9 @@ let run ?(size = Gen.default_size) ?(fuel = default_fuel)
           let failing e =
             Lint.well_typed dc e
             &&
-            match check_program ~fuel e with Fail _ -> true | _ -> false
+            match check_program ~fuel ~absint e with
+            | Fail _ -> true
+            | _ -> false
           in
           let minimized =
             Span.with_span ~cat:"fuzz" (Fmt.str "minimize %d" case_seed)

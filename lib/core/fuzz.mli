@@ -23,14 +23,23 @@ type verdict =
           [kind] a stable failure class: ["generator-ill-typed"],
           ["seed-stuck"], ["strategy-disagree"], ["pass-aborted"],
           ["output-ill-typed"], ["output-stuck"], ["result-mismatch"],
-          ["join-site-allocated"]. *)
+          ["join-site-allocated"] — plus, with the [--absint] oracle
+          armed, ["absint-discipline"] (the {!Absint.verify} verifier
+          errored on a Lint-clean tree) and ["absint-unsound"] (the
+          machine result fell outside the concretization of the
+          abstract result). *)
 
 (** Run the full oracle on one (closed, generated) program. [fuel]
     bounds each evaluation (default 200_000 machine steps). [cover]
     (if given) accumulates the optimization coverage of the three
     compiles — every tick, ledger outcome, and incident cause — into
-    the map ({!Coverage.observe_report}). *)
-val check_program : ?fuel:int -> ?cover:Coverage.t -> Syntax.expr -> verdict
+    the map ({!Coverage.observe_report}). [absint] additionally runs
+    the analysis-soundness oracle on the seed and on every optimised
+    output: {!Absint.verify} must report no errors, and the concrete
+    {!Eval} result must lie in the concretization
+    ({!Absint.concretizes}) of the {!Absint.analyze} result. *)
+val check_program :
+  ?fuel:int -> ?cover:Coverage.t -> ?absint:bool -> Syntax.expr -> verdict
 
 (** A minimized counterexample. *)
 type failure = {
@@ -149,7 +158,11 @@ val flight_json : ?cover:Coverage.t -> recorder -> Telemetry.Json.t
     reporting, but only the minimized program (not the seed) replays
     it; mutation choices are deterministic in [seed], so a whole
     guided run replays exactly. Shrinking never pollutes the map:
-    minimization re-checks without [cover]. *)
+    minimization re-checks without [cover].
+
+    [absint] arms the analysis-soundness oracle (see
+    {!check_program}) on every case — including during minimization,
+    so a counterexample shrinks while preserving {e some} failure. *)
 val run :
   ?size:int ->
   ?fuel:int ->
@@ -157,6 +170,7 @@ val run :
   ?recorder:recorder ->
   ?cover:Coverage.t ->
   ?guided:bool ->
+  ?absint:bool ->
   ?on_interesting:(int -> Syntax.expr -> unit) ->
   seed:int ->
   count:int ->
