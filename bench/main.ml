@@ -489,11 +489,159 @@ let git_commit () =
       | Unix.WEXITED 0, Some c when String.length c >= 7 -> Some c
       | _ -> None)
 
+(* ------------------------------------------------------------------ *)
+(* Compile service: batch throughput and cache hit rate                *)
+(* ------------------------------------------------------------------ *)
+
+module Service = Fj_service.Service
+module Svc_cache = Fj_service.Cache
+
+type service_run = { sr_jobs : int; sr_wall_ms : float; sr_per_sec : float }
+
+type service_result = {
+  sv_programs : int;
+  sv_runs : service_run list;  (** No cache, --jobs 1/2/4. *)
+  sv_cold : Svc_cache.stats;
+  sv_warm : Svc_cache.stats;
+  sv_warm_hit_rate : float;
+  sv_cold_wall_ms : float;
+  sv_warm_wall_ms : float;
+}
+
+(* Write the bench corpus out as .fj files (the service compiles
+   files, not in-memory sources) under a fresh scratch directory. *)
+let service_sources () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fj-bench-service.%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  List.map
+    (fun (pr : Bench_programs.program) ->
+      let path = Filename.concat dir (pr.Bench_programs.name ^ ".fj") in
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          if pr.Bench_programs.uses_streams then begin
+            output_string oc Fj_fusion.Streams.source;
+            output_char oc '\n'
+          end;
+          output_string oc pr.Bench_programs.source);
+      (pr.Bench_programs.name, path))
+    (Bench_programs.spectral @ Bench_programs.real @ Bench_programs.shootout)
+
+let service_batch ?cache ~jobs sources =
+  let cfg =
+    { (Service.default_config ()) with Service.jobs; cache }
+  in
+  let b = Service.run_batch cfg sources in
+  List.iter
+    (fun (o : Service.outcome) ->
+      match o.Service.status with
+      | Service.Compiled _ -> ()
+      | st ->
+          fail "service batch: %s ended %s" o.Service.id
+            (Service.status_name st))
+    b.Service.b_outcomes;
+  b
+
+let service_table () =
+  let sources = service_sources () in
+  let n = List.length sources in
+  Fmt.pr "@.%s@." (String.make 64 '-');
+  Fmt.pr "Compile service: batch throughput (%d programs)@." n;
+  Fmt.pr "%s@." (String.make 64 '-');
+  let runs =
+    List.map
+      (fun jobs ->
+        let b = service_batch ~jobs sources in
+        let per_sec =
+          if b.Service.b_wall_ms > 0.0 then
+            float_of_int n /. (b.Service.b_wall_ms /. 1000.0)
+          else 0.0
+        in
+        Fmt.pr "--jobs %d %24.0f ms %17.1f programs/s@." jobs
+          b.Service.b_wall_ms per_sec;
+        { sr_jobs = jobs; sr_wall_ms = b.Service.b_wall_ms; sr_per_sec = per_sec })
+      [ 1; 2; 4 ]
+  in
+  (* Cold, then warm, against the same on-disk cache: the warm run
+     must replay from the cache (hit rate is the headline number). *)
+  let cache_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fj-bench-cache.%d" (Unix.getpid ()))
+  in
+  let cold_cache = Svc_cache.create ~dir:cache_dir () in
+  let cold = service_batch ~cache:cold_cache ~jobs:1 sources in
+  let warm_cache = Svc_cache.create ~dir:cache_dir () in
+  let warm = service_batch ~cache:warm_cache ~jobs:1 sources in
+  let hit_rate = Svc_cache.hit_rate warm_cache in
+  if hit_rate <= 0.5 then
+    fail "service cache: warm hit rate %.0f%% (want > 50%%)"
+      (100.0 *. hit_rate);
+  Fmt.pr "cache cold (--jobs 1) %12.0f ms %17d store(s)@."
+    cold.Service.b_wall_ms (Svc_cache.stats cold_cache).Svc_cache.stores;
+  Fmt.pr "cache warm (--jobs 1) %12.0f ms %16.0f%% hit rate@."
+    warm.Service.b_wall_ms (100.0 *. hit_rate);
+  {
+    sv_programs = n;
+    sv_runs = runs;
+    sv_cold = Svc_cache.stats cold_cache;
+    sv_warm = Svc_cache.stats warm_cache;
+    sv_warm_hit_rate = hit_rate;
+    sv_cold_wall_ms = cold.Service.b_wall_ms;
+    sv_warm_wall_ms = warm.Service.b_wall_ms;
+  }
+
+(* Additive fj-bench/1 field ("service"): throughput and cache hit
+   rate of the fjc batch service over the bench corpus. Informational
+   — Bench_diff ignores fields it does not know. *)
+let service_json (sv : service_result) =
+  let open Telemetry.Json in
+  let stats_obj (s : Svc_cache.stats) =
+    Obj
+      [
+        ("hits", Int s.Svc_cache.hits);
+        ("misses", Int s.Svc_cache.misses);
+        ("stores", Int s.Svc_cache.stores);
+        ("quarantined", Int s.Svc_cache.quarantined);
+      ]
+  in
+  Obj
+    [
+      ("programs", Int sv.sv_programs);
+      ( "throughput",
+        Arr
+          (List.map
+             (fun r ->
+               Obj
+                 [
+                   ("jobs", Int r.sr_jobs);
+                   ("wall_ms", Float r.sr_wall_ms);
+                   ("programs_per_sec", Float r.sr_per_sec);
+                 ])
+             sv.sv_runs) );
+      ( "cache",
+        Obj
+          [
+            ("cold", stats_obj sv.sv_cold);
+            ("warm", stats_obj sv.sv_warm);
+            ("warm_hit_rate", Float sv.sv_warm_hit_rate);
+            ("cold_wall_ms", Float sv.sv_cold_wall_ms);
+            ("warm_wall_ms", Float sv.sv_warm_wall_ms);
+          ] );
+    ]
+
+
 (* Machine-readable record of this run — committed as BENCH_<date>.json
    so the repository accumulates a perf trajectory and CI can detect
    regressions against it with [fjc bench diff] (see EXPERIMENTS.md
    for the schema). *)
-let bench_json ~quick ~metrics (groups : (string * measurement list) list) =
+let bench_json ~quick ~metrics ~service (groups : (string * measurement list) list)
+    =
   let open Telemetry.Json in
   let program_json group (m : measurement) =
     Obj
@@ -580,11 +728,16 @@ let bench_json ~quick ~metrics (groups : (string * measurement list) list) =
          exercised — additive fj-bench/1 field, same shape as the
          [fj-cover/1] summary. *)
       ("coverage", Coverage.summary_json coverage);
+      (* Compile-service throughput and cache hit rate — additive
+         fj-bench/1 field, informational (never gated on). *)
+      ("service", service_json service);
       ("failures", Arr (List.map (fun m -> Str m) (List.rev !failures)));
     ])
 
-let write_json path ~quick ~metrics groups =
-  let json = Telemetry.Json.to_string (bench_json ~quick ~metrics groups) in
+let write_json path ~quick ~metrics ~service groups =
+  let json =
+    Telemetry.Json.to_string (bench_json ~quick ~metrics ~service groups)
+  in
   match open_out path with
   | exception Sys_error m -> fail "cannot write %s: %s" path m
   | oc ->
@@ -704,10 +857,11 @@ let () =
   machine_table ();
   cc_ablation ();
   cps_table ();
+  let service = service_table () in
   if not quick then bechamel_benches ();
   (match json_path with
   | Some path ->
-      write_json path ~quick ~metrics
+      write_json path ~quick ~metrics ~service
         [ ("spectral", m1); ("real", m2); ("shootout", m3) ]
   | None -> ());
   let rc = report_failures () in

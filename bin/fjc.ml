@@ -203,41 +203,29 @@ let policy_flag =
    for the recovery machinery. *)
 let fault_conv =
   let parse s =
-    match String.rindex_opt s ':' with
-    | None ->
-        Error
-          (`Msg
-            (Fmt.str
-               "expected POINT:BEHAVIOUR (points: %s; behaviours: raise, \
-                ill-typed, burn-fuel, grow)"
-               (String.concat ", " Fault.points)))
-    | Some i -> (
-        let point = String.sub s 0 i in
-        let beh = String.sub s (i + 1) (String.length s - i - 1) in
-        match Fault.behaviour_of_string beh with
-        | None -> Error (`Msg (Fmt.str "unknown behaviour %S" beh))
-        | Some b ->
-            if List.mem point Fault.points then Ok (point, b)
-            else
-              Error
-                (`Msg
-                  (Fmt.str "unknown fault point %S (known: %s)" point
-                     (String.concat ", " Fault.points))))
+    match Fault.parse_spec s with Ok v -> Ok v | Error m -> Error (`Msg m)
   in
-  let print ppf (p, b) = Fmt.pf ppf "%s:%s" p (Fault.behaviour_name b) in
+  let print ppf (p, b, limit) =
+    match limit with
+    | None -> Fmt.pf ppf "%s:%s" p (Fault.behaviour_name b)
+    | Some n -> Fmt.pf ppf "%s:%s:%d" p (Fault.behaviour_name b) n
+  in
   Arg.conv (parse, print)
 
 let fault_flag =
   Arg.(
     value & opt_all fault_conv []
-    & info [ "fault" ] ~docv:"POINT:BEHAVIOUR"
+    & info [ "fault" ] ~docv:"POINT:BEHAVIOUR[:N]"
         ~doc:
-          "Arm a named fault-injection point inside the optimizer (e.g. \
-           $(b,simplify/result:raise)); repeatable. Under the default \
-           recover policy the failing pass is rolled back; under \
+          "Arm a named fault-injection point inside the optimizer or the \
+           compile service (e.g. $(b,simplify/result:raise), \
+           $(b,service/worker:raise:2)); repeatable. An optional $(b,:N) \
+           bounds how many times the point fires before auto-disarming (a \
+           transient fault the retry machinery must absorb). Under the \
+           default recover policy a failing pass is rolled back; under \
            $(b,--strict) compilation aborts.")
 
-let arm_faults faults = List.iter (fun (p, b) -> Fault.arm p b) faults
+let arm_faults faults = List.iter (fun (p, b, limit) -> Fault.arm ?limit p b) faults
 
 let report_incidents (r : Pipeline.report) =
   List.iter
@@ -1124,6 +1112,10 @@ let fuzz_cmd =
   let run seed count size fuel out verbose heartbeat flight want_cover
       guided absint cover_out corpus_out faults =
     arm_faults faults;
+    (* A soak must die gracefully: the first SIGINT/SIGTERM finishes the
+       case in flight, flushes the flight recorder and any partial
+       results, and exits 130/143; a second signal exits immediately. *)
+    Fj_service.Shutdown.install ();
     (* Flight recorder: heartbeats go to stderr so they interleave with
        (rather than corrupt) the per-case progress on stdout. *)
     let on_heartbeat hb =
@@ -1165,7 +1157,9 @@ let fuzz_cmd =
     in
     let s =
       Fuzz.run ~size ~fuel ~on_case ?recorder ?cover ~guided ~absint
-        ~on_interesting ~seed ~count ()
+        ~on_interesting
+        ~should_stop:(fun () -> Fj_service.Shutdown.requested () <> None)
+        ~seed ~count ()
     in
     let flight_rc =
       match (flight, recorder) with
@@ -1209,8 +1203,21 @@ let fuzz_cmd =
           s.Fuzz.failures);
     (* Exit-code contract: finding a counterexample is always exit 3,
        whether or not --out / --flight / --cover-out also ran (their
-       write failures surface as exit 1 only on otherwise-clean runs). *)
-    if s.Fuzz.failures <> [] then 3 else max flight_rc cover_rc
+       write failures surface as exit 1 only on otherwise-clean runs).
+       An interrupted but counterexample-free soak exits with the
+       signal's code (130/143) — after everything above has flushed. *)
+    let shutdown_rc =
+      match Fj_service.Shutdown.requested () with
+      | None -> 0
+      | Some r ->
+          Fmt.epr "fjc: fuzz: interrupted after %d case(s); partial results \
+                   flushed@."
+            s.Fuzz.cases;
+          Fj_service.Shutdown.exit_code r
+    in
+    if s.Fuzz.failures <> [] then 3
+    else if shutdown_rc <> 0 then shutdown_rc
+    else max flight_rc cover_rc
   in
   let seed_flag =
     Arg.(
@@ -1326,6 +1333,12 @@ let fuzz_cmd =
       ~doc:
         "a counterexample was found (reported, minimized, and written out \
          when $(b,--out) is given)."
+    :: Cmd.Exit.info 130
+         ~doc:
+           "interrupted by SIGINT: the case in flight finished, the flight \
+            recording and partial results were flushed, and no \
+            counterexample had been found (a counterexample still exits 3)."
+    :: Cmd.Exit.info 143 ~doc:"terminated by SIGTERM; same drain as 130."
     :: Cmd.Exit.defaults
   in
   Cmd.v (Cmd.info "fuzz" ~doc ~exits)
@@ -1334,6 +1347,369 @@ let fuzz_cmd =
       $ verbose_flag $ heartbeat_flag $ flight_flag $ cover_flag
       $ cover_guided_flag $ absint_flag $ cover_out_flag $ corpus_out_flag
       $ fault_flag)
+
+(* ------------------------------------------------------------------ *)
+(* batch / serve — the fault-tolerant compile service                  *)
+(* ------------------------------------------------------------------ *)
+
+module Service = Fj_service.Service
+module Shutdown = Fj_service.Shutdown
+module Svc_budget = Fj_service.Budget
+module Svc_cache = Fj_service.Cache
+
+(* Shared service knobs (batch and serve take the same set). *)
+
+let jobs_flag =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Supervised worker domains draining the request queue.")
+
+let queue_flag =
+  Arg.(
+    value & opt int 256
+    & info [ "queue" ] ~docv:"N"
+        ~doc:
+          "Admission queue capacity. A request beyond it is $(i,shed) — a \
+           structured rejection, never an unbounded queue or a hang.")
+
+let deadline_flag =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-attempt wall-clock deadline, enforced by a cooperative \
+           watchdog on the optimizer's tick stream. Expiry is a transient \
+           failure: retried with backoff, then degraded.")
+
+let pass_fuel_flag =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "pass-fuel" ] ~docv:"N"
+        ~doc:
+          "Per-pass tick budget (the Guard fuel limit); default as \
+           $(b,fjc check).")
+
+let attempts_flag =
+  Arg.(
+    value & opt int 2
+    & info [ "attempts" ] ~docv:"N"
+        ~doc:
+          "Attempts per degradation rung (full pipeline, then baseline, \
+           then parse+typecheck only) before stepping down.")
+
+let backoff_flag =
+  Arg.(
+    value & opt float 25.0
+    & info [ "backoff-ms" ] ~docv:"MS"
+        ~doc:
+          "Base of the jittered exponential backoff slept between retries \
+           of a transient failure.")
+
+let backoff_max_flag =
+  Arg.(
+    value & opt float 250.0
+    & info [ "backoff-max-ms" ] ~docv:"MS" ~doc:"Backoff ceiling.")
+
+let service_seed_flag =
+  Arg.(
+    value & opt int 0
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Determinises the backoff jitter (and nothing else — outputs are \
+           byte-identical at any seed).")
+
+let cache_dir_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~doc:
+          "Content-addressed pass cache directory (created if missing). \
+           Entries are integrity-checked on read: a corrupt entry is \
+           quarantined and recomputed, never served.")
+
+let isolate_flag =
+  Arg.(
+    value & flag
+    & info [ "isolate" ]
+        ~doc:
+          "Fork one child process per attempt so a crashing compilation \
+           cannot take the service down (implies $(b,--jobs 1)).")
+
+(* Build a Service.config from the shared knobs. [datacons] in the
+   pipeline template is irrelevant — the service overrides it per
+   request from each source's own datacon environment. *)
+let service_config jobs queue attempts backoff backoff_max seed deadline
+    pass_fuel mode iters inline_threshold dup_threshold policy no_prelude
+    cache_dir isolate =
+  let base = Service.default_config () in
+  let budget =
+    {
+      base.Service.budget with
+      Svc_budget.wall_ms = deadline;
+      fuel =
+        (match pass_fuel with
+        | Some _ as f -> f
+        | None -> base.Service.budget.Svc_budget.fuel);
+    }
+  in
+  let pipeline =
+    Pipeline.default_config ~mode ~iterations:iters ~inline_threshold
+      ~dup_threshold ~policy ()
+  in
+  let cache = Option.map (fun dir -> Svc_cache.create ~dir ()) cache_dir in
+  {
+    Service.jobs;
+    queue_capacity = queue;
+    attempts_per_rung = attempts;
+    backoff_base_ms = backoff;
+    backoff_max_ms = backoff_max;
+    seed;
+    budget;
+    pipeline;
+    no_prelude;
+    cache;
+    isolate;
+  }
+
+(* Expand FILE|DIR arguments and --manifest lines into (id, path)
+   pairs. A directory contributes its *.fj / *.sexp entries in sorted
+   order; a path that does not exist is kept — the service rejects it
+   as a structured per-request failure rather than aborting the batch.
+   Ids are sanitized paths, deduplicated deterministically. *)
+let gather_sources inputs manifest =
+  let manifest_lines =
+    match manifest with
+    | None -> Ok []
+    | Some f -> (
+        match read_file f with
+        | exception Sys_error m -> Error m
+        | s ->
+            Ok
+              (String.split_on_char '\n' s |> List.map String.trim
+              |> List.filter (fun l -> l <> "" && l.[0] <> '#')))
+  in
+  match manifest_lines with
+  | Error _ as e -> e
+  | Ok lines ->
+      let expand p =
+        match Sys.is_directory p with
+        | exception Sys_error _ -> [ p ]
+        | false -> [ p ]
+        | true ->
+            Sys.readdir p |> Array.to_list |> List.sort String.compare
+            |> List.filter (fun f ->
+                   Filename.check_suffix f ".fj"
+                   || Filename.check_suffix f ".sexp")
+            |> List.map (Filename.concat p)
+      in
+      let paths = List.concat_map expand (inputs @ lines) in
+      let seen = Hashtbl.create 16 in
+      Ok
+        (List.map
+           (fun p ->
+             let base = Service.sanitize_id p in
+             let id =
+               match Hashtbl.find_opt seen base with
+               | None ->
+                   Hashtbl.add seen base 1;
+                   base
+               | Some n ->
+                   Hashtbl.replace seen base (n + 1);
+                   Fmt.str "%s.%d" base n
+             in
+             (id, p))
+           paths)
+
+let service_exits =
+  Cmd.Exit.info 1
+    ~doc:
+      "some request was rejected (permanent failure), exhausted every \
+       retry/degradation rung, or was dropped by a shutdown drain."
+  :: Cmd.Exit.info 3
+       ~doc:
+         "some request was shed at admission because the queue was full \
+          (takes precedence over 1)."
+  :: Cmd.Exit.info 130
+       ~doc:
+         "interrupted by SIGINT: in-flight requests finished, the rest \
+          were dropped, and partial results were written."
+  :: Cmd.Exit.info 143 ~doc:"terminated by SIGTERM; same drain as 130."
+  :: Cmd.Exit.defaults
+
+let batch_cmd =
+  let doc =
+    "Compile a batch of files through the fault-tolerant compile service: \
+     supervised parallel workers, per-request deadlines, retry with \
+     jittered backoff, graceful degradation, and an integrity-checked \
+     pass cache."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Every admitted request ends in exactly one structured outcome: \
+         $(b,compiled) (possibly on a degraded rung), $(b,rejected) (a \
+         permanent input failure), $(b,exhausted) (every rung failed every \
+         attempt), $(b,shed) (refused at admission), or $(b,dropped) (a \
+         shutdown drain). Per-request artifacts ($(i,ID).sexp and \
+         $(i,ID).meta.json) carry only deterministic fields — they are \
+         byte-identical at any $(b,--jobs) level, cold or warm cache; \
+         timings and cache statistics live in results.json.";
+    ]
+  in
+  let inputs_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"PATH"
+          ~doc:
+            "Source files, or directories scanned (sorted) for *.fj and \
+             *.sexp.")
+  in
+  let manifest_flag =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "manifest" ] ~docv:"FILE"
+          ~doc:
+            "Read request paths from $(docv), one per line ($(b,#) \
+             comments and blank lines ignored), after the positional \
+             arguments.")
+  in
+  let out_flag =
+    Arg.(
+      value & opt string "_batch"
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:
+            "Output directory: per-request $(i,ID).sexp and \
+             $(i,ID).meta.json plus results.json (schema $(b,fj-batch/1)).")
+  in
+  let run inputs manifest out jobs queue attempts backoff backoff_max seed
+      deadline pass_fuel mode iters inline_threshold dup_threshold policy
+      no_prelude cache_dir isolate faults =
+    arm_faults faults;
+    Shutdown.install ();
+    match gather_sources inputs manifest with
+    | Error m ->
+        Fmt.epr "fjc: batch: %s@." m;
+        1
+    | Ok [] ->
+        Fmt.epr "fjc: batch: no sources (give FILEs, DIRs, or --manifest)@.";
+        1
+    | Ok sources ->
+        let cfg =
+          service_config jobs queue attempts backoff backoff_max seed
+            deadline pass_fuel mode iters inline_threshold dup_threshold
+            policy no_prelude cache_dir isolate
+        in
+        let b = Service.run_batch cfg sources in
+        Service.write_batch cfg ~dir:out b;
+        let n name =
+          List.length
+            (List.filter
+               (fun (o : Service.outcome) ->
+                 String.equal (Service.status_name o.Service.status) name)
+               b.Service.b_outcomes)
+        in
+        let degraded =
+          List.length
+            (List.filter
+               (fun (o : Service.outcome) ->
+                 match o.Service.status with
+                 | Service.Compiled a -> a.Service.a_rung <> Service.Full
+                 | _ -> false)
+               b.Service.b_outcomes)
+        in
+        Fmt.pr
+          "batch: %d request(s) in %.0fms: %d compiled (%d degraded), %d \
+           rejected, %d exhausted, %d shed, %d dropped; %d worker \
+           respawn(s)@."
+          (List.length b.Service.b_outcomes)
+          b.Service.b_wall_ms (n "compiled") degraded (n "rejected")
+          (n "exhausted") (n "shed") (n "dropped") b.Service.b_respawns;
+        (match cfg.Service.cache with
+        | None -> ()
+        | Some c ->
+            let s = Svc_cache.stats c in
+            Fmt.pr
+              "batch: cache: %d hit(s), %d miss(es), %d store(s), %d \
+               quarantined (hit rate %.0f%%)@."
+              s.Svc_cache.hits s.Svc_cache.misses s.Svc_cache.stores
+              s.Svc_cache.quarantined
+              (100.0 *. Svc_cache.hit_rate c));
+        (match b.Service.b_shutdown with
+        | None -> ()
+        | Some _ -> Fmt.epr "fjc: batch: interrupted; partial results in %s@." out);
+        Fmt.pr "fjc: wrote %s@." (Filename.concat out "results.json");
+        Service.batch_exit_code b
+  in
+  Cmd.v
+    (Cmd.info "batch" ~doc ~man ~exits:service_exits)
+    Term.(
+      const run $ inputs_arg $ manifest_flag $ out_flag $ jobs_flag
+      $ queue_flag $ attempts_flag $ backoff_flag $ backoff_max_flag
+      $ service_seed_flag $ deadline_flag $ pass_fuel_flag $ mode_flag
+      $ iters_flag $ inline_threshold_flag $ dup_threshold_flag
+      $ policy_flag $ no_prelude_flag $ cache_dir_flag $ isolate_flag
+      $ fault_flag)
+
+let serve_cmd =
+  let doc =
+    "Run the compile service on a newline-delimited request stream \
+     (stdin/stdout, or a Unix-domain socket with $(b,--socket))."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Each request line is $(i,PATH) or $(i,ID), a tab, and $(i,PATH); \
+         each \
+         response line is one JSON object with at least $(b,id) and \
+         $(b,status) ($(b,compiled) responses add $(b,rung), \
+         $(b,output_size) and the output s-expression; failures add \
+         $(b,error) and $(b,detail)). Responses may interleave across \
+         requests at $(b,--jobs) > 1 — correlate on $(b,id). The server \
+         returns on end of input or on SIGINT/SIGTERM, draining in-flight \
+         requests either way.";
+    ]
+  in
+  let socket_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket at $(docv) (one client at a \
+             time) instead of stdin/stdout.")
+  in
+  let run socket jobs queue attempts backoff backoff_max seed deadline
+      pass_fuel mode iters inline_threshold dup_threshold policy no_prelude
+      cache_dir isolate faults =
+    arm_faults faults;
+    Shutdown.install ();
+    let cfg =
+      service_config jobs queue attempts backoff backoff_max seed deadline
+        pass_fuel mode iters inline_threshold dup_threshold policy
+        no_prelude cache_dir isolate
+    in
+    let reason =
+      match socket with
+      | None -> Service.serve cfg ~input:stdin ~output:stdout
+      | Some path -> Service.serve_socket cfg ~path
+    in
+    match reason with None -> 0 | Some r -> Shutdown.exit_code r
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc ~man ~exits:service_exits)
+    Term.(
+      const run $ socket_flag $ jobs_flag $ queue_flag $ attempts_flag
+      $ backoff_flag $ backoff_max_flag $ service_seed_flag $ deadline_flag
+      $ pass_fuel_flag $ mode_flag $ iters_flag $ inline_threshold_flag
+      $ dup_threshold_flag $ policy_flag $ no_prelude_flag $ cache_dir_flag
+      $ isolate_flag $ fault_flag)
 
 (* ------------------------------------------------------------------ *)
 (* bench                                                               *)
@@ -1466,4 +1842,4 @@ let () =
        (Cmd.group ~default info
           [ check_cmd; run_cmd; dump_cmd; trace_cmd; stats_cmd; profile_cmd;
             explain_cmd; erase_cmd; lower_cmd; cps_cmd; sexp_cmd; cover_cmd;
-            fuzz_cmd; bench_cmd ]))
+            fuzz_cmd; batch_cmd; serve_cmd; bench_cmd ]))

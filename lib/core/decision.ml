@@ -121,18 +121,19 @@ type t = { mutable events_rev : event list; mutable n : int }
 
 let create () = { events_rev = []; n = 0 }
 
-(* The innermost installed ledger, if any. *)
-let current : t option ref = ref None
+(* The innermost installed ledger, if any. Domain-local, like every
+   dynamically-scoped collector, so parallel workers never race. *)
+let current : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
 let with_ledger l f =
-  let saved = !current in
-  current := Some l;
-  Fun.protect ~finally:(fun () -> current := saved) f
+  let saved = Domain.DLS.get current in
+  Domain.DLS.set current (Some l);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current saved) f
 
-let enabled () = Option.is_some !current
+let enabled () = Option.is_some (Domain.DLS.get current)
 
 let record ~pass action ~site verdict =
-  match !current with
+  match Domain.DLS.get current with
   | None -> ()
   | Some l ->
       l.events_rev <-
@@ -222,3 +223,83 @@ let summary_json es =
       ("rejected", Int (rejected es));
       ("counts", Obj (List.map (fun (k, n) -> (k, Int n)) (summary es)));
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Parsing (the exact inverse of event_json) — what lets a cached     *)
+(* pass replay its ledger entries so warm compiles keep byte-         *)
+(* identical decision ledgers.                                        *)
+(* ------------------------------------------------------------------ *)
+
+let all_actions =
+  [
+    Inline; Pre_inline; Dup_alt; Demote; Contify; Cse; Strict_let; Strict_arg;
+    Spec_constr; Float_in; Float_out;
+  ]
+
+let action_of_name name =
+  List.find_opt (fun a -> String.equal (action_name a) name) all_actions
+
+let reason_of_json fields =
+  let int k =
+    match List.assoc_opt k fields with
+    | Some (Telemetry.Json.Int n) -> Some n
+    | _ -> None
+  in
+  match List.assoc_opt "reason" fields with
+  | Some (Telemetry.Json.Str name) -> (
+      match name with
+      | "inline_too_big" -> (
+          match (int "size", int "threshold") with
+          | Some size, Some threshold -> Some (Inline_too_big { size; threshold })
+          | _ -> None)
+      | "uninformative_context" -> Some Uninformative_context
+      | "occurs_many" -> (
+          match int "count" with
+          | Some count -> Some (Occurs_many { count })
+          | None -> None)
+      | "escapes_under_lambda" -> Some Escapes_under_lambda
+      | "loop_breaker" -> Some Loop_breaker
+      | "dup_threshold_shared" -> (
+          match (int "size", int "threshold") with
+          | Some size, Some threshold ->
+              Some (Dup_threshold_shared { size; threshold })
+          | _ -> None)
+      | "not_all_tail_calls" -> Some Not_all_tail_calls
+      | "shape_mismatch" -> Some Shape_mismatch
+      | "rhs_arity_mismatch" -> Some Rhs_arity_mismatch
+      | "nullary_candidate" -> Some Nullary_candidate
+      | "scope_type_mismatch" -> Some Scope_type_mismatch
+      | "already_whnf" -> Some Already_whnf
+      | "no_common_constructor" -> Some No_common_constructor
+      | "no_unique_use_site" -> Some No_unique_use_site
+      | "mentions_lambda_binder" -> Some Mentions_lambda_binder
+      | _ -> None)
+  | _ -> None
+
+let event_of_json = function
+  | Telemetry.Json.Obj fields -> (
+      let str k =
+        match List.assoc_opt k fields with
+        | Some (Telemetry.Json.Str s) -> Some s
+        | _ -> None
+      in
+      match (str "pass", str "action", str "site", str "verdict") with
+      | Some d_pass, Some action, Some d_site, Some verdict -> (
+          match (action_of_name action, verdict) with
+          | Some d_action, "fired" ->
+              Some { d_pass; d_action; d_site; d_verdict = Fired }
+          | Some d_action, "rejected" ->
+              Option.map
+                (fun r -> { d_pass; d_action; d_site; d_verdict = Rejected r })
+                (reason_of_json fields)
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* Append a pre-built event verbatim (the cache-replay path). *)
+let record_event e =
+  match Domain.DLS.get current with
+  | None -> ()
+  | Some l ->
+      l.events_rev <- e :: l.events_rev;
+      l.n <- l.n + 1

@@ -130,6 +130,11 @@ val enabled : unit -> bool
     none is installed. *)
 val record : pass:string -> action -> site:string -> verdict -> unit
 
+(** Append a pre-built event verbatim — the pass cache's replay hook:
+    a cache hit re-records the stored events so cold and warm compiles
+    carry byte-identical ledgers. No-op when no ledger is installed. *)
+val record_event : event -> unit
+
 (** {1 Reading} *)
 
 (** Events in the order they were recorded. *)
@@ -162,6 +167,11 @@ val summary : event list -> (string * int) list
 (** [{pass, action, site, verdict}] plus, for rejections, [reason] and
     its payload fields ([size], [threshold], [count]). *)
 val event_json : event -> Telemetry.Json.t
+
+(** The exact inverse of {!event_json}; [None] on an unknown shape.
+    Used by the content-addressed pass cache to round-trip ledger
+    entries through disk. *)
+val event_of_json : Telemetry.Json.t -> event option
 
 (** [{fired, rejected, counts: {key: n}}] over the given events. *)
 val summary_json : event list -> Telemetry.Json.t

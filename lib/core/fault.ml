@@ -17,7 +17,7 @@ let behaviour_of_string = function
 
 exception Injected of string
 
-let points =
+let pass_points =
   [
     "simplify/input";
     "simplify/result";
@@ -28,29 +28,46 @@ let points =
     "spec-constr/result";
   ]
 
-let armed_tbl : (string, behaviour) Hashtbl.t = Hashtbl.create 7
-let fired_rev : string list ref = ref []
+(* Service-layer points, triggered via {!trigger} rather than
+   {!point}: the worker loop, the cache write path, and the pass
+   harness's deadline all consult them to prove the supervision /
+   quarantine / watchdog machinery has teeth. *)
+let service_points = [ "service/worker"; "service/cache"; "service/slow-pass" ]
+let points = pass_points @ service_points
 
+(* Armed state: behaviour plus an optional remaining-fire budget
+   ([None] = unlimited). Everything under one mutex: the compile
+   service arms points before spawning workers, but [trigger]/[point]
+   run concurrently on every worker domain, and a budget decrement
+   must be atomic or two workers could both claim the last fire. *)
+type armed_state = { a_beh : behaviour; mutable a_left : int option }
+
+let lock = Mutex.create ()
+let armed_tbl : (string, armed_state) Hashtbl.t = Hashtbl.create 11
+let fired_rev : string list ref = ref []
+let locked f = Mutex.protect lock f
 let known name = List.mem name points
 
-let arm name b =
+let arm ?limit name b =
   if not (known name) then
     invalid_arg
       (Fmt.str "Fault.arm: unknown point %S (known: %s)" name
          (String.concat ", " points));
-  Hashtbl.replace armed_tbl name b
+  locked (fun () ->
+      Hashtbl.replace armed_tbl name { a_beh = b; a_left = limit })
 
-let disarm name = Hashtbl.remove armed_tbl name
-let disarm_all () = Hashtbl.reset armed_tbl
+let disarm name = locked (fun () -> Hashtbl.remove armed_tbl name)
+let disarm_all () = locked (fun () -> Hashtbl.reset armed_tbl)
 
 let armed () =
-  List.filter_map
-    (fun p ->
-      Option.map (fun b -> (p, b)) (Hashtbl.find_opt armed_tbl p))
-    points
+  locked (fun () ->
+      List.filter_map
+        (fun p ->
+          Option.map (fun s -> (p, s.a_beh)) (Hashtbl.find_opt armed_tbl p))
+        points)
 
-let fired () = List.rev !fired_rev
-let reset_fired () = fired_rev := []
+let fired () = locked (fun () -> List.rev !fired_rev)
+let reset_fired () = locked (fun () -> fired_rev := [])
 
 let with_armed arms f =
   let saved = armed () in
@@ -63,6 +80,54 @@ let with_armed arms f =
       reset_fired ();
       List.iter (fun (p, b) -> arm p b) arms;
       f ())
+
+(* [POINT:BEHAVIOUR] or [POINT:BEHAVIOUR:N] (fire at most N times,
+   then auto-disarm — how a drill injects a transient fault the
+   retry path must absorb, rather than a permanent one it can't). *)
+let parse_spec s =
+  let fail msg = Error msg in
+  match String.split_on_char ':' s with
+  | [ _ ] | [] ->
+      fail
+        (Fmt.str
+           "expected POINT:BEHAVIOUR[:N] (points: %s; behaviours: raise, \
+            ill-typed, burn-fuel, grow)"
+           (String.concat ", " points))
+  | point :: beh :: rest -> (
+      match behaviour_of_string beh with
+      | None -> fail (Fmt.str "unknown behaviour %S" beh)
+      | Some b ->
+          if not (known point) then
+            fail
+              (Fmt.str "unknown fault point %S (known: %s)" point
+                 (String.concat ", " points))
+          else (
+            match rest with
+            | [] -> Ok (point, b, None)
+            | [ n ] -> (
+                match int_of_string_opt n with
+                | Some n when n > 0 -> Ok (point, b, Some n)
+                | _ -> fail (Fmt.str "fire limit must be a positive int: %S" n))
+            | _ -> fail "expected POINT:BEHAVIOUR[:N]"))
+
+(* The armed-behaviour claim shared by [point] and [trigger]: consult
+   the table, burn one unit of the fire budget (auto-disarming at 0),
+   and record the firing. *)
+let claim name =
+  if not (known name) then
+    invalid_arg (Fmt.str "Fault.trigger: unknown point %S" name);
+  locked (fun () ->
+      match Hashtbl.find_opt armed_tbl name with
+      | None -> None
+      | Some st ->
+          (match st.a_left with
+          | None -> ()
+          | Some 1 -> Hashtbl.remove armed_tbl name
+          | Some n -> st.a_left <- Some (n - 1));
+          fired_rev := name :: !fired_rev;
+          Some st.a_beh)
+
+let trigger name = claim name
 
 (* A characteristically ill-typed tree: applying an integer literal.
    Lint rejects it at the root, whatever [e] is. *)
@@ -91,12 +156,9 @@ let grow (e : Syntax.expr) : Syntax.expr =
 let burn_iters = 50_000_000
 
 let point name (e : Syntax.expr) : Syntax.expr =
-  if not (known name) then
-    invalid_arg (Fmt.str "Fault.point: unknown point %S" name);
-  match Hashtbl.find_opt armed_tbl name with
+  match claim name with
   | None -> e
   | Some b -> (
-      fired_rev := name :: !fired_rev;
       match b with
       | Raise -> raise (Injected name)
       | Ill_typed -> corrupt e

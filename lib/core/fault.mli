@@ -17,7 +17,25 @@
 
     The registry is global mutable state (the points live inside pass
     code with no configuration path); use {!with_armed} to scope the
-    arming, and {!fired} to assert a point actually triggered. *)
+    arming, and {!fired} to assert a point actually triggered. The
+    whole registry is mutex-protected: the compile service arms points
+    before spawning workers, but every worker domain consults (and,
+    with a fire limit, decrements) the table concurrently.
+
+    Beyond the pass points, three {e service-layer} points exercise
+    the compile-service robustness machinery; they are consulted via
+    {!trigger} (the caller implements the misbehaviour, since it is
+    not a tree transformation):
+
+    - ["service/worker"] — the worker loop crashes mid-request
+      ([Raise]; any other behaviour is treated the same), proving
+      supervision: respawn, re-queue, retry;
+    - ["service/cache"] — the cache write path corrupts the entry body
+      on disk, proving integrity verification: quarantine + recompute,
+      never serve;
+    - ["service/slow-pass"] — the request burns its wall-clock
+      deadline, proving the watchdog: deadline expiry is a transient
+      failure with retry/degrade, never a hang. *)
 
 type behaviour = Raise | Ill_typed | Burn_fuel | Grow
 
@@ -32,8 +50,22 @@ exception Injected of string
 (** Every failure point compiled into the passes, in display order. *)
 val points : string list
 
-(** Arm a point. @raise Invalid_argument on an unknown point name. *)
-val arm : string -> behaviour -> unit
+(** The tree-valued pass points ({!point}). *)
+val pass_points : string list
+
+(** The service-layer points ({!trigger}). *)
+val service_points : string list
+
+(** Arm a point. [limit] (if given, positive) bounds how many times
+    the point fires before auto-disarming — the syntax for injecting
+    a {e transient} fault the retry path must absorb, as opposed to a
+    permanent one it cannot.
+    @raise Invalid_argument on an unknown point name. *)
+val arm : ?limit:int -> string -> behaviour -> unit
+
+(** Parse a [--fault] spec: [POINT:BEHAVIOUR] or [POINT:BEHAVIOUR:N]
+    (fire at most [N] times). *)
+val parse_spec : string -> (string * behaviour * int option, string) result
 
 val disarm : string -> unit
 val disarm_all : unit -> unit
@@ -57,3 +89,12 @@ val with_armed : (string * behaviour) list -> (unit -> 'a) -> 'a
     @raise Invalid_argument on an unknown point name, so a typo in a
     pass cannot silently create an unarmable point. *)
 val point : string -> Syntax.expr -> Syntax.expr
+
+(** The hook the service layer calls: [trigger name] claims one firing
+    of [name] if armed (burning a unit of its fire budget, recording
+    it in {!fired}) and returns the behaviour for the {e caller} to
+    enact — service misbehaviours (crash the worker, corrupt the
+    bytes, burn the deadline) are not tree transformations, so the
+    registry cannot enact them itself.
+    @raise Invalid_argument on an unknown point name. *)
+val trigger : string -> behaviour option

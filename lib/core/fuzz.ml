@@ -338,17 +338,25 @@ let pool_cap = 32
 
 let run ?(size = Gen.default_size) ?(fuel = default_fuel)
     ?(on_case = fun _ _ -> ()) ?recorder ?cover ?(guided = false)
-    ?(absint = false) ?(on_interesting = fun _ _ -> ()) ~seed ~count () :
-    summary =
+    ?(absint = false) ?(on_interesting = fun _ _ -> ())
+    ?(should_stop = fun () -> false) ~seed ~count () : summary =
   let passed = ref 0 and skipped = ref 0 and failures = ref [] in
+  let ran = ref 0 in
   let interesting = ref 0 in
   let pool : string list ref = ref [] in
   (* Mutation choices draw from their own RNG, seeded from [seed]
      alone, so a guided run replays exactly. *)
   let mrng = Random.State.make [| seed; 0x6d75 |] in
   let t_start = Telemetry.now_ms () in
+  (* Raised (locally) when [should_stop] interrupts a soak: the loop
+     unwinds to the final heartbeat so the flight recorder closes with
+     an honest account of the partial run. *)
+  let module M = struct exception Stop end in
   let body () =
-    for i = 0 to count - 1 do
+    (try
+      for i = 0 to count - 1 do
+      if should_stop () then raise_notrace M.Stop;
+      ran := i + 1;
       let case_seed = seed + i in
       let e =
         if guided && !pool <> [] && Random.State.bool mrng then begin
@@ -436,12 +444,13 @@ let run ?(size = Gen.default_size) ?(fuel = default_fuel)
             ~passed:!passed ~skipped:!skipped
             ~incidents:(List.length !failures) ~cover
       | _ -> ()
-    done;
-    (* Always close with a final heartbeat: even a short smoke run
-       leaves one line saying what happened. *)
+      done
+    with M.Stop -> ());
+    (* Always close with a final heartbeat: even a short smoke run (or
+       an interrupted soak) leaves one line saying what happened. *)
     match recorder with
-    | Some r when count > 0 ->
-        emit_heartbeat r ~t_start ~cases:count ~total:count ~passed:!passed
+    | Some r when !ran > 0 || count > 0 ->
+        emit_heartbeat r ~t_start ~cases:!ran ~total:count ~passed:!passed
           ~skipped:!skipped ~incidents:(List.length !failures) ~cover
     | _ -> ()
   in
@@ -451,7 +460,7 @@ let run ?(size = Gen.default_size) ?(fuel = default_fuel)
       Span.with_collector r.r_spans (fun () ->
           Metrics.with_registry r.r_metrics body));
   {
-    cases = count;
+    cases = !ran;
     passed = !passed;
     skipped = !skipped;
     interesting = !interesting;

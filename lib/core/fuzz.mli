@@ -58,7 +58,8 @@ val pp_failure : Format.formatter -> failure -> unit
 val failure_json : failure -> Telemetry.Json.t
 
 type summary = {
-  cases : int;
+  cases : int;  (** Cases actually executed (less than requested when
+                    [should_stop] ended the run early). *)
   passed : int;
   skipped : int;
   interesting : int;
@@ -162,7 +163,13 @@ val flight_json : ?cover:Coverage.t -> recorder -> Telemetry.Json.t
 
     [absint] arms the analysis-soundness oracle (see
     {!check_program}) on every case — including during minimization,
-    so a counterexample shrinks while preserving {e some} failure. *)
+    so a counterexample shrinks while preserving {e some} failure.
+
+    [should_stop] is polled before each case; returning [true] ends
+    the run gracefully — the case in flight is never abandoned, the
+    flight recorder still gets its final heartbeat, and the summary
+    (whose [cases] counts cases actually executed) reports the partial
+    run honestly. This is how a SIGINT/SIGTERM drains a soak. *)
 val run :
   ?size:int ->
   ?fuel:int ->
@@ -172,6 +179,7 @@ val run :
   ?guided:bool ->
   ?absint:bool ->
   ?on_interesting:(int -> Syntax.expr -> unit) ->
+  ?should_stop:(unit -> bool) ->
   seed:int ->
   count:int ->
   unit ->

@@ -108,10 +108,11 @@ exception Cutoff of int
 (* The innermost installed budget: remaining fuel and the original
    budget (for the incident report). Dynamically scoped by [protect];
    [spend] is a no-op outside any budget. *)
-let budget : (int ref * int) option ref = ref None
+let budget : (int ref * int) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
 let spend n =
-  match !budget with
+  match Domain.DLS.get budget with
   | None -> ()
   | Some (remaining, total) ->
       remaining := !remaining - n;
@@ -121,10 +122,10 @@ let with_budget b f =
   match b with
   | None -> Telemetry.with_observer spend f
   | Some total ->
-      let saved = !budget in
-      budget := Some (ref total, total);
+      let saved = Domain.DLS.get budget in
+      Domain.DLS.set budget (Some (ref total, total));
       Fun.protect
-        ~finally:(fun () -> budget := saved)
+        ~finally:(fun () -> Domain.DLS.set budget saved)
         (fun () -> Telemetry.with_observer spend f)
 
 (* ------------------------------------------------------------------ *)

@@ -12,12 +12,39 @@ type t = {
   id : int;  (** Globally unique key; the sole basis of identity. *)
 }
 
-let counter = ref 0
+(** The unique supply. Domain-local rather than process-global: every
+    domain — in particular every compile-service worker — draws from
+    its own counter, so parallel compilations never race on it. A
+    compilation that must be reproducible installs an explicit
+    {!supply} for its extent ({!with_supply}); identical source then
+    allocates identical uniques whichever worker runs it, which is
+    what makes [--jobs 8] output byte-identical to [--jobs 1]. *)
+type supply = int ref
+
+let supply_key : supply Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+let counter () = Domain.DLS.get supply_key
+let new_supply ?(from = 0) () : supply = ref from
+
+let with_supply (s : supply) f =
+  let saved = Domain.DLS.get supply_key in
+  Domain.DLS.set supply_key s;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set supply_key saved) f
+
+(** The last unique the installed supply allocated (0 initially). *)
+let counter_value () = !(counter ())
+
+(** Set the installed supply to exactly [n], as if [n] were the last
+    allocated key. The pass cache uses this to replay a cached pass's
+    supply consumption so cold and warm compiles stay byte-identical;
+    like {!unsafe_reset_counter}, never rewind while terms built under
+    higher keys are still alive. *)
+let restore_counter n = counter () := n
 
 (** [fresh name] allocates a brand-new identifier with hint [name]. *)
 let fresh name =
-  incr counter;
-  { name; id = !counter }
+  let c = counter () in
+  incr c;
+  { name; id = !c }
 
 (** [refresh x] allocates a new identifier with the same name hint as [x]
     but a distinct key. Used when cloning binders during substitution. *)
@@ -62,10 +89,13 @@ module Tbl = Hashtbl.Make (struct
   let hash = hash
 end)
 
-(** Reset the global supply. Only for deterministic test output; never
-    call while terms built under the old supply are still alive. *)
-let unsafe_reset_counter () = counter := 0
+(** Reset the installed supply. Only for deterministic test output;
+    never call while terms built under the old supply are still
+    alive. *)
+let unsafe_reset_counter () = counter () := 0
 
 (** Ensure future {!fresh} keys exceed [n]. Called by deserialisers so
     loaded uniques can never collide with newly allocated ones. *)
-let ensure_above n = if !counter <= n then counter := n + 1
+let ensure_above n =
+  let c = counter () in
+  if !c <= n then c := n + 1

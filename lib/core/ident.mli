@@ -28,7 +28,34 @@ module Map : Map.S with type key = t
 module Set : Set.S with type elt = t
 module Tbl : Hashtbl.S with type key = t
 
-(** Reset the global supply — tests only. *)
+(** {1 The unique supply}
+
+    The supply is {e domain-local}: each domain (each compile-service
+    worker) owns its own counter, and a compilation that must be
+    reproducible installs an explicit supply for its extent. *)
+
+(** An explicit unique supply, installable per compilation. *)
+type supply
+
+(** A fresh supply whose next key is [from + 1] (default: 1). *)
+val new_supply : ?from:int -> unit -> supply
+
+(** [with_supply s f] makes [s] the current domain's supply for the
+    dynamic extent of [f] (nesting saves and restores). Two runs of
+    the same deterministic compilation under fresh supplies allocate
+    identical keys — the per-compilation context the compile service
+    threads through every request. *)
+val with_supply : supply -> (unit -> 'a) -> 'a
+
+(** The last key the current supply allocated (0 initially). *)
+val counter_value : unit -> int
+
+(** Set the current supply to exactly [n] (as if [n] were the last
+    allocated key) — the pass cache's replay hook. Never rewind while
+    terms built under higher keys are alive. *)
+val restore_counter : int -> unit
+
+(** Reset the current supply — tests only. *)
 val unsafe_reset_counter : unit -> unit
 
 (** Ensure future {!fresh} keys exceed [n] (used by deserialisers). *)

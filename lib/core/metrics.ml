@@ -29,15 +29,16 @@ let create () =
     hists_tbl = Hashtbl.create 16;
   }
 
-let current : t option ref = ref None
+(* Domain-local so parallel compile-service workers never race. *)
+let current : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
 let with_registry r f =
-  let saved = !current in
-  current := Some r;
-  Fun.protect ~finally:(fun () -> current := saved) f
+  let saved = Domain.DLS.get current in
+  Domain.DLS.set current (Some r);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current saved) f
 
 let incr ?(by = 1) name =
-  match !current with
+  match Domain.DLS.get current with
   | None -> ()
   | Some r -> (
       match Hashtbl.find_opt r.counters_tbl name with
@@ -45,7 +46,7 @@ let incr ?(by = 1) name =
       | None -> Hashtbl.add r.counters_tbl name (ref by))
 
 let set_gauge name v =
-  match !current with
+  match Domain.DLS.get current with
   | None -> ()
   | Some r -> (
       match Hashtbl.find_opt r.gauges_tbl name with
@@ -53,7 +54,7 @@ let set_gauge name v =
       | None -> Hashtbl.add r.gauges_tbl name (ref v))
 
 let observe name v =
-  match !current with
+  match Domain.DLS.get current with
   | None -> ()
   | Some r ->
       let v = Float.max 0.0 v in

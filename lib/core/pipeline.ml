@@ -27,6 +27,30 @@ let mode_name = function
   | Join_points -> "join-points"
   | No_cc -> "no-commuting-conversions"
 
+(** What the pass cache stores for one (pass, input tree) pair: the
+    output tree plus everything else the pass would have produced —
+    tick firings, ledger entries, and the unique-supply position it
+    left behind — so a hit replays the pass exactly and warm compiles
+    stay byte-identical to cold ones. *)
+type cached_pass = {
+  cp_output : Syntax.expr;
+  cp_ident_after : int;
+  cp_ticks : (string * int) list;
+  cp_decisions : Decision.event list;
+}
+
+(** The memoization hook the compile service installs. The
+    implementation owns the keying (pass label + round-trippable Sexp
+    of the input + supply position + configuration fingerprint) and
+    the integrity story; the pipeline just offers lookups and
+    results. *)
+type pass_cache = {
+  cache_lookup :
+    pass:string -> supply:int -> input:Syntax.expr -> cached_pass option;
+  cache_store :
+    pass:string -> supply:int -> input:Syntax.expr -> cached_pass -> unit;
+}
+
 type config = {
   mode : mode;
   iterations : int;  (** Rounds of (float-in; contify; simplify). *)
@@ -58,15 +82,18 @@ type config = {
           rolled back to the pre-pass tree and recorded as a
           {!Guard.incident} — every optimisation pass is optional. *)
   limits : Guard.limits;  (** Per-pass budgets enforced under [Recover]. *)
+  cache : pass_cache option;
+      (** Pass memoization hook; [None] (the default) recomputes every
+          pass. *)
 }
 
 let default_config ?(mode = Join_points) ?(iterations = 3)
     ?(inline_threshold = 60) ?(dup_threshold = 12) ?(strictness = true)
     ?(cse = true) ?(spec_constr = true) ?(rules = [])
     ?(datacons = Datacon.builtins) ?(lint_every_pass = false)
-    ?(policy = Guard.Strict) ?(limits = Guard.default_limits) () =
+    ?(policy = Guard.Strict) ?(limits = Guard.default_limits) ?cache () =
   { mode; iterations; inline_threshold; dup_threshold; strictness; cse;
-    rules; spec_constr; datacons; lint_every_pass; policy; limits }
+    rules; spec_constr; datacons; lint_every_pass; policy; limits; cache }
 
 exception Pass_broke_lint of string * Lint.error
 
@@ -93,6 +120,7 @@ type pass_record = {
           When set, [size_after] equals [size_before] (the pre-pass
           tree was restored), while [ticks]/[decisions] still describe
           what the failed pass did before being rolled back. *)
+  cached : bool;  (** Replayed from the pass cache rather than run. *)
 }
 
 type report = {
@@ -197,6 +225,7 @@ let pass_record_json (p : pass_record) =
          ("ticks", ticks_json p.ticks);
          ("decisions", Decision.summary_json p.decisions);
        ]
+      @ (if p.cached then [ ("cached", Bool true) ] else [])
       @
       match p.incident with
       | None -> []
@@ -344,6 +373,56 @@ let run_report (c : config) (e : expr) : expr * report =
     let size_before = size e in
     let snap = Telemetry.snapshot report.counters in
     let dsnap = Decision.snapshot report.ledger in
+    (* Pass cache: consult before running. A hit replays the pass
+       verbatim — output tree, tick firings, ledger entries, and the
+       unique-supply position — inside a span of the usual shape, so
+       warm compiles differ from cold ones only in wall-clock. The
+       identity "input" pass is never cached. The supply position is
+       read before anything runs: it is part of the key. *)
+    let supply = Ident.counter_value () in
+    let hit =
+      match c.cache with
+      | Some pc when pass <> "input" -> pc.cache_lookup ~pass ~supply ~input:e
+      | _ -> None
+    in
+    match hit with
+    | Some cp ->
+        let (), duration_ms, gc =
+          Span.with_span_stats ~cat:"pass" pass (fun () ->
+              List.iter
+                (fun (name, n) ->
+                  match Telemetry.tick_of_name name with
+                  | Some t -> Telemetry.tick ~n t
+                  | None -> ())
+                cp.cp_ticks;
+              List.iter Decision.record_event cp.cp_decisions;
+              Ident.restore_counter cp.cp_ident_after;
+              Span.annotate "cached" (Telemetry.Json.Bool true);
+              Span.annotate "size_before" (Telemetry.Json.Int size_before);
+              Span.annotate "size_after"
+                (Telemetry.Json.Int (size cp.cp_output)))
+        in
+        last_good := pass;
+        Metrics.incr "pipeline.passes";
+        Metrics.incr "cache.pass_hits";
+        report.passes_rev <-
+          {
+            pass;
+            duration_ms;
+            lint_ms = 0.0;
+            size_before;
+            size_after = size cp.cp_output;
+            joins_after = count_joins cp.cp_output;
+            shape_after = measure cp.cp_output;
+            gc;
+            ticks = Telemetry.delta_since snap report.counters;
+            decisions = Decision.events_since dsnap report.ledger;
+            incident = None;
+            cached = true;
+          }
+          :: report.passes_rev;
+        cp.cp_output
+    | None ->
     (* The pass runs inside a span whose measured duration {e is} the
        record's [duration_ms] — the exported Perfetto event and the
        trace-JSON field come from the same two clock reads, so they
@@ -394,6 +473,21 @@ let run_report (c : config) (e : expr) : expr * report =
     Metrics.observe "pass.duration_ms" duration_ms;
     Metrics.observe (Fmt.str "pass.%s.ms" family) duration_ms;
     Metrics.observe "pass.alloc_words" (Gcstats.alloc_words gc);
+    let ticks_delta = Telemetry.delta_since snap report.counters in
+    let decisions_delta = Decision.events_since dsnap report.ledger in
+    (* Offer successful, un-rolled-back pass results to the cache.
+       Rolled-back passes are excluded: their stored "result" would be
+       the input tree but their ticks describe the failed attempt. *)
+    (match c.cache with
+    | Some pc when pass <> "input" && incident = None ->
+        pc.cache_store ~pass ~supply ~input:e
+          {
+            cp_output = e';
+            cp_ident_after = Ident.counter_value ();
+            cp_ticks = ticks_delta;
+            cp_decisions = decisions_delta;
+          }
+    | _ -> ());
     report.passes_rev <-
       {
         pass;
@@ -406,9 +500,10 @@ let run_report (c : config) (e : expr) : expr * report =
            allocation must not pollute the pass's GC delta. *)
         shape_after = measure e';
         gc;
-        ticks = Telemetry.delta_since snap report.counters;
-        decisions = Decision.events_since dsnap report.ledger;
+        ticks = ticks_delta;
+        decisions = decisions_delta;
         incident;
+        cached = false;
       }
       :: report.passes_rev;
     e'

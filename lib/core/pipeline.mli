@@ -6,6 +6,39 @@ type mode = Baseline | Join_points | No_cc
 
 val mode_name : mode -> string
 
+(** What the pass cache stores for one (pass, input tree) pair: the
+    output tree plus {e everything else} the pass would have produced
+    — its tick firings, its ledger entries, and the unique-supply
+    position it left behind ({!Ident.counter_value}) — so a cache hit
+    replays the pass exactly and a warm compile stays byte-identical
+    to a cold one (trees, tick counts, and decision ledgers alike). *)
+type cached_pass = {
+  cp_output : Syntax.expr;
+  cp_ident_after : int;
+      (** {!Ident.counter_value} after the pass ran; restored on hit
+          so later passes allocate the same uniques they would have
+          cold. *)
+  cp_ticks : (string * int) list;  (** Ticks the pass fired, by name. *)
+  cp_decisions : Decision.event list;  (** Ledger entries, in order. *)
+}
+
+(** The memoization hook the compile service installs: [lookup] is
+    consulted before each pass runs; [store] is offered every
+    successful, un-rolled-back pass result. [supply] is
+    {!Ident.counter_value} {e before} the pass — part of the cache
+    key, because what a pass produces depends on where the unique
+    supply stands when it starts (the pipeline passes it explicitly
+    since by store time the counter has already moved). The
+    implementation also keys on the pass label, the round-trippable
+    {!Sexp} encoding of [input], and its own configuration
+    fingerprint. The identity ["input"] pass is never cached. *)
+type pass_cache = {
+  cache_lookup :
+    pass:string -> supply:int -> input:Syntax.expr -> cached_pass option;
+  cache_store :
+    pass:string -> supply:int -> input:Syntax.expr -> cached_pass -> unit;
+}
+
 type config = {
   mode : mode;
   iterations : int;
@@ -24,6 +57,9 @@ type config = {
   limits : Guard.limits;
       (** Per-pass fuel / size-growth budgets enforced under
           [Recover]. *)
+  cache : pass_cache option;
+      (** Content-addressed pass memoization (the compile service's
+          {!pass_cache}); [None] (the default) recomputes every pass. *)
 }
 
 val default_config :
@@ -39,6 +75,7 @@ val default_config :
   ?lint_every_pass:bool ->
   ?policy:Guard.policy ->
   ?limits:Guard.limits ->
+  ?cache:pass_cache ->
   unit ->
   config
 
@@ -67,6 +104,9 @@ type pass_record = {
   incident : Guard.incident option;
       (** Under the [Recover] policy: the rollback this pass suffered,
           if any ([size_after] then equals [size_before]). *)
+  cached : bool;
+      (** The pass was replayed from the pass cache rather than run:
+          same output, ticks, and ledger entries, near-zero cost. *)
 }
 
 (** A structured trace of one pipeline run: per-pass timing, term

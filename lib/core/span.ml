@@ -32,12 +32,13 @@ let create ?cap () =
 
 (* The innermost installed collector; installation nests (save and
    restore), exactly as Telemetry collectors do. *)
-let current : collector option ref = ref None
+let current : collector option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
 let with_collector c f =
-  let saved = !current in
-  current := Some c;
-  Fun.protect ~finally:(fun () -> current := saved) f
+  let saved = Domain.DLS.get current in
+  Domain.DLS.set current (Some c);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current saved) f
 
 let record c (sp : span) =
   (match c.cap with
@@ -48,7 +49,7 @@ let record c (sp : span) =
   Queue.push sp c.completed
 
 let annotate key v =
-  match !current with
+  match Domain.DLS.get current with
   | None -> ()
   | Some c -> (
       match c.open_stack with
@@ -56,7 +57,7 @@ let annotate key v =
       | o :: _ -> o.o_args <- (key, v) :: List.remove_assoc key o.o_args)
 
 let with_span_stats ?(cat = "") name f =
-  match !current with
+  match Domain.DLS.get current with
   | None ->
       let t0 = Telemetry.now_ms () in
       let gc0 = Gcstats.snapshot () in

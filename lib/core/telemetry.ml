@@ -110,29 +110,39 @@ let create () : counters = Array.make n_ticks 0
 
 (* The innermost installed collector. Installation nests (the previous
    collector is saved and restored), so a pass that runs a sub-pipeline
-   — e.g. a test driving two reports — cannot cross-contaminate. *)
-let current : counters option ref = ref None
+   — e.g. a test driving two reports — cannot cross-contaminate.
+   Domain-local: parallel compile-service workers each install their
+   own collector without racing. *)
+let current : counters option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
 let with_counters c f =
-  let saved = !current in
-  current := Some c;
-  Fun.protect ~finally:(fun () -> current := saved) f
+  let saved = Domain.DLS.get current in
+  Domain.DLS.set current (Some c);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current saved) f
 
 (* An optional per-tick observer, orthogonal to the collector: {!Guard}
    installs one to meter a pass's rewrite budget, so a pass that loops
    rewriting forever is cut off even though each individual rewrite is
    legitimate. The observer runs whether or not a collector is
-   installed, and may raise (that is the point). *)
-let observer : (int -> unit) option ref = ref None
+   installed, and may raise (that is the point). Observers stack
+   rather than shadow: the compile service's deadline watchdog wraps a
+   whole request, and must keep firing inside a pass that has also
+   installed its fuel meter. *)
+let observer : (int -> unit) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
 let with_observer h f =
-  let saved = !observer in
-  observer := Some h;
-  Fun.protect ~finally:(fun () -> observer := saved) f
+  let saved = Domain.DLS.get observer in
+  let chained =
+    match saved with None -> h | Some g -> fun n -> h n; g n
+  in
+  Domain.DLS.set observer (Some chained);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set observer saved) f
 
 let tick ?(n = 1) t =
-  (match !observer with None -> () | Some h -> h n);
-  match !current with
+  (match Domain.DLS.get observer with None -> () | Some h -> h n);
+  match Domain.DLS.get current with
   | None -> ()
   | Some c ->
       let i = index t in

@@ -75,9 +75,12 @@ val with_counters : counters -> (unit -> 'a) -> 'a
 val tick : ?n:int -> tick -> unit
 
 (** [with_observer h f] additionally calls [h n] on every {!tick} for
-    the dynamic extent of [f] (nesting saves and restores), whether or
-    not a collector is installed. {!Guard} uses this to meter a pass's
-    rewrite budget; the observer may raise to cut the pass off. *)
+    the dynamic extent of [f], whether or not a collector is
+    installed. Observers {e stack}: nesting runs the new observer and
+    then the enclosing ones, so a wall-clock watchdog installed around
+    a whole compilation keeps firing inside a pass whose {!Guard} fuel
+    meter is also installed. Any observer may raise (that is the
+    point); unwinding restores the enclosing chain. *)
 val with_observer : (int -> unit) -> (unit -> 'a) -> 'a
 
 val get : counters -> tick -> int

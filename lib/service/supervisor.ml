@@ -1,0 +1,76 @@
+(* Supervised worker pool. See supervisor.mli. *)
+
+type 'a crash = {
+  c_request : 'a;
+  c_worker : int;
+  c_exn : string;
+  c_respawn : int;
+  c_requeued : bool;
+}
+
+let respawn_count = Atomic.make 0
+let respawns () = Atomic.get respawn_count
+let reset_respawns () = Atomic.set respawn_count 0
+
+let default_max_crashes_per_request = 3
+
+(* The trampoline: a worker loop that survives its own crashes. A
+   request whose handling raises is re-admitted on the urgent lane
+   (it already passed admission control — shedding it now would turn
+   a transient crash into a lost result), the crash is reported, and
+   the loop restarts with fresh worker state. A request that keeps
+   crashing is poison: past its cap it is abandoned (reported with
+   [c_requeued = false]) rather than crash/requeued forever. *)
+let supervised_loop ~crash_counts ~crash_lock ~max_crashes ~queue ~handle
+    ~on_crash i =
+  let crashes = ref 0 in
+  let rec loop () =
+    match Workqueue.pop queue with
+    | None -> ()
+    | Some req -> (
+        match handle ~worker:i req with
+        | () -> loop ()
+        | exception exn ->
+            incr crashes;
+            Atomic.incr respawn_count;
+            let request_crashes =
+              Mutex.protect crash_lock (fun () ->
+                  let n =
+                    1
+                    + Option.value ~default:0
+                        (Hashtbl.find_opt crash_counts (Hashtbl.hash req))
+                  in
+                  Hashtbl.replace crash_counts (Hashtbl.hash req) n;
+                  n)
+            in
+            let requeued =
+              request_crashes < max_crashes
+              &&
+              match Workqueue.push_urgent queue req with
+              | `Ok -> true
+              | `Closed -> false
+            in
+            on_crash
+              {
+                c_request = req;
+                c_worker = i;
+                c_exn = Printexc.to_string exn;
+                c_respawn = !crashes;
+                c_requeued = requeued;
+              };
+            loop ())
+  in
+  loop ()
+
+let run ?(max_crashes_per_request = default_max_crashes_per_request) ~jobs
+    ~queue ~handle ~on_crash () =
+  let crash_counts = Hashtbl.create 8 in
+  let crash_lock = Mutex.create () in
+  let worker i =
+    supervised_loop ~crash_counts ~crash_lock
+      ~max_crashes:max_crashes_per_request ~queue ~handle ~on_crash i
+  in
+  if jobs <= 1 then worker 0
+  else
+    let domains = List.init jobs (fun i -> Domain.spawn (fun () -> worker i)) in
+    List.iter Domain.join domains

@@ -1,0 +1,55 @@
+(** A supervised worker pool over OCaml domains.
+
+    [run ~jobs ~queue ~handle ~on_crash ()] spawns [jobs] worker
+    domains (or runs the loop inline when [jobs <= 1]), each popping
+    requests from [queue] and running [handle] on them, and blocks
+    until the queue is drained and every worker has exited.
+
+    {b Supervision.} [handle] owns ordinary failure (retry, degrade,
+    structured error results) and is expected not to raise. An
+    exception that {e does} escape it — a bug, or the armed
+    ["service/worker"] fault — is a {e worker crash}: the supervising
+    trampoline reports it via [on_crash], re-admits the in-flight
+    request on the queue's urgent lane (it was already past admission
+    control, so it must not be shed or lost), and respawns the worker
+    loop in place with fresh state. If the re-admission loses the race
+    with a closing, drained queue, [on_crash] sees [c_requeued =
+    false] and owns accounting for the request.
+
+    {b Poison requests.} A request that crashes {e every} time it is
+    handled would crash/requeue forever; after
+    [max_crashes_per_request] crashes (default
+    {!default_max_crashes_per_request}) it is abandoned instead —
+    [on_crash] sees [c_requeued = false] and owns accounting for it.
+    Nothing loops unboundedly.
+
+    [on_crash] is called from the crashing worker's domain; implement
+    it thread-safely. *)
+
+type 'a crash = {
+  c_request : 'a;
+  c_worker : int;  (** Worker index, [0 .. jobs-1]. *)
+  c_exn : string;  (** [Printexc.to_string] of what escaped. *)
+  c_respawn : int;  (** How many times this worker has crashed, ≥ 1. *)
+  c_requeued : bool;
+      (** The request went back on the urgent lane; [false] if the
+          queue had already closed and drained, or the request hit
+          its crash cap (a poison request). *)
+}
+
+val default_max_crashes_per_request : int
+
+val run :
+  ?max_crashes_per_request:int ->
+  jobs:int ->
+  queue:'a Workqueue.t ->
+  handle:(worker:int -> 'a -> unit) ->
+  on_crash:('a crash -> unit) ->
+  unit ->
+  unit
+
+(** Worker crashes (respawns) since process start — the observability
+    counter the batch report and tests read. *)
+val respawns : unit -> int
+
+val reset_respawns : unit -> unit

@@ -1,0 +1,66 @@
+(* Bounded MPMC queue with shedding. See workqueue.mli. *)
+
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  normal : 'a Queue.t;  (* bounded admission lane *)
+  urgent : 'a Queue.t;  (* unbounded requeue lane *)
+  capacity : int;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Workqueue.create: capacity must be positive";
+  {
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    normal = Queue.create ();
+    urgent = Queue.create ();
+    capacity;
+    closed = false;
+  }
+
+let try_push t x =
+  Mutex.protect t.lock (fun () ->
+      if t.closed then `Closed
+      else if Queue.length t.normal >= t.capacity then `Shed
+      else begin
+        Queue.push x t.normal;
+        Condition.signal t.nonempty;
+        `Ok
+      end)
+
+let push_urgent t x =
+  Mutex.protect t.lock (fun () ->
+      if t.closed && Queue.is_empty t.normal && Queue.is_empty t.urgent then
+        `Closed
+      else begin
+        Queue.push x t.urgent;
+        Condition.signal t.nonempty;
+        `Ok
+      end)
+
+let pop t =
+  Mutex.protect t.lock (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.urgent) then Some (Queue.pop t.urgent)
+        else if not (Queue.is_empty t.normal) then Some (Queue.pop t.normal)
+        else if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.lock;
+          wait ()
+        end
+      in
+      wait ())
+
+let close t =
+  Mutex.protect t.lock (fun () ->
+      t.closed <- true;
+      (* Wake every blocked consumer so it can observe the close. *)
+      Condition.broadcast t.nonempty)
+
+let is_closed t = Mutex.protect t.lock (fun () -> t.closed)
+
+let length t =
+  Mutex.protect t.lock (fun () ->
+      Queue.length t.normal + Queue.length t.urgent)

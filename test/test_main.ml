@@ -38,4 +38,5 @@ let () =
       ("corpus", Test_corpus.tests);
       ("properties", Test_qcheck.tests);
       ("absint", Test_absint.tests);
+      ("service", Test_service.tests);
     ]
